@@ -1,0 +1,22 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench prints its paper-shaped table via :func:`report`, which
+also persists the text under ``benchmarks/results/`` so the series
+survive pytest's output capture.  Run with ``-s`` to see tables live::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print *text* and store it as ``benchmarks/results/<name>.txt``."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,92 @@
+"""A5 (ablation, substrate) -- grounding cost for joined bodies.
+
+Section 5 grounds a constraint by enumerating every substitution that
+satisfies the body conjunction -- a conjunctive-query evaluation.  For
+single-atom bodies that is a linear scan; for joined bodies (the
+``within_credit`` constraint of the orders workload joins Orders with
+Customers on the customer name) the backtracking join costs more.
+
+This bench measures grounding wall-clock and output size as the orders
+instance grows, for the equality constraint (single-atom body) and the
+credit constraint (two-atom joined body) separately.
+
+Shape targets: ground-system size is linear in the data for both
+families (one inequality per customer, one equality per order);
+grounding time grows roughly with #Orders x #Customers for the joined
+body (the nested-loop join) -- measured, not hidden.
+
+The timed kernel grounds the full constraint set at the largest size.
+"""
+
+import time
+
+import pytest
+
+from _common import report
+from repro.constraints.grounding import ground_constraints
+from repro.datasets import generate_orders
+from repro.datasets.orders import orders_constraints
+from repro.evalkit import ascii_table
+
+SIZES = [(2, 4), (4, 8), (8, 16), (16, 32), (32, 64)]  # (customers, orders)
+
+
+def test_bench_a5_grounding(benchmark):
+    constraints = orders_constraints()
+    lines_constraint = [c for c in constraints if c.name == "lines_match_total"]
+    credit_constraint = [c for c in constraints if c.name == "within_credit"]
+
+    rows = []
+    largest = None
+    for n_customers, n_orders in SIZES:
+        workload = generate_orders(
+            n_customers=n_customers, n_orders=n_orders, lines_per_order=3,
+            seed=1,
+        )
+        database = workload.ground_truth
+        largest = (database, workload.constraints)
+
+        started = time.perf_counter()
+        equalities = ground_constraints(lines_constraint, database)
+        equality_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        inequalities = ground_constraints(credit_constraint, database)
+        join_time = time.perf_counter() - started
+
+        rows.append(
+            [
+                f"{n_customers}c/{n_orders}o",
+                database.total_tuples(),
+                len(equalities),
+                f"{equality_time * 1000:.1f}",
+                len(inequalities),
+                f"{join_time * 1000:.1f}",
+            ]
+        )
+        # Shape: one equality per order, one credit row per customer
+        # with at least one order.
+        assert len(equalities) == n_orders
+        assert len(inequalities) == min(n_customers, n_orders)
+
+    table = ascii_table(
+        [
+            "size",
+            "tuples",
+            "order equalities",
+            "ground (ms)",
+            "credit inequalities",
+            "ground w/ join (ms)",
+        ],
+        rows,
+        title=(
+            "A5: grounding cost, single-atom vs joined constraint bodies\n"
+            "(orders workload; the join is the backtracking evaluation of "
+            "the two-atom body)"
+        ),
+    )
+    report("a5_grounding", table)
+
+    assert largest is not None
+    database, all_constraints = largest
+    benchmark(lambda: ground_constraints(all_constraints, database))

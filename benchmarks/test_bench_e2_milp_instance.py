@@ -1,0 +1,62 @@
+"""E2 -- the MILP instance S*(AC) (Figure 4, Examples 10-11).
+
+Rebuilds the exact optimisation problem of Figure 4 from the Figure 3
+database: N = 20 involved values, the eight ground equalities of
+Example 10, the y/delta link rows, and the min-sum-of-deltas
+objective.  Checks the paper's stated optimum: objective value 1,
+y_4 = -30, every other y_i = 0; and the theoretical Big-M constant
+M = 20 * (28 * 250)^57, which is also printed (its astronomical size
+is exactly why the practical data-dependent bound is used for
+solving).
+
+The timed kernel is the translation step alone (grounding + MILP
+construction, no solve).
+"""
+
+import pytest
+
+from _common import report
+from repro.datasets import cash_budget_constraints, paper_acquired_instance
+from repro.milp import solve
+from repro.repair import theoretical_big_m, translate
+
+
+def build():
+    return translate(paper_acquired_instance(), cash_budget_constraints())
+
+
+def test_bench_e2_milp_instance(benchmark):
+    translation = build()
+
+    # --- Example 10/11 assertions ---------------------------------------
+    assert translation.n == 20
+    assert len(translation.grounds) == 8
+    solution = solve(translation.model)
+    assert solution.objective == pytest.approx(1.0)
+    assert solution.values["y4"] == pytest.approx(-30.0)
+    assert solution.values["d4"] == pytest.approx(1.0)
+    for i in range(1, 21):
+        if i != 4:
+            assert solution.values[f"y{i}"] == pytest.approx(0.0)
+
+    # --- the paper's theoretical M --------------------------------------
+    # Example 11: "The value of the constant M is 20 * (28*250)^(2*28+1)".
+    paper_m = theoretical_big_m(20, 28, 250)
+    assert paper_m == 20 * (28 * 250) ** 57
+
+    text = translation.format_like_figure4()
+    text += (
+        "\n\noptimum (Example 11): objective = "
+        f"{solution.objective:.0f}, y4 = {solution.values['y4']:.0f}, "
+        "all other y_i = 0"
+    )
+    text += (
+        "\n\ntheoretical M of Example 11: 20 * (28 * 250)^57 = "
+        f"{paper_m:.3e} ({paper_m.bit_length()} bits; unusable in floating "
+        f"point -- the solving path uses the practical bound "
+        f"M = {translation.big_m:g})"
+    )
+    report("e2_milp_instance", text)
+
+    # --- timed kernel -----------------------------------------------------
+    benchmark(build)

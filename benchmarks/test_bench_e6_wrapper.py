@@ -1,0 +1,117 @@
+"""E6 -- wrapper robustness and the Figure 7 matching scores.
+
+Reproduces Examples 12-13: the Figure 7(a) row pattern matched against
+the first document row with the OCR misreading "bgnning cesh" binds to
+"beginning cash" with a ~90% cell score (exact cells score 100%), and
+the instance still carries the multi-row year value.
+
+Then sweeps string-noise rates over full Figure 1-style documents and
+measures extraction accuracy with and without the msi dictionary
+repair (without it, the raw damaged text is kept whenever it is not an
+exact dictionary item).
+
+Reproduction target (shape): with msi the lexical-binding accuracy
+stays near 1.0 far into the noise range; without it accuracy decays
+roughly linearly with the corruption rate.
+
+The timed kernel is wrapping one full two-year document.
+"""
+
+import pytest
+
+from _common import report
+from repro.acquisition import AcquisitionModule, OcrChannel, to_html
+from repro.core.scenarios import cash_budget_document, cash_budget_metadata
+from repro.datasets import generate_cash_budget, paper_rows
+from repro.evalkit import ascii_table, sweep
+from repro.wrapping import Wrapper
+
+NOISE_RATES = [0.0, 0.1, 0.2, 0.3, 0.5]
+SEEDS = range(20)
+
+
+def lexical_accuracy(workload, seed: int, rate: float, use_msi: bool):
+    document = cash_budget_document(workload.rows)
+    channel = OcrChannel(numeric_error_rate=0.0, string_error_rate=rate, seed=seed)
+    result = AcquisitionModule(channel).acquire(document)
+    metadata = cash_budget_metadata()
+    report_ = Wrapper(metadata).wrap_html(result.html)
+    truth = [(str(r[1]), str(r[2])) for r in workload.rows]  # (Section, Subsection)
+    correct = 0
+    total = 0
+    for instance, (section, subsection) in zip(report_.instances, truth):
+        bound_section = instance.value("Section")
+        bound_subsection = instance.value("Subsection")
+        if not use_msi:
+            # Without dictionary repair the wrapper would keep raw text;
+            # simulate by only accepting exact raw matches.
+            bound_section = instance.cells[1].raw_text
+            bound_subsection = instance.cells[2].raw_text
+        total += 2
+        correct += int(bound_section == section) + int(bound_subsection == subsection)
+    dropped = len(truth) - len(report_.instances)
+    total += 2 * dropped  # dropped rows extract nothing correct
+    return correct / total if total else 1.0
+
+
+def run_once(rate: float, seed: int):
+    workload = generate_cash_budget(n_years=2, seed=seed)
+    return {
+        "with_msi": lexical_accuracy(workload, seed, rate, use_msi=True),
+        "without_msi": lexical_accuracy(workload, seed, rate, use_msi=False),
+    }
+
+
+def test_bench_e6_wrapper(benchmark):
+    # --- Example 13 exactly ---------------------------------------------
+    from repro.acquisition.documents import Cell, Document, Row, Table
+
+    metadata = cash_budget_metadata()
+    wrapper = Wrapper(metadata)
+    typo_table = Table(
+        [Row([Cell("2003"), Cell("Receipts"), Cell("bgnning cesh"), Cell("20")])]
+    )
+    instance = wrapper.wrap_html(to_html(Document("d", [typo_table]))).instances[0]
+    assert instance.value("Subsection") == "beginning cash"
+    scores = [cell.score for cell in instance.cells]
+    assert scores[0] == scores[1] == scores[3] == 1.0
+    assert scores[2] == pytest.approx(1 - 3 / 26)  # the "90%" cell
+
+    example13 = (
+        "Example 13 (Figure 7b): row ['2003', 'Receipts', 'bgnning cesh', '20']\n"
+        f"  bound instance: Year=2003, Section=Receipts, "
+        f"Subsection='beginning cash', Value=20\n"
+        f"  cell scores: 100% | 100% | {scores[2]:.0%} | 100% "
+        "(paper: 100/100/90/100)\n"
+    )
+
+    # --- the noise sweep ---------------------------------------------------
+    cells = sweep(NOISE_RATES, SEEDS, run_once)
+    rows = [
+        [
+            f"{cell.parameter:.1f}",
+            f"{cell.mean('with_msi'):.3f}",
+            f"{cell.mean('without_msi'):.3f}",
+        ]
+        for cell in cells
+    ]
+    table = ascii_table(
+        ["string noise rate", "accuracy with msi", "accuracy without msi"],
+        rows,
+        title=(
+            "E6: lexical extraction accuracy vs OCR string noise "
+            f"(2-year cash budgets, {len(list(SEEDS))} seeds)\n"
+            "the wrapper's msi binding is the string-level repair of Sec. 6.2"
+        ),
+    )
+    report("e6_wrapper", example13 + table)
+
+    # Shape: msi dominates, and the gap widens with noise.
+    for cell in cells[1:]:
+        assert cell.mean("with_msi") > cell.mean("without_msi")
+    assert cells[-1].mean("with_msi") > 0.9
+    assert cells[-1].mean("without_msi") < 0.9
+
+    workload = generate_cash_budget(n_years=2, seed=1)
+    html = to_html(cash_budget_document(workload.rows))
+    benchmark(lambda: Wrapper(cash_budget_metadata()).wrap_html(html))

@@ -1,0 +1,42 @@
+"""Reproduction of "DART: A Data Acquisition and Repairing Tool" (EDBT 2006).
+
+DART acquires tabular data from heterogeneous documents and repairs
+acquisition errors using *steady aggregate constraints*: a restricted
+class of aggregate integrity constraints for which a **card-minimal
+repair** -- one changing the fewest values, matching the assumption
+that the fewest possible recognition errors occurred -- is computable
+as a Mixed-Integer Linear Program.
+
+Quick start::
+
+    from repro.datasets import paper_acquired_instance, cash_budget_constraints
+    from repro.repair import RepairEngine
+
+    engine = RepairEngine(paper_acquired_instance(), cash_budget_constraints())
+    outcome = engine.find_card_minimal_repair()
+    print(outcome.repair)   # CashBudget[3].Value: 250 -> 220
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.relational` -- relational substrate (schemas, tuples,
+  databases, selection predicates);
+- :mod:`repro.constraints` -- aggregate constraints, steadiness,
+  grounding, the constraint DSL;
+- :mod:`repro.milp` -- MILP solvers (from-scratch simplex +
+  branch-and-bound, and a scipy/HiGHS backend);
+- :mod:`repro.repair` -- the card-minimal repair engine (the paper's
+  core contribution) and the supervised validation loop;
+- :mod:`repro.acquisition` -- document model, OCR error channel,
+  HTML conversion;
+- :mod:`repro.wrapping` -- HTML table parser, row patterns, similarity
+  matching, database generation;
+- :mod:`repro.core` -- the assembled DART system;
+- :mod:`repro.datasets` -- the paper's running example and seeded
+  workload generators;
+- :mod:`repro.evalkit` -- metrics and sweep/reporting helpers for the
+  benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

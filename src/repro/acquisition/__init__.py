@@ -1,0 +1,38 @@
+"""Acquisition module simulation (paper, Section 6.1).
+
+DART's acquisition module turns input documents -- paper, PDF, MSWord,
+RTF or HTML -- into HTML for the extraction module; paper documents
+pass through an OCR tool first.  We reproduce that stage with:
+
+- :mod:`repro.acquisition.documents` -- a document model: documents
+  containing tables whose cells may span multiple rows and columns
+  ("variable structure", the case existing wrappers handle poorly);
+- :mod:`repro.acquisition.ocr` -- a seeded OCR error channel with
+  digit- and character-confusion tables, plus direct database-level
+  error injection for repair-only experiments;
+- :mod:`repro.acquisition.conversion` -- the format-conversion tool:
+  renders the document model to real HTML (and simulates the
+  paper -> OCR -> PDF -> HTML chain by applying the error channel
+  first for paper sources).
+"""
+
+from repro.acquisition.documents import Cell, Document, Row, SourceFormat, Table
+from repro.acquisition.ocr import (
+    ErrorRecord,
+    OcrChannel,
+    inject_value_errors,
+)
+from repro.acquisition.conversion import AcquisitionModule, to_html
+
+__all__ = [
+    "Cell",
+    "Row",
+    "Table",
+    "Document",
+    "SourceFormat",
+    "OcrChannel",
+    "ErrorRecord",
+    "inject_value_errors",
+    "to_html",
+    "AcquisitionModule",
+]

@@ -1,0 +1,94 @@
+"""The format-conversion tool and the acquisition module facade.
+
+Section 6.1: "input documents which are not already in [HTML] format
+are converted into an HTML document by means of a format-conversion
+tool ... paper documents are first digitized and processed by means of
+an OCR tool (yielding PDF documents) whose output is then processed by
+the converter."
+
+:func:`to_html` renders the document model to genuine HTML (rowspan /
+colspan attributes and all), and :class:`AcquisitionModule` simulates
+the full chain: for paper sources the OCR channel corrupts the
+document first; for electronic sources conversion is lossless (a
+format conversion does not misread symbols).
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple as PyTuple
+
+from repro.acquisition.documents import Document, SourceFormat, Table
+from repro.acquisition.ocr import ErrorRecord, OcrChannel
+
+
+def to_html(document: Document) -> str:
+    """Render *document* as an HTML page with one ``<table>`` per table."""
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html>",
+        "<head>",
+        f"  <title>{html_escape.escape(document.title)}</title>",
+        "</head>",
+        "<body>",
+    ]
+    for table in document.tables:
+        parts.append('  <table border="1">')
+        if table.caption:
+            parts.append(
+                f"    <caption>{html_escape.escape(table.caption)}</caption>"
+            )
+        for row in table.rows:
+            parts.append("    <tr>")
+            for cell in row:
+                attributes = ""
+                if cell.rowspan > 1:
+                    attributes += f' rowspan="{cell.rowspan}"'
+                if cell.colspan > 1:
+                    attributes += f' colspan="{cell.colspan}"'
+                parts.append(
+                    f"      <td{attributes}>{html_escape.escape(cell.text)}</td>"
+                )
+            parts.append("    </tr>")
+        parts.append("  </table>")
+    parts.append("</body>")
+    parts.append("</html>")
+    return "\n".join(parts)
+
+
+@dataclass
+class AcquisitionResult:
+    """Output of the acquisition module."""
+
+    html: str
+    #: the (possibly OCR-corrupted) document that was rendered
+    acquired_document: Document
+    #: errors the OCR channel injected (empty for electronic sources)
+    injected_errors: List[ErrorRecord] = field(default_factory=list)
+
+
+class AcquisitionModule:
+    """Simulates DART's acquisition module.
+
+    ``ocr_channel`` models the OCR tool used for paper documents; it
+    is consulted only when ``document.source_format.needs_ocr``.
+    """
+
+    def __init__(self, ocr_channel: Optional[OcrChannel] = None) -> None:
+        self.ocr_channel = ocr_channel or OcrChannel()
+
+    def acquire(self, document: Document) -> AcquisitionResult:
+        """Run the acquisition chain and return HTML plus provenance."""
+        if document.source_format.needs_ocr:
+            corrupted, errors = self.ocr_channel.corrupt_document(document)
+            return AcquisitionResult(
+                html=to_html(corrupted),
+                acquired_document=corrupted,
+                injected_errors=errors,
+            )
+        return AcquisitionResult(
+            html=to_html(document),
+            acquired_document=document,
+            injected_errors=[],
+        )

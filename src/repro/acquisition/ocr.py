@@ -1,0 +1,241 @@
+"""The OCR error channel.
+
+The paper's acquisition errors are *symbol recognition* errors: a
+numerical value is misread (220 acquired as 250) or a string is
+misspelled ("beginning cash" acquired as "bgnning cesh").  We model
+the OCR tool as a seeded noisy channel over cell text:
+
+- numeric cells suffer digit-level substitutions drawn from a
+  confusion table of classic OCR digit confusions (1<->7, 0<->8,
+  3<->8, 5<->6, 2<->5(via deformed glyphs), 4<->9), digit deletions
+  or digit duplications;
+- string cells suffer character substitutions (e<->c, o<->a(via
+  degraded print), i<->l, n<->h, u<->v), vowel deletions and the
+  famous "rn" -> "m" ligature collapse.
+
+Each corruption is recorded as an :class:`ErrorRecord`, giving every
+experiment exact ground truth about what was injected where.
+
+:func:`inject_value_errors` bypasses documents entirely and corrupts a
+database instance directly: the repair-only experiments (benches E3-E5)
+use it to control the *number* of errors precisely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from repro.acquisition.documents import Cell, Document, Table
+from repro.constraints.grounding import Cell as DbCell
+from repro.relational.database import Database
+
+#: Digit -> plausible OCR misreadings.
+DIGIT_CONFUSIONS: Dict[str, str] = {
+    "0": "86",
+    "1": "74",
+    "2": "57",
+    "3": "85",
+    "4": "91",
+    "5": "62",
+    "6": "58",
+    "7": "12",
+    "8": "03",
+    "9": "47",
+}
+
+#: Character -> plausible OCR misreadings (lower-case letters).
+CHAR_CONFUSIONS: Dict[str, str] = {
+    "a": "eo",
+    "c": "e",
+    "e": "ca",
+    "g": "q",
+    "h": "n",
+    "i": "l",
+    "l": "i",
+    "n": "h",
+    "o": "ae",
+    "q": "g",
+    "u": "v",
+    "v": "u",
+}
+
+_VOWELS = set("aeiou")
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One injected acquisition error."""
+
+    table_index: int
+    row_index: int
+    cell_index: int
+    original: str
+    corrupted: str
+    kind: str  # "numeric" | "string"
+
+
+class OcrChannel:
+    """A seeded noisy channel over document cell text."""
+
+    def __init__(
+        self,
+        *,
+        numeric_error_rate: float = 0.05,
+        string_error_rate: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= numeric_error_rate <= 1.0:
+            raise ValueError("numeric_error_rate must be in [0, 1]")
+        if not 0.0 <= string_error_rate <= 1.0:
+            raise ValueError("string_error_rate must be in [0, 1]")
+        self.numeric_error_rate = numeric_error_rate
+        self.string_error_rate = string_error_rate
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Single-text corruption
+    # ------------------------------------------------------------------
+
+    def corrupt_number(self, text: str) -> str:
+        """Apply one digit-level misreading; guaranteed to change *text*."""
+        digits = [i for i, ch in enumerate(text) if ch.isdigit()]
+        if not digits:
+            return text
+        operation = self._rng.choice(["substitute", "substitute", "delete", "duplicate"])
+        position = self._rng.choice(digits)
+        if operation == "substitute":
+            original = text[position]
+            replacement = self._rng.choice(DIGIT_CONFUSIONS[original])
+            return text[:position] + replacement + text[position + 1:]
+        if operation == "delete" and len(digits) > 1:
+            return text[:position] + text[position + 1:]
+        # duplicate (also the fallback for single-digit deletes)
+        return text[:position] + text[position] + text[position:]
+
+    def corrupt_string(self, text: str) -> str:
+        """Apply 1-3 character-level misreadings to *text*."""
+        if not text:
+            return text
+        result = text
+        n_edits = self._rng.randint(1, 3)
+        for _ in range(n_edits):
+            result = self._one_string_edit(result)
+        if result == text:
+            # Ensure the channel actually corrupted something.
+            result = self._one_string_edit(result + " ") if not text.strip() else (
+                self._force_edit(result)
+            )
+        return result
+
+    def _one_string_edit(self, text: str) -> str:
+        if "rn" in text and self._rng.random() < 0.5:
+            index = text.index("rn")
+            return text[:index] + "m" + text[index + 2:]
+        operation = self._rng.choice(["substitute", "substitute", "delete_vowel"])
+        if operation == "delete_vowel":
+            vowels = [i for i, ch in enumerate(text) if ch.lower() in _VOWELS]
+            if vowels:
+                position = self._rng.choice(vowels)
+                return text[:position] + text[position + 1:]
+        positions = [i for i, ch in enumerate(text) if ch.lower() in CHAR_CONFUSIONS]
+        if not positions:
+            return text
+        position = self._rng.choice(positions)
+        original = text[position]
+        replacement = self._rng.choice(CHAR_CONFUSIONS[original.lower()])
+        if original.isupper():
+            replacement = replacement.upper()
+        return text[:position] + replacement + text[position + 1:]
+
+    def _force_edit(self, text: str) -> str:
+        for position, character in enumerate(text):
+            if character.lower() in CHAR_CONFUSIONS:
+                replacement = CHAR_CONFUSIONS[character.lower()][0]
+                if character.isupper():
+                    replacement = replacement.upper()
+                return text[:position] + replacement + text[position + 1:]
+        return text + "."  # nothing confusable: simulate a stray mark
+
+    # ------------------------------------------------------------------
+    # Whole-document corruption
+    # ------------------------------------------------------------------
+
+    def corrupt_document(
+        self, document: Document
+    ) -> PyTuple[Document, List[ErrorRecord]]:
+        """Pass every cell of every table through the channel."""
+        errors: List[ErrorRecord] = []
+        new_tables: List[Table] = []
+        for table_index, table in enumerate(document.tables):
+
+            def transform(row_index: int, cell_index: int, cell: Cell) -> str:
+                text = cell.text
+                is_numeric = _is_numeric(text)
+                rate = self.numeric_error_rate if is_numeric else self.string_error_rate
+                if rate <= 0.0 or self._rng.random() >= rate:
+                    return text
+                corrupted = (
+                    self.corrupt_number(text) if is_numeric else self.corrupt_string(text)
+                )
+                if corrupted != text:
+                    errors.append(
+                        ErrorRecord(
+                            table_index=table_index,
+                            row_index=row_index,
+                            cell_index=cell_index,
+                            original=text,
+                            corrupted=corrupted,
+                            kind="numeric" if is_numeric else "string",
+                        )
+                    )
+                return corrupted
+
+            new_tables.append(table.map_cells(transform))
+        return document.with_tables(new_tables), errors
+
+
+def _is_numeric(text: str) -> bool:
+    stripped = text.strip().lstrip("-")
+    return bool(stripped) and stripped.replace(".", "", 1).isdigit()
+
+
+def inject_value_errors(
+    database: Database,
+    n_errors: int,
+    *,
+    seed: int = 0,
+    cells: Optional[Sequence[DbCell]] = None,
+) -> PyTuple[Database, List[PyTuple[DbCell, float, float]]]:
+    """Corrupt exactly *n_errors* distinct measure cells of a copy of
+    *database* using digit-level misreadings.
+
+    Returns ``(corrupted copy, [(cell, old, new), ...])``.  The repair
+    benches use this to control the injected error count exactly.
+    """
+    rng = random.Random(seed)
+    channel = OcrChannel(numeric_error_rate=1.0, seed=rng.randrange(1 << 30))
+    available = list(cells) if cells is not None else database.measure_cells()
+    if n_errors > len(available):
+        raise ValueError(
+            f"cannot inject {n_errors} errors into {len(available)} measure cells"
+        )
+    chosen = rng.sample(available, n_errors)
+    corrupted = database.copy()
+    injected: List[PyTuple[DbCell, float, float]] = []
+    for cell in chosen:
+        relation, tuple_id, attribute = cell
+        old_value = corrupted.get_value(relation, tuple_id, attribute)
+        new_text = channel.corrupt_number(str(int(old_value)))
+        # Guard against pathological outputs (empty / sign-only text).
+        attempts = 0
+        while (not new_text.lstrip("-").isdigit() or int(new_text) == old_value):
+            new_text = channel.corrupt_number(str(int(old_value)))
+            attempts += 1
+            if attempts > 20:
+                new_text = str(int(old_value) + 1)
+        new_value = int(new_text)
+        corrupted.set_value(relation, tuple_id, attribute, new_value)
+        injected.append((cell, float(old_value), float(new_value)))
+    return corrupted, injected

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A DART *project directory* holds the acquisition designer's metadata
+plus the acquired data:
+
+- ``schema.txt``       -- relational schema + measure attributes
+  (format of :mod:`repro.relational.schematext`);
+- ``constraints.dsl``  -- aggregation functions + steady aggregate
+  constraints (format of :mod:`repro.constraints.parser`);
+- ``<Relation>.csv``   -- one CSV per relation (header = attributes).
+
+Commands:
+
+- ``check <dir>``   -- report D |= AC and list every violation;
+- ``repair <dir>``  -- compute a card-minimal repair, print the
+  suggested updates (in the validation interface's involvement order),
+  optionally write the repaired instance with ``--output``;
+- ``answers <dir> --function f --args a,b`` -- consistent query
+  answering: the glb/lub of an aggregation function over all
+  card-minimal repairs;
+- ``demo``          -- run the paper's running example end to end;
+- ``init <dir>``    -- scaffold a project directory with the running
+  example's metadata and the (inconsistent) Figure 3 data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.constraints.parser import parse_constraints
+from repro.relational.csvio import dump_database, load_database
+from repro.relational.schematext import dump_schema, load_schema
+from repro.repair.cqa import consistent_aggregate_answer
+from repro.repair.engine import RepairEngine, UnrepairableError
+from repro.repair.interactive import involvement_order
+from repro.repair.translation import RepairObjective
+
+
+class CliError(SystemExit):
+    """Raised (as an exit) for user errors; carries exit code 2."""
+
+    def __init__(self, message: str) -> None:
+        print(f"error: {message}", file=sys.stderr)
+        super().__init__(2)
+
+
+def _load_project(directory: str):
+    root = Path(directory)
+    schema_path = root / "schema.txt"
+    constraints_path = root / "constraints.dsl"
+    if not schema_path.exists():
+        raise CliError(f"{schema_path} not found")
+    if not constraints_path.exists():
+        raise CliError(f"{constraints_path} not found")
+    schema = load_schema(schema_path)
+    functions, constraints = parse_constraints(
+        constraints_path.read_text(encoding="utf-8")
+    )
+    database = load_database(schema, root)
+    if database.total_tuples() == 0:
+        raise CliError(f"no data rows found in {root} (expected <Relation>.csv)")
+    return schema, functions, constraints, database
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    _, _, constraints, database = _load_project(args.directory)
+    engine = RepairEngine(database, constraints)
+    violations = engine.violations()
+    print(f"{database.total_tuples()} tuples, "
+          f"{len(engine.ground_system)} ground constraints")
+    if not violations:
+        print("CONSISTENT: the instance satisfies all constraints")
+        return 0
+    print(f"INCONSISTENT: {len(violations)} violated ground constraint(s)")
+    for violation in violations:
+        print(f"  {violation}")
+    return 1
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    _, _, constraints, database = _load_project(args.directory)
+    objective = RepairObjective(args.objective)
+    engine = RepairEngine(database, constraints, objective=objective)
+    if engine.is_consistent():
+        print("already consistent; nothing to repair")
+        return 0
+    try:
+        outcome = engine.find_card_minimal_repair()
+    except UnrepairableError as exc:
+        raise CliError(f"unrepairable: {exc}")
+    print(f"{len(engine.violations())} violation(s); "
+          f"suggested repair changes {outcome.cardinality} value(s):")
+    ordered = involvement_order(engine.ground_system, outcome.repair.updates)
+    for update in ordered:
+        print(f"  {update}")
+    if args.show_milp:
+        print("\nMILP instance (Figure 4 layout):")
+        print(outcome.translation.format_like_figure4())
+    if args.export_mps:
+        from repro.milp.mps import write_mps
+
+        write_mps(outcome.translation.model, args.export_mps)
+        print(f"MILP instance exported to {args.export_mps} (free-form MPS)")
+    if args.output:
+        repaired = engine.apply(outcome.repair)
+        written = dump_database(repaired, args.output)
+        print(f"repaired instance written to {args.output} "
+              f"({len(written)} file(s))")
+    return 0
+
+
+def cmd_answers(args: argparse.Namespace) -> int:
+    _, functions, constraints, database = _load_project(args.directory)
+    if args.function not in functions:
+        raise CliError(
+            f"unknown aggregation function {args.function!r}; "
+            f"available: {', '.join(sorted(functions))}"
+        )
+    function = functions[args.function]
+    raw_arguments = [a for a in (args.args or "").split(",") if a != ""]
+    if len(raw_arguments) != function.arity:
+        raise CliError(
+            f"{args.function} expects {function.arity} argument(s), "
+            f"got {len(raw_arguments)}"
+        )
+    arguments: List[Any] = []
+    for raw in raw_arguments:
+        try:
+            arguments.append(int(raw))
+        except ValueError:
+            try:
+                arguments.append(float(raw))
+            except ValueError:
+                arguments.append(raw)
+    engine = RepairEngine(database, constraints)
+    answer = consistent_aggregate_answer(engine, function, arguments)
+    print(f"{args.function}({', '.join(map(str, arguments))})")
+    print(f"  value on the acquired instance: {answer.acquired_value:g}")
+    print(f"  over all card-minimal repairs:  {answer}")
+    return 0 if answer.is_consistent else 1
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        cash_budget_constraints,
+        paper_acquired_instance,
+        paper_ground_truth,
+    )
+    from repro.repair.interactive import OracleOperator, ValidationLoop
+
+    database = paper_acquired_instance()
+    engine = RepairEngine(database, cash_budget_constraints())
+    print("the paper's running example (Figure 3, acquired with one error):")
+    for violation in engine.violations():
+        print(f"  violated: {violation}")
+    outcome = engine.find_card_minimal_repair()
+    print(f"card-minimal repair: {outcome.repair}")
+    operator = OracleOperator(paper_ground_truth(), acquired=database)
+    session = ValidationLoop(engine, operator).run()
+    print(f"validation: accepted after {session.iterations} iteration(s), "
+          f"{session.values_inspected} value(s) inspected")
+    return 0
+
+
+def cmd_init(args: argparse.Namespace) -> int:
+    from repro.datasets import paper_acquired_instance
+    from repro.datasets.cashbudget import CASH_BUDGET_CONSTRAINT_DSL
+
+    root = Path(args.directory)
+    root.mkdir(parents=True, exist_ok=True)
+    database = paper_acquired_instance()
+    (root / "schema.txt").write_text(dump_schema(database.schema), encoding="utf-8")
+    (root / "constraints.dsl").write_text(
+        CASH_BUDGET_CONSTRAINT_DSL.strip() + "\n", encoding="utf-8"
+    )
+    dump_database(database, root)
+    print(f"initialised DART project in {root} with the running example")
+    print("try:  python -m repro check " + str(root))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DART: data acquisition and repairing tool (EDBT 2006 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_check = subparsers.add_parser("check", help="check D |= AC")
+    p_check.add_argument("directory")
+    p_check.set_defaults(func=cmd_check)
+
+    p_repair = subparsers.add_parser("repair", help="compute a minimal repair")
+    p_repair.add_argument("directory")
+    p_repair.add_argument(
+        "--objective",
+        choices=[o.value for o in RepairObjective],
+        default=RepairObjective.CARDINALITY.value,
+        help="minimality semantics (default: the paper's card-minimality)",
+    )
+    p_repair.add_argument(
+        "--output", help="directory to write the repaired CSVs into"
+    )
+    p_repair.add_argument(
+        "--show-milp", action="store_true",
+        help="print the MILP instance in the paper's Figure 4 layout",
+    )
+    p_repair.add_argument(
+        "--export-mps",
+        help="write the MILP instance to this path as free-form MPS",
+    )
+    p_repair.set_defaults(func=cmd_repair)
+
+    p_answers = subparsers.add_parser(
+        "answers", help="consistent query answering over card-minimal repairs"
+    )
+    p_answers.add_argument("directory")
+    p_answers.add_argument("--function", required=True,
+                           help="aggregation function name from constraints.dsl")
+    p_answers.add_argument("--args", default="",
+                           help="comma-separated ground arguments")
+    p_answers.set_defaults(func=cmd_answers)
+
+    p_demo = subparsers.add_parser("demo", help="run the paper's running example")
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_init = subparsers.add_parser(
+        "init", help="scaffold a project directory with the running example"
+    )
+    p_init.add_argument("directory")
+    p_init.set_defaults(func=cmd_init)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

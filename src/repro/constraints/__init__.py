@@ -1,0 +1,67 @@
+"""The aggregate-constraint language of the paper (Sections 3.1 and 4).
+
+- :mod:`repro.constraints.expressions` -- attribute expressions
+  (numerical constants, attributes, ``e1 +/- e2``, ``c * e``),
+- :mod:`repro.constraints.aggregates` -- aggregation functions
+  ``chi(x1..xk) = SELECT sum(e) FROM R WHERE alpha(x1..xk)`` and their
+  attribute sets ``W(chi)``,
+- :mod:`repro.constraints.constraint` -- aggregate constraints
+  (Definition 1), the sets ``A(kappa)`` and ``J(kappa)``, and the
+  steadiness test (Definition 6),
+- :mod:`repro.constraints.grounding` -- ground substitutions, the
+  involved-tuple sets ``T_chi``, ground linear (in)equalities, and the
+  consistency check ``D |= AC``,
+- :mod:`repro.constraints.parser` -- a textual DSL so constraint
+  metadata can be written as plain text.
+"""
+
+from repro.constraints.expressions import (
+    AttrTerm,
+    ConstTerm,
+    Expression,
+    ExpressionError,
+    Product,
+    Sum,
+    attr_expr,
+    const_expr,
+)
+from repro.constraints.aggregates import AggregationFunction
+from repro.constraints.constraint import (
+    AggregateConstraint,
+    BodyAtom,
+    ConstraintError,
+    ConstraintTerm,
+    Relop,
+)
+from repro.constraints.grounding import (
+    GroundConstraint,
+    GroundingEngine,
+    Violation,
+    check_consistency,
+    ground_constraints,
+)
+from repro.constraints.parser import ConstraintParseError, parse_constraints
+
+__all__ = [
+    "Expression",
+    "ExpressionError",
+    "ConstTerm",
+    "AttrTerm",
+    "Sum",
+    "Product",
+    "attr_expr",
+    "const_expr",
+    "AggregationFunction",
+    "AggregateConstraint",
+    "BodyAtom",
+    "ConstraintTerm",
+    "ConstraintError",
+    "Relop",
+    "GroundConstraint",
+    "GroundingEngine",
+    "Violation",
+    "check_consistency",
+    "ground_constraints",
+    "parse_constraints",
+    "ConstraintParseError",
+]

@@ -1,0 +1,100 @@
+"""Aggregation functions (paper, Section 3.1).
+
+An aggregation function on a relational scheme ``R`` is a parameterised
+SQL sum-query::
+
+    chi(x1, ..., xk) = SELECT sum(e) FROM R WHERE alpha(x1, ..., xk)
+
+where ``e`` is an attribute expression on ``R`` and ``alpha`` is a
+boolean formula over the parameters, constants and attributes of ``R``.
+
+Besides evaluation, an aggregation function knows:
+
+- its *involved-tuple set* ``T_chi`` for a given argument vector -- the
+  tuples where ``alpha`` holds (Section 5); this is what the MILP
+  translation sums the ``z`` variables over, and it must be computable
+  without looking at measure values for the constraint to be steady;
+- its WHERE-clause attribute set, one half of ``W(chi)``
+  (the other half -- attributes *corresponding to* parameters used in
+  the WHERE clause -- depends on the constraint body and is computed in
+  :mod:`repro.constraints.constraint`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Set, Tuple as PyTuple
+
+from repro.constraints.expressions import Expression, ExpressionLike, _as_expression
+from repro.relational.database import Database
+from repro.relational.predicates import Condition
+from repro.relational.tuples import Tuple
+
+
+class AggregationFunction:
+    """``chi(params) = SELECT sum(expression) FROM relation WHERE condition``."""
+
+    def __init__(
+        self,
+        name: str,
+        relation: str,
+        parameters: Sequence[str],
+        expression: ExpressionLike,
+        condition: Condition,
+    ) -> None:
+        self.name = name
+        self.relation = relation
+        self.parameters: PyTuple[str, ...] = tuple(parameters)
+        if len(set(self.parameters)) != len(self.parameters):
+            raise ValueError(
+                f"aggregation function {name!r} has duplicate parameters"
+            )
+        self.expression: Expression = _as_expression(expression)
+        self.condition = condition
+        unknown = condition.variables() - set(self.parameters)
+        if unknown:
+            raise ValueError(
+                f"aggregation function {name!r}: WHERE clause uses variables "
+                f"{sorted(unknown)} that are not parameters"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    def _binding(self, arguments: Sequence[Any]) -> Dict[str, Any]:
+        if len(arguments) != self.arity:
+            raise ValueError(
+                f"aggregation function {self.name!r} expects {self.arity} "
+                f"arguments, got {len(arguments)}"
+            )
+        return dict(zip(self.parameters, arguments))
+
+    def involved_tuples(self, database: Database, arguments: Sequence[Any]) -> List[Tuple]:
+        """The set ``T_chi``: tuples of the relation where alpha holds."""
+        binding = self._binding(arguments)
+        return database.relation(self.relation).select(self.condition, binding)
+
+    def evaluate(self, database: Database, arguments: Sequence[Any]) -> float:
+        """``SELECT sum(e) FROM R WHERE alpha(arguments)`` on *database*."""
+        return sum(
+            self.expression.evaluate(row)
+            for row in self.involved_tuples(database, arguments)
+        )
+
+    def where_attributes(self) -> Set[str]:
+        """Attributes of ``R`` named directly in the WHERE clause."""
+        return self.condition.attributes()
+
+    def parameters_in_where(self) -> Set[str]:
+        """Parameters that actually occur in the WHERE clause."""
+        return self.condition.variables()
+
+    def __call__(self, database: Database, *arguments: Any) -> float:
+        return self.evaluate(database, arguments)
+
+    def __repr__(self) -> str:
+        params = ", ".join(self.parameters)
+        return (
+            f"{self.name}({params}) = SELECT sum({self.expression}) "
+            f"FROM {self.relation} WHERE {self.condition}"
+        )

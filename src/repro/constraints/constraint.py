@@ -1,0 +1,328 @@
+"""Aggregate constraints (Definition 1) and steadiness (Definition 6).
+
+An aggregate constraint on a database scheme ``D`` has the form::
+
+    forall x1..xk ( phi(x1..xk)  =>  sum_i c_i * chi_i(X_i)  <relop>  K )
+
+where ``phi`` is a conjunction of relational atoms over the variables,
+each ``chi_i`` is an aggregation function, and each argument list
+``X_i`` mixes constants with variables drawn from ``x1..xk``.  The
+paper notes that equalities are expressible as pairs of inequalities;
+we keep ``=`` (and ``>=``) first-class and expand only inside the MILP
+translation.
+
+The module also implements the two attribute sets that drive the
+steadiness test:
+
+- ``A(kappa)`` -- for every aggregation function, the attributes named
+  in its WHERE clause plus the attributes *corresponding to* (via the
+  body atoms) the variables passed to WHERE-clause parameters;
+- ``J(kappa)`` -- attributes corresponding to variables shared by two
+  atom positions of the body (join variables).
+
+``kappa`` is *steady* iff ``(A(kappa) | J(kappa))`` contains no measure
+attribute: then the involved-tuple sets ``T_chi`` never depend on
+measure values, and the constraint translates to linear inequalities
+over the per-cell variables (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Sequence,
+    Set,
+    Tuple as PyTuple,
+    Union,
+)
+
+from repro.constraints.aggregates import AggregationFunction
+from repro.relational.database import Database
+from repro.relational.predicates import Const, Term, Var
+from repro.relational.schema import DatabaseSchema, SchemaError
+
+#: A ``(relation, attribute)`` pair; the form A(kappa)/J(kappa) are kept in
+#: so they can be intersected with the measure set M_D.
+QualifiedAttribute = PyTuple[str, str]
+
+
+class ConstraintError(ValueError):
+    """Raised for malformed aggregate constraints."""
+
+
+class Relop:
+    """The relational operators allowed on the aggregate side."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+    ALL = (LE, GE, EQ)
+
+    @staticmethod
+    def check(op: str) -> str:
+        if op not in Relop.ALL:
+            raise ConstraintError(f"unknown relational operator {op!r}")
+        return op
+
+    @staticmethod
+    def holds(op: str, left: float, right: float, tolerance: float = 1e-9) -> bool:
+        """Evaluate ``left op right`` with a small numeric tolerance."""
+        if op == Relop.LE:
+            return left <= right + tolerance
+        if op == Relop.GE:
+            return left >= right - tolerance
+        return abs(left - right) <= tolerance
+
+
+@dataclass(frozen=True)
+class BodyAtom:
+    """One atom ``R(t1, ..., tn)`` of the body conjunction ``phi``.
+
+    Each term is a variable or a constant.  The anonymous placeholder
+    ``_`` of the paper's shorthand is represented by distinct fresh
+    variables created at parse time, so at this level every position
+    holds a real term.
+    """
+
+    relation: str
+    terms: PyTuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Term]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+        for term in self.terms:
+            if not isinstance(term, (Var, Const)):
+                raise ConstraintError(
+                    f"body atom terms must be variables or constants, got {term!r}"
+                )
+
+    def variables(self) -> Set[str]:
+        return {t.name for t in self.terms if isinstance(t, Var)}
+
+    def variable_positions(self) -> Dict[str, List[int]]:
+        """Positions (0-based) where each variable occurs in this atom."""
+        positions: Dict[str, List[int]] = {}
+        for index, term in enumerate(self.terms):
+            if isinstance(term, Var):
+                positions.setdefault(term.name, []).append(index)
+        return positions
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({rendered})"
+
+
+@dataclass(frozen=True)
+class ConstraintTerm:
+    """One summand ``c_i * chi_i(X_i)`` of the aggregate side."""
+
+    coefficient: float
+    function: AggregationFunction
+    arguments: PyTuple[Term, ...]
+
+    def __init__(
+        self,
+        coefficient: float,
+        function: AggregationFunction,
+        arguments: Sequence[Term],
+    ) -> None:
+        object.__setattr__(self, "coefficient", float(coefficient))
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "arguments", tuple(arguments))
+        if len(self.arguments) != function.arity:
+            raise ConstraintError(
+                f"aggregation function {function.name!r} expects "
+                f"{function.arity} arguments, got {len(self.arguments)}"
+            )
+        for term in self.arguments:
+            if not isinstance(term, (Var, Const)):
+                raise ConstraintError(
+                    f"aggregation arguments must be variables or constants, "
+                    f"got {term!r}"
+                )
+
+    def variables(self) -> Set[str]:
+        return {t.name for t in self.arguments if isinstance(t, Var)}
+
+    def ground_arguments(self, binding: Dict[str, Any]) -> List[Any]:
+        """Resolve the argument terms under a ground substitution."""
+        resolved: List[Any] = []
+        for term in self.arguments:
+            if isinstance(term, Var):
+                resolved.append(binding[term.name])
+            else:
+                resolved.append(term.value)
+        return resolved
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.arguments)
+        coeff = self.coefficient
+        prefix = "" if coeff == 1 else ("-" if coeff == -1 else f"{coeff} * ")
+        return f"{prefix}{self.function.name}({args})"
+
+
+class AggregateConstraint:
+    """An aggregate constraint ``phi => sum_i c_i * chi_i(X_i) <relop> K``."""
+
+    def __init__(
+        self,
+        name: str,
+        body: Sequence[BodyAtom],
+        terms: Sequence[ConstraintTerm],
+        relop: str,
+        rhs: float,
+    ) -> None:
+        if not body:
+            raise ConstraintError(f"constraint {name!r} has an empty body")
+        if not terms:
+            raise ConstraintError(f"constraint {name!r} has no aggregation terms")
+        self.name = name
+        self.body: PyTuple[BodyAtom, ...] = tuple(body)
+        self.terms: PyTuple[ConstraintTerm, ...] = tuple(terms)
+        self.relop = Relop.check(relop)
+        self.rhs = float(rhs)
+
+        body_variables = self.variables()
+        for term in self.terms:
+            loose = term.variables() - body_variables
+            if loose:
+                raise ConstraintError(
+                    f"constraint {name!r}: aggregation arguments use variables "
+                    f"{sorted(loose)} not bound by the body"
+                )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def variables(self) -> Set[str]:
+        """All variables bound by the body conjunction."""
+        result: Set[str] = set()
+        for atom in self.body:
+            result |= atom.variables()
+        return result
+
+    def functions(self) -> List[AggregationFunction]:
+        return [term.function for term in self.terms]
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Check the constraint is well-formed against *schema*."""
+        for atom in self.body:
+            relation_schema = schema.relation(atom.relation)
+            if len(atom.terms) != relation_schema.arity:
+                raise ConstraintError(
+                    f"constraint {self.name!r}: atom {atom} has "
+                    f"{len(atom.terms)} terms but {atom.relation!r} has arity "
+                    f"{relation_schema.arity}"
+                )
+        for term in self.terms:
+            function = term.function
+            relation_schema = schema.relation(function.relation)
+            function.expression.validate_against(relation_schema)
+            for attribute in function.where_attributes():
+                relation_schema.attribute(attribute)
+
+    # ------------------------------------------------------------------
+    # The attribute sets A(kappa) and J(kappa)
+    # ------------------------------------------------------------------
+
+    def _attributes_of_variable(
+        self, variable: str, schema: DatabaseSchema
+    ) -> Set[QualifiedAttribute]:
+        """Attributes corresponding to *variable* via the body atoms."""
+        result: Set[QualifiedAttribute] = set()
+        for atom in self.body:
+            relation_schema = schema.relation(atom.relation)
+            for position in atom.variable_positions().get(variable, ()):
+                result.add((atom.relation, relation_schema.attributes[position].name))
+        return result
+
+    def a_kappa(self, schema: DatabaseSchema) -> Set[QualifiedAttribute]:
+        """``A(kappa)``: the union of the sets ``W(chi_i)``.
+
+        ``W(chi_i)`` contains (1) the attributes named in chi_i's WHERE
+        clause (qualified with chi_i's relation) and (2) the attributes
+        corresponding to the body variables passed as the WHERE-clause
+        parameters of chi_i.
+        """
+        result: Set[QualifiedAttribute] = set()
+        for term in self.terms:
+            function = term.function
+            for attribute in function.where_attributes():
+                result.add((function.relation, attribute))
+            used_parameters = function.parameters_in_where()
+            for parameter, argument in zip(function.parameters, term.arguments):
+                if parameter in used_parameters and isinstance(argument, Var):
+                    result |= self._attributes_of_variable(argument.name, schema)
+        return result
+
+    def j_kappa(self, schema: DatabaseSchema) -> Set[QualifiedAttribute]:
+        """``J(kappa)``: attributes of variables shared by two atom positions."""
+        occurrences: Dict[str, List[PyTuple[int, int]]] = {}
+        for atom_index, atom in enumerate(self.body):
+            for variable, positions in atom.variable_positions().items():
+                for position in positions:
+                    occurrences.setdefault(variable, []).append(
+                        (atom_index, position)
+                    )
+        result: Set[QualifiedAttribute] = set()
+        for variable, places in occurrences.items():
+            if len(places) < 2:
+                continue
+            for atom_index, position in places:
+                atom = self.body[atom_index]
+                relation_schema = schema.relation(atom.relation)
+                result.add(
+                    (atom.relation, relation_schema.attributes[position].name)
+                )
+        return result
+
+    def is_steady(self, schema: DatabaseSchema) -> bool:
+        """Definition 6: ``(A(kappa) | J(kappa)) & M_D == {}``."""
+        touched = self.a_kappa(schema) | self.j_kappa(schema)
+        return not (touched & schema.measure_attributes)
+
+    def steadiness_witness(
+        self, schema: DatabaseSchema
+    ) -> Set[QualifiedAttribute]:
+        """Measure attributes breaking steadiness (empty iff steady)."""
+        touched = self.a_kappa(schema) | self.j_kappa(schema)
+        return touched & schema.measure_attributes
+
+    # ------------------------------------------------------------------
+    # Direct evaluation (used by the consistency checker and tests)
+    # ------------------------------------------------------------------
+
+    def aggregate_value(self, database: Database, binding: Dict[str, Any]) -> float:
+        """``sum_i c_i * chi_i(theta X_i)`` under ground substitution *binding*."""
+        total = 0.0
+        for term in self.terms:
+            arguments = term.ground_arguments(binding)
+            total += term.coefficient * term.function.evaluate(database, arguments)
+        return total
+
+    def holds_under(self, database: Database, binding: Dict[str, Any]) -> bool:
+        """Truth of the ground instance of the constraint under *binding*."""
+        return Relop.holds(self.relop, self.aggregate_value(database, binding), self.rhs)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        aggregate = " + ".join(str(term) for term in self.terms)
+        aggregate = aggregate.replace("+ -", "- ")
+        return f"{body} => {aggregate} {self.relop} {ConstTermRepr(self.rhs)}"
+
+    def __repr__(self) -> str:
+        return f"AggregateConstraint({self.name!r}: {self})"
+
+
+def ConstTermRepr(value: float) -> str:
+    """Render the right-hand-side constant without a spurious ``.0``."""
+    if float(value).is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,218 @@
+"""Attribute expressions (paper, Section 3.1).
+
+An attribute expression on a relational scheme ``R`` is defined
+recursively:
+
+- a numerical constant is an attribute expression;
+- each attribute ``Ai`` of ``R`` is an attribute expression;
+- ``e1 + e2`` and ``e1 - e2`` are attribute expressions;
+- ``c * e`` is an attribute expression for a numerical constant ``c``.
+
+Every attribute expression is therefore *linear* in the attributes of
+``R``.  Besides tuple-level evaluation, this module provides
+:meth:`Expression.linearize`, which rewrites an expression into the
+canonical form ``sum(coeff_A * A) + constant`` -- exactly what the MILP
+translation of Section 5 needs to turn ``SELECT sum(e)`` into a linear
+form over the per-cell variables ``z_{t,A}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple as PyTuple, Union
+
+from repro.relational.schema import RelationSchema, SchemaError
+from repro.relational.tuples import Tuple
+
+Number = Union[int, float]
+
+
+class ExpressionError(ValueError):
+    """Raised for malformed attribute expressions."""
+
+
+@dataclass(frozen=True)
+class Linearization:
+    """Canonical linear form of an attribute expression.
+
+    ``coefficients`` maps attribute names to their multipliers and
+    ``constant`` is the attribute-free remainder, so the expression
+    equals ``sum(coefficients[A] * t[A]) + constant`` on any tuple t.
+    """
+
+    coefficients: PyTuple[PyTuple[str, float], ...]
+    constant: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.coefficients)
+
+
+class Expression:
+    """Base class of the attribute-expression AST."""
+
+    def evaluate(self, row: Tuple) -> float:
+        """The value of this expression on tuple *row*."""
+        raise NotImplementedError
+
+    def attributes(self) -> Set[str]:
+        """Attribute names occurring in the expression."""
+        raise NotImplementedError
+
+    def linearize(self) -> Linearization:
+        """Canonical linear form (see :class:`Linearization`)."""
+        coefficients: Dict[str, float] = {}
+        constant = self._accumulate(coefficients, 1.0)
+        ordered = tuple(sorted(coefficients.items()))
+        return Linearization(ordered, constant)
+
+    def _accumulate(self, coefficients: Dict[str, float], multiplier: float) -> float:
+        """Add ``multiplier * self`` into *coefficients*; return constant part."""
+        raise NotImplementedError
+
+    def validate_against(self, schema: RelationSchema) -> None:
+        """Check that all referenced attributes exist and are numerical."""
+        for name in self.attributes():
+            attribute = schema.attribute(name)
+            if not attribute.domain.is_numerical:
+                raise ExpressionError(
+                    f"attribute {name!r} of {schema.name!r} is not numerical "
+                    f"and cannot appear in an attribute expression"
+                )
+
+    # Operator sugar -------------------------------------------------
+
+    def __add__(self, other: "ExpressionLike") -> "Expression":
+        return Sum(self, _as_expression(other), "+")
+
+    def __sub__(self, other: "ExpressionLike") -> "Expression":
+        return Sum(self, _as_expression(other), "-")
+
+    def __rmul__(self, scalar: Number) -> "Expression":
+        if not isinstance(scalar, (int, float)) or isinstance(scalar, bool):
+            raise ExpressionError(f"{scalar!r} is not a numerical constant")
+        return Product(float(scalar), self)
+
+    def __mul__(self, scalar: Number) -> "Expression":
+        return self.__rmul__(scalar)
+
+
+ExpressionLike = Union[Expression, Number]
+
+
+def _as_expression(value: ExpressionLike) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExpressionError(f"{value!r} is not an attribute expression")
+    return ConstTerm(float(value))
+
+
+@dataclass(frozen=True)
+class ConstTerm(Expression):
+    """A numerical constant."""
+
+    value: float
+
+    def evaluate(self, row: Tuple) -> float:
+        return self.value
+
+    def attributes(self) -> Set[str]:
+        return set()
+
+    def _accumulate(self, coefficients: Dict[str, float], multiplier: float) -> float:
+        return multiplier * self.value
+
+    def __str__(self) -> str:
+        if float(self.value).is_integer():
+            return str(int(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class AttrTerm(Expression):
+    """A reference to a (numerical) attribute of the scheme."""
+
+    name: str
+
+    def evaluate(self, row: Tuple) -> float:
+        value = row[self.name]
+        if isinstance(value, str):
+            raise ExpressionError(
+                f"attribute {self.name!r} holds string {value!r}; attribute "
+                f"expressions are numerical"
+            )
+        return float(value)
+
+    def attributes(self) -> Set[str]:
+        return {self.name}
+
+    def _accumulate(self, coefficients: Dict[str, float], multiplier: float) -> float:
+        coefficients[self.name] = coefficients.get(self.name, 0.0) + multiplier
+        return 0.0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Sum(Expression):
+    """``left + right`` or ``left - right``."""
+
+    left: Expression
+    right: Expression
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-"):
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: Tuple) -> float:
+        left_value = self.left.evaluate(row)
+        right_value = self.right.evaluate(row)
+        if self.op == "+":
+            return left_value + right_value
+        return left_value - right_value
+
+    def attributes(self) -> Set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def _accumulate(self, coefficients: Dict[str, float], multiplier: float) -> float:
+        constant = self.left._accumulate(coefficients, multiplier)
+        sign = 1.0 if self.op == "+" else -1.0
+        constant += self.right._accumulate(coefficients, sign * multiplier)
+        return constant
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Product(Expression):
+    """``c * e`` for a numerical constant ``c``."""
+
+    scalar: float
+    operand: Expression
+
+    def evaluate(self, row: Tuple) -> float:
+        return self.scalar * self.operand.evaluate(row)
+
+    def attributes(self) -> Set[str]:
+        return self.operand.attributes()
+
+    def _accumulate(self, coefficients: Dict[str, float], multiplier: float) -> float:
+        return self.operand._accumulate(coefficients, multiplier * self.scalar)
+
+    def __str__(self) -> str:
+        return f"{ConstTerm(self.scalar)} * ({self.operand})"
+
+
+def attr_expr(name: str) -> AttrTerm:
+    """Shorthand constructor for an attribute term."""
+    return AttrTerm(name)
+
+
+def const_expr(value: Number) -> ConstTerm:
+    """Shorthand constructor for a constant term."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExpressionError(f"{value!r} is not a numerical constant")
+    return ConstTerm(float(value))

@@ -1,0 +1,341 @@
+"""Grounding aggregate constraints over a database instance.
+
+Section 5 of the paper builds, for every ground substitution ``theta``
+of a constraint's variables that makes the body ``phi`` true, one
+linear (in)equality over the per-cell variables ``z_{t,A}``.  This
+module implements that construction at the *symbolic* level:
+
+- :func:`enumerate_substitutions` evaluates the conjunctive body over
+  the database (a backtracking join over the atoms),
+- :class:`GroundConstraint` is one ground linear (in)equality, with a
+  coefficient per measure cell, a frozen constant (contributions of
+  constants and of non-measure numerical attributes), a relational
+  operator and a right-hand side,
+- :func:`ground_constraints` produces the full system ``S(AC)``,
+- :func:`check_consistency` evaluates ``D |= AC`` and reports
+  violations.
+
+The MILP translation of :mod:`repro.repair.translation` consumes
+:class:`GroundConstraint` objects directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple as PyTuple,
+)
+
+from repro.constraints.constraint import (
+    AggregateConstraint,
+    BodyAtom,
+    ConstraintError,
+    Relop,
+)
+from repro.relational.database import Database
+from repro.relational.predicates import Const, Var
+from repro.relational.tuples import Tuple
+
+#: A measure cell: ``(relation, tuple_id, attribute)``.
+Cell = PyTuple[str, int, str]
+
+
+# ---------------------------------------------------------------------------
+# Body evaluation
+# ---------------------------------------------------------------------------
+
+
+def _match_atom(
+    atom: BodyAtom, row: Tuple, binding: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Try to unify *atom* with *row* under *binding*.
+
+    Returns the extended binding on success, ``None`` on mismatch.
+    """
+    extension: Dict[str, Any] = {}
+    for term, value in zip(atom.terms, row.values):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        else:
+            bound = binding.get(term.name, extension.get(term.name, _UNSET))
+            if bound is _UNSET:
+                extension[term.name] = value
+            elif bound != value:
+                return None
+    if not extension:
+        return binding
+    merged = dict(binding)
+    merged.update(extension)
+    return merged
+
+
+_UNSET = object()
+
+
+def enumerate_substitutions(
+    constraint: AggregateConstraint, database: Database
+) -> Iterator[Dict[str, Any]]:
+    """All ground substitutions theta with ``phi(theta x)`` true in *database*.
+
+    Substitutions are yielded projected onto the variables that the
+    aggregation arguments actually use: two substitutions differing
+    only on "don't care" body variables would produce the *same*
+    ground inequality, so they are collapsed here (the paper's
+    shorthand replaces such variables with ``_``).
+    """
+    relevant: Set[str] = set()
+    for term in constraint.terms:
+        relevant |= term.variables()
+
+    seen: Set[PyTuple[PyTuple[str, Any], ...]] = set()
+
+    def recurse(atom_index: int, binding: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        if atom_index == len(constraint.body):
+            projected = {v: binding[v] for v in relevant if v in binding}
+            key = tuple(sorted(projected.items()))
+            if key not in seen:
+                seen.add(key)
+                yield projected
+            return
+        atom = constraint.body[atom_index]
+        for row in database.relation(atom.relation):
+            extended = _match_atom(atom, row, binding)
+            if extended is not None:
+                yield from recurse(atom_index + 1, extended)
+
+    yield from recurse(0, {})
+
+
+# ---------------------------------------------------------------------------
+# Ground constraints
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GroundConstraint:
+    """One ground linear (in)equality produced by a substitution theta.
+
+    The constraint reads::
+
+        sum(coefficients[cell] * value(cell)) + constant  <relop>  rhs
+
+    where every cell is a measure cell of the database.  Contributions
+    of constant expressions and of *non-measure* numerical attributes
+    are folded into ``constant`` -- a repair cannot change them, so for
+    the MILP they are data, not variables.
+    """
+
+    source: str
+    binding: PyTuple[PyTuple[str, Any], ...]
+    coefficients: Dict[Cell, float]
+    constant: float
+    relop: str
+    rhs: float
+
+    def cells(self) -> List[Cell]:
+        return list(self.coefficients)
+
+    def evaluate(self, database: Database) -> float:
+        """Left-hand-side value on *database* (including the constant)."""
+        total = self.constant
+        for (relation, tuple_id, attribute), coefficient in self.coefficients.items():
+            total += coefficient * float(
+                database.get_value(relation, tuple_id, attribute)
+            )
+        return total
+
+    def holds(self, database: Database, tolerance: float = 1e-9) -> bool:
+        return Relop.holds(self.relop, self.evaluate(database), self.rhs, tolerance)
+
+    def violation_amount(self, database: Database) -> float:
+        """How far the instance is from satisfying this ground constraint."""
+        value = self.evaluate(database)
+        if self.relop == Relop.LE:
+            return max(0.0, value - self.rhs)
+        if self.relop == Relop.GE:
+            return max(0.0, self.rhs - value)
+        return abs(value - self.rhs)
+
+    def normalized_key(self) -> PyTuple:
+        """A hashable canonical form used to drop duplicate inequalities."""
+        items = tuple(sorted(self.coefficients.items()))
+        return (items, round(self.constant, 9), self.relop, round(self.rhs, 9))
+
+    def __str__(self) -> str:
+        parts: List[str] = []
+        for (relation, tuple_id, attribute), coefficient in sorted(
+            self.coefficients.items()
+        ):
+            name = f"{relation}[{tuple_id}].{attribute}"
+            if coefficient == 1:
+                parts.append(f"+ {name}")
+            elif coefficient == -1:
+                parts.append(f"- {name}")
+            else:
+                parts.append(f"+ {coefficient}*{name}")
+        lhs = " ".join(parts).lstrip("+ ").strip() or "0"
+        if self.constant:
+            lhs += f" + {self.constant}"
+        return f"{lhs} {self.relop} {self.rhs}"
+
+
+def ground_one(
+    constraint: AggregateConstraint,
+    database: Database,
+    binding: Dict[str, Any],
+) -> GroundConstraint:
+    """Build the ground inequality for one substitution *binding*.
+
+    Implements the translation ``P(chi_i)`` of Section 5, generalised
+    from "e is an attribute or a constant" to arbitrary (linear)
+    attribute expressions via linearization.
+    """
+    schema = database.schema
+    coefficients: Dict[Cell, float] = {}
+    constant = 0.0
+    for term in constraint.terms:
+        function = term.function
+        arguments = term.ground_arguments(binding)
+        involved = function.involved_tuples(database, arguments)
+        linear = function.expression.linearize()
+        constant += term.coefficient * linear.constant * len(involved)
+        for row in involved:
+            assert row.tuple_id is not None
+            for attribute, attr_coefficient in linear.coefficients:
+                weight = term.coefficient * attr_coefficient
+                if schema.is_measure(function.relation, attribute):
+                    cell = (function.relation, row.tuple_id, attribute)
+                    coefficients[cell] = coefficients.get(cell, 0.0) + weight
+                else:
+                    constant += weight * float(row[attribute])
+    coefficients = {c: w for c, w in coefficients.items() if w != 0.0}
+    return GroundConstraint(
+        source=constraint.name,
+        binding=tuple(sorted(binding.items())),
+        coefficients=coefficients,
+        constant=constant,
+        relop=constraint.relop,
+        rhs=constraint.rhs,
+    )
+
+
+def ground_constraints(
+    constraints: Sequence[AggregateConstraint],
+    database: Database,
+    *,
+    require_steady: bool = False,
+    deduplicate: bool = True,
+) -> List[GroundConstraint]:
+    """The system ``S(AC)``: every ground inequality of every constraint.
+
+    With ``require_steady`` the function refuses non-steady constraints
+    (the repair engine always sets it: Section 5 shows the translation
+    is unsound for non-steady constraints because ``T_chi`` may shift
+    under repairs).
+    """
+    system: List[GroundConstraint] = []
+    seen: Set[PyTuple] = set()
+    for constraint in constraints:
+        constraint.validate(database.schema)
+        if require_steady and not constraint.is_steady(database.schema):
+            witness = constraint.steadiness_witness(database.schema)
+            raise ConstraintError(
+                f"constraint {constraint.name!r} is not steady: measure "
+                f"attributes {sorted(witness)} occur in A(kappa) | J(kappa)"
+            )
+        for binding in enumerate_substitutions(constraint, database):
+            ground = ground_one(constraint, database, binding)
+            if not ground.coefficients and Relop.holds(
+                ground.relop, ground.constant, ground.rhs
+            ):
+                # Trivially true (e.g. both aggregation functions select no
+                # tuples); contributes nothing to S(AC).  Trivially *false*
+                # empty grounds are kept: they witness unrepairability.
+                continue
+            if deduplicate:
+                key = ground.normalized_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+            system.append(ground)
+    return system
+
+
+class GroundingEngine:
+    """Caches the ground system for one (database, constraints) pair."""
+
+    def __init__(
+        self,
+        database: Database,
+        constraints: Sequence[AggregateConstraint],
+        *,
+        require_steady: bool = False,
+    ) -> None:
+        self.database = database
+        self.constraints = list(constraints)
+        self.require_steady = require_steady
+        self._system: Optional[List[GroundConstraint]] = None
+
+    @property
+    def system(self) -> List[GroundConstraint]:
+        if self._system is None:
+            self._system = ground_constraints(
+                self.constraints, self.database, require_steady=self.require_steady
+            )
+        return self._system
+
+    def cells(self) -> List[Cell]:
+        """Measure cells that occur in at least one ground constraint."""
+        ordered: List[Cell] = []
+        seen: Set[Cell] = set()
+        for ground in self.system:
+            for cell in ground.cells():
+                if cell not in seen:
+                    seen.add(cell)
+                    ordered.append(cell)
+        return ordered
+
+    def violations(self, database: Optional[Database] = None) -> List["Violation"]:
+        target = database if database is not None else self.database
+        found: List[Violation] = []
+        for ground in self.system:
+            if not ground.holds(target):
+                found.append(
+                    Violation(ground, ground.evaluate(target), ground.violation_amount(target))
+                )
+        return found
+
+    def is_consistent(self, database: Optional[Database] = None) -> bool:
+        return not self.violations(database)
+
+
+@dataclass
+class Violation:
+    """A ground constraint that the instance fails to satisfy."""
+
+    ground: GroundConstraint
+    lhs_value: float
+    amount: float
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.ground.source} @ {dict(self.ground.binding)}] "
+            f"{self.ground} (lhs={self.lhs_value}, off by {self.amount})"
+        )
+
+
+def check_consistency(
+    database: Database, constraints: Sequence[AggregateConstraint]
+) -> List[Violation]:
+    """``D |= AC`` check: returns the (possibly empty) violation list."""
+    return GroundingEngine(database, constraints).violations()

@@ -1,0 +1,460 @@
+"""A textual DSL for aggregation functions and aggregate constraints.
+
+DART's acquisition designer records constraints in *constraint
+metadata* (Section 2).  This module gives that metadata a concrete,
+human-writable syntax.  The running example of the paper reads::
+
+    function chi1(x, y, z) = sum(Value) from CashBudget
+        where Section = $x and Year = $y and Type = $z
+
+    function chi2(x, y) = sum(Value) from CashBudget
+        where Year = $x and Subsection = $y
+
+    constraint detail_vs_aggregate:
+        CashBudget(y, x, _, _, _) =>
+            chi1(x, y, 'det') - chi1(x, y, 'aggr') = 0
+
+    constraint net_cash_inflow:
+        CashBudget(x, _, _, _, _) =>
+            chi2(x, 'net cash inflow')
+            - chi2(x, 'total cash receipts')
+            + chi2(x, 'total disbursements') = 0
+
+Grammar (informally)::
+
+    file        := (function | constraint)*
+    function    := "function" NAME "(" params ")" "="
+                   "sum" "(" expr ")" "from" NAME ["where" condition]
+    constraint  := "constraint" NAME ":" body "=>" aggside RELOP number
+    body        := atom ("," atom)*
+    atom        := NAME "(" term ("," term)* ")"
+    term        := NAME | "_" | number | string
+    aggside     := [sign] summand (sign summand)*
+    summand     := [number "*"] NAME "(" args ")"
+    condition   := disjunction of conjunctions of comparisons;
+                   operands are attribute NAMEs, "$"-prefixed
+                   parameters, numbers and strings
+    expr        := linear arithmetic over attribute NAMEs and numbers
+                   with "+", "-", "*" and parentheses
+
+Comments run from ``#`` to end of line.  Newlines are insignificant.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple, Union
+
+from repro.constraints.aggregates import AggregationFunction
+from repro.constraints.constraint import (
+    AggregateConstraint,
+    BodyAtom,
+    ConstraintTerm,
+)
+from repro.constraints.expressions import (
+    AttrTerm,
+    ConstTerm,
+    Expression,
+    Product,
+    Sum,
+)
+from repro.relational.predicates import (
+    And,
+    AttrRef,
+    Comparison,
+    Condition,
+    Const,
+    Not,
+    Or,
+    TRUE,
+    Term,
+    Var,
+    conjunction,
+)
+
+
+class ConstraintParseError(ValueError):
+    """Raised on any syntax or semantic error in the DSL text."""
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("NUMBER", r"-?\d+\.\d+|-?\d+"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\""),
+    ("ARROW", r"=>"),
+    ("RELOP", r"<=|>=|!=|<|>"),
+    ("EQ", r"="),
+    ("PARAM", r"\$[A-Za-z_][A-Za-z0-9_]*"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("COLON", r":"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("UNDERSCORE", r"_"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"function", "constraint", "sum", "from", "where", "and", "or", "not"}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    line: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ConstraintParseError(
+                f"unexpected character {text[position]!r}", line
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        position = match.end()
+        if kind == "NEWLINE":
+            line += 1
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "NAME" and value.lower() in _KEYWORDS:
+            kind = value.lower().upper()
+        tokens.append(_Token(kind, value, line))
+    tokens.append(_Token("EOF", "", line))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+        self._anonymous_counter = 0
+
+    # Token plumbing ---------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ConstraintParseError(
+                f"expected {kind}, found {token.kind} ({token.text!r})", token.line
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        if self._peek().kind == kind:
+            return self._advance()
+        return None
+
+    # Top level ----------------------------------------------------------
+
+    def parse_file(
+        self,
+    ) -> PyTuple[Dict[str, AggregationFunction], List[AggregateConstraint]]:
+        functions: Dict[str, AggregationFunction] = {}
+        constraints: List[AggregateConstraint] = []
+        while self._peek().kind != "EOF":
+            token = self._peek()
+            if token.kind == "FUNCTION":
+                function = self._parse_function()
+                if function.name in functions:
+                    raise ConstraintParseError(
+                        f"duplicate function name {function.name!r}", token.line
+                    )
+                functions[function.name] = function
+            elif token.kind == "CONSTRAINT":
+                constraints.append(self._parse_constraint(functions))
+            else:
+                raise ConstraintParseError(
+                    f"expected 'function' or 'constraint', found {token.text!r}",
+                    token.line,
+                )
+        return functions, constraints
+
+    # Function definitions ------------------------------------------------
+
+    def _parse_function(self) -> AggregationFunction:
+        self._expect("FUNCTION")
+        name = self._expect("NAME").text
+        self._expect("LPAREN")
+        parameters: List[str] = []
+        if self._peek().kind != "RPAREN":
+            parameters.append(self._expect("NAME").text)
+            while self._accept("COMMA"):
+                parameters.append(self._expect("NAME").text)
+        self._expect("RPAREN")
+        self._expect("EQ")
+        self._expect("SUM")
+        self._expect("LPAREN")
+        expression = self._parse_expression()
+        self._expect("RPAREN")
+        self._expect("FROM")
+        relation = self._expect("NAME").text
+        condition: Condition = TRUE
+        if self._accept("WHERE"):
+            condition = self._parse_condition()
+        try:
+            return AggregationFunction(name, relation, parameters, expression, condition)
+        except ValueError as exc:
+            raise ConstraintParseError(str(exc)) from exc
+
+    # Attribute expressions ------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        expression = self._parse_expr_term()
+        while self._peek().kind in ("PLUS", "MINUS"):
+            op = "+" if self._advance().kind == "PLUS" else "-"
+            right = self._parse_expr_term()
+            expression = Sum(expression, right, op)
+        return expression
+
+    def _parse_expr_term(self) -> Expression:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            value = float(token.text)
+            if self._accept("STAR"):
+                operand = self._parse_expr_term()
+                return Product(value, operand)
+            return ConstTerm(value)
+        if token.kind == "MINUS":
+            self._advance()
+            operand = self._parse_expr_term()
+            return Product(-1.0, operand)
+        if token.kind == "NAME":
+            self._advance()
+            return AttrTerm(token.text)
+        if token.kind == "LPAREN":
+            self._advance()
+            inner = self._parse_expression()
+            self._expect("RPAREN")
+            return inner
+        raise ConstraintParseError(
+            f"expected an attribute expression, found {token.text!r}", token.line
+        )
+
+    # WHERE conditions ------------------------------------------------------
+
+    def _parse_condition(self) -> Condition:
+        return self._parse_or()
+
+    def _parse_or(self) -> Condition:
+        parts = [self._parse_and()]
+        while self._accept("OR"):
+            parts.append(self._parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+
+    def _parse_and(self) -> Condition:
+        parts = [self._parse_not()]
+        while self._accept("AND"):
+            parts.append(self._parse_not())
+        return conjunction(parts)
+
+    def _parse_not(self) -> Condition:
+        if self._accept("NOT"):
+            return Not(self._parse_not())
+        if self._peek().kind == "LPAREN":
+            # Could be a parenthesised condition; comparisons never start
+            # with "(" in this grammar.
+            self._advance()
+            inner = self._parse_condition()
+            self._expect("RPAREN")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Condition:
+        left = self._parse_operand()
+        token = self._peek()
+        if token.kind == "RELOP":
+            op = self._advance().text
+        elif token.kind == "EQ":
+            self._advance()
+            op = "="
+        else:
+            raise ConstraintParseError(
+                f"expected a comparison operator, found {token.text!r}", token.line
+            )
+        right = self._parse_operand()
+        return Comparison(left, op, right)
+
+    def _parse_operand(self) -> Term:
+        token = self._advance()
+        if token.kind == "NAME":
+            return AttrRef(token.text)
+        if token.kind == "PARAM":
+            return Var(token.text[1:])
+        if token.kind == "NUMBER":
+            return Const(_number(token.text))
+        if token.kind == "STRING":
+            return Const(_unquote(token.text))
+        raise ConstraintParseError(
+            f"expected attribute, parameter, number or string, found "
+            f"{token.text!r}",
+            token.line,
+        )
+
+    # Constraints -------------------------------------------------------------
+
+    def _parse_constraint(
+        self, functions: Dict[str, AggregationFunction]
+    ) -> AggregateConstraint:
+        self._expect("CONSTRAINT")
+        name = self._expect("NAME").text
+        self._expect("COLON")
+        body = [self._parse_atom()]
+        while self._accept("COMMA"):
+            body.append(self._parse_atom())
+        self._expect("ARROW")
+        terms = self._parse_aggregate_side(functions)
+        relop_token = self._peek()
+        if relop_token.kind == "RELOP":
+            relop = self._advance().text
+            if relop not in ("<=", ">="):
+                raise ConstraintParseError(
+                    f"operator {relop!r} is not allowed on the aggregate side "
+                    f"(use <=, >= or =)",
+                    relop_token.line,
+                )
+        elif relop_token.kind == "EQ":
+            self._advance()
+            relop = "="
+        else:
+            raise ConstraintParseError(
+                f"expected <=, >= or =, found {relop_token.text!r}",
+                relop_token.line,
+            )
+        rhs_token = self._expect("NUMBER")
+        try:
+            return AggregateConstraint(name, body, terms, relop, _number(rhs_token.text))
+        except ValueError as exc:
+            raise ConstraintParseError(str(exc), rhs_token.line) from exc
+
+    def _parse_atom(self) -> BodyAtom:
+        relation = self._expect("NAME").text
+        self._expect("LPAREN")
+        terms: List[Term] = [self._parse_atom_term()]
+        while self._accept("COMMA"):
+            terms.append(self._parse_atom_term())
+        self._expect("RPAREN")
+        return BodyAtom(relation, terms)
+
+    def _parse_atom_term(self) -> Term:
+        token = self._advance()
+        # A bare "_" tokenizes as a NAME; it denotes a fresh anonymous
+        # variable (the paper's shorthand for "don't care" positions).
+        if token.kind in ("NAME", "UNDERSCORE") and token.text == "_":
+            self._anonymous_counter += 1
+            return Var(f"_anon{self._anonymous_counter}")
+        if token.kind == "NAME":
+            return Var(token.text)
+        if token.kind == "NUMBER":
+            return Const(_number(token.text))
+        if token.kind == "STRING":
+            return Const(_unquote(token.text))
+        raise ConstraintParseError(
+            f"expected variable, '_', number or string, found {token.text!r}",
+            token.line,
+        )
+
+    def _parse_aggregate_side(
+        self, functions: Dict[str, AggregationFunction]
+    ) -> List[ConstraintTerm]:
+        terms: List[ConstraintTerm] = []
+        sign = 1.0
+        if self._accept("MINUS"):
+            sign = -1.0
+        elif self._accept("PLUS"):
+            sign = 1.0
+        terms.append(self._parse_summand(functions, sign))
+        while self._peek().kind in ("PLUS", "MINUS"):
+            sign = 1.0 if self._advance().kind == "PLUS" else -1.0
+            terms.append(self._parse_summand(functions, sign))
+        return terms
+
+    def _parse_summand(
+        self, functions: Dict[str, AggregationFunction], sign: float
+    ) -> ConstraintTerm:
+        coefficient = sign
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            coefficient = sign * _number(token.text)
+            self._expect("STAR")
+        name_token = self._expect("NAME")
+        function = functions.get(name_token.text)
+        if function is None:
+            raise ConstraintParseError(
+                f"unknown aggregation function {name_token.text!r}",
+                name_token.line,
+            )
+        self._expect("LPAREN")
+        arguments: List[Term] = []
+        if self._peek().kind != "RPAREN":
+            arguments.append(self._parse_atom_term())
+            while self._accept("COMMA"):
+                arguments.append(self._parse_atom_term())
+        self._expect("RPAREN")
+        try:
+            return ConstraintTerm(coefficient, function, arguments)
+        except ValueError as exc:
+            raise ConstraintParseError(str(exc), name_token.line) from exc
+
+
+def _number(text: str) -> Union[int, float]:
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_constraints(
+    text: str,
+) -> PyTuple[Dict[str, AggregationFunction], List[AggregateConstraint]]:
+    """Parse DSL *text* into aggregation functions and constraints.
+
+    Returns ``(functions, constraints)``; the functions dictionary maps
+    function names to :class:`AggregationFunction` objects, and each
+    constraint references those shared function objects.
+    """
+    parser = _Parser(_tokenize(text))
+    return parser.parse_file()

@@ -1,0 +1,359 @@
+"""Scenario bundles: workload + document renderer + extraction metadata.
+
+A :class:`Scenario` packages what the *acquisition designer* provides
+for one document class (Section 2): the extraction metadata (domains,
+hierarchy, classification, row patterns, relational mapping) and the
+aggregate constraints, together with a renderer that lays a workload's
+ground truth out as a document with the realistic "variable structure"
+of the paper's Figure 1 (multi-row year and section cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.acquisition.documents import Cell, Document, Row, SourceFormat, Table
+from repro.constraints.constraint import AggregateConstraint
+from repro.datasets.balancesheet import (
+    BalanceSheetWorkload,
+    KIND_INTERNAL,
+    KIND_LEAF,
+    ROOT_PARENT,
+)
+from repro.datasets.cashbudget import (
+    CLASSIFICATION,
+    CashBudgetRow,
+    CashBudgetWorkload,
+    SECTION_OF,
+    SUBSECTION_ORDER,
+    cash_budget_constraints,
+    cash_budget_schema,
+)
+from repro.datasets.catalog import (
+    CatalogWorkload,
+    KIND_PRODUCT,
+    KIND_SUBTOTAL,
+    KIND_TOTAL,
+    TOTAL_CATEGORY,
+)
+from repro.relational.database import Database
+from repro.wrapping.metadata import (
+    AttributeSource,
+    ClassificationInfo,
+    DomainDescription,
+    ExtractionMetadata,
+    HierarchyGraph,
+    RelationalMapping,
+)
+from repro.wrapping.patterns import LexicalCell, RowPattern, StandardCell, StandardDomain
+
+
+@dataclass
+class Scenario:
+    """Everything DART needs to process one class of documents."""
+
+    name: str
+    metadata: ExtractionMetadata
+    constraints: List[AggregateConstraint]
+    ground_truth: Database
+    document: Document
+
+
+# ---------------------------------------------------------------------------
+# Cash budget (the running example)
+# ---------------------------------------------------------------------------
+
+
+def cash_budget_metadata(
+    extra_subsections: Sequence[str] = (), match_threshold: float = 0.5
+) -> ExtractionMetadata:
+    """The extraction metadata of the running example.
+
+    Domains and hierarchy follow Figure 6; the row pattern is
+    Figure 7(a): ``Integer [Year] | Section | Subsection (specialises
+    the Section cell) | Integer [Value]``; the ``Type`` attribute is
+    classification-sourced from ``Subsection`` (Section 6.2).
+    """
+    sections = sorted(set(SECTION_OF.values()))
+    subsections = sorted(set(SUBSECTION_ORDER) | set(extra_subsections))
+    domains = {
+        "Section": DomainDescription("Section", sections),
+        "Subsection": DomainDescription("Subsection", subsections),
+    }
+    hierarchy = HierarchyGraph(
+        (subsection, SECTION_OF[subsection]) for subsection in SUBSECTION_ORDER
+    )
+    classification = ClassificationInfo("item_role", dict(CLASSIFICATION))
+    pattern = RowPattern(
+        "cash_budget_row",
+        [
+            StandardCell(StandardDomain.INTEGER, headline="Year"),
+            LexicalCell("Section", headline="Section"),
+            LexicalCell("Subsection", headline="Subsection", specialization_of=1),
+            StandardCell(StandardDomain.INTEGER, headline="Value"),
+        ],
+    )
+    mapping = RelationalMapping(
+        "CashBudget",
+        {
+            "Year": AttributeSource(headline="Year"),
+            "Section": AttributeSource(headline="Section"),
+            "Subsection": AttributeSource(headline="Subsection"),
+            "Type": AttributeSource(
+                classify_attribute="Subsection", classification="item_role"
+            ),
+            "Value": AttributeSource(headline="Value"),
+        },
+    )
+    return ExtractionMetadata(
+        domains=domains,
+        hierarchy=hierarchy,
+        classifications={"item_role": classification},
+        row_patterns=[pattern],
+        mapping=mapping,
+        schema=cash_budget_schema(),
+        match_threshold=match_threshold,
+    )
+
+
+def cash_budget_document(
+    rows: Sequence[CashBudgetRow],
+    *,
+    source_format: SourceFormat = SourceFormat.PAPER,
+    title: str = "Cash budgets",
+) -> Document:
+    """Lay cash-budget rows out like the paper's Figure 1.
+
+    One table per year; the year occupies a single cell spanning all
+    ten rows, and each section name occupies a cell spanning its
+    subsection rows -- the "variable structure" the wrapper must cope
+    with.
+    """
+    by_year: Dict[int, List[CashBudgetRow]] = {}
+    for row in rows:
+        by_year.setdefault(row[0], []).append(row)
+
+    tables: List[Table] = []
+    for year in sorted(by_year):
+        year_rows = by_year[year]
+        # Count the consecutive run length of each section.
+        runs: List[PyTuple[str, int]] = []
+        for _, section, _, _, _ in year_rows:
+            if runs and runs[-1][0] == section:
+                runs[-1] = (section, runs[-1][1] + 1)
+            else:
+                runs.append((section, 1))
+        physical_rows: List[Row] = []
+        section_starts = set()
+        start = 0
+        for section, length in runs:
+            section_starts.add(start)
+            start += length
+        run_iter = iter(runs)
+        current_run: Optional[PyTuple[str, int]] = None
+        for index, (_, section, subsection, _, value) in enumerate(year_rows):
+            cells: List[Cell] = []
+            if index == 0:
+                cells.append(Cell(str(year), rowspan=len(year_rows)))
+            if index in section_starts:
+                current_run = next(run_iter)
+                cells.append(Cell(current_run[0], rowspan=current_run[1]))
+            cells.append(Cell(subsection))
+            cells.append(Cell(str(value)))
+            physical_rows.append(Row(cells))
+        tables.append(Table(physical_rows, caption=f"Cash budget {year}"))
+    return Document(title=title, tables=tables, source_format=source_format)
+
+
+def cash_budget_scenario(
+    workload: CashBudgetWorkload,
+    *,
+    source_format: SourceFormat = SourceFormat.PAPER,
+) -> Scenario:
+    """Bundle a generated cash-budget workload into a scenario."""
+    return Scenario(
+        name="cash_budget",
+        metadata=cash_budget_metadata(),
+        constraints=workload.constraints,
+        ground_truth=workload.ground_truth,
+        document=cash_budget_document(workload.rows, source_format=source_format),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Balance sheet
+# ---------------------------------------------------------------------------
+
+
+def balance_sheet_scenario(
+    workload: BalanceSheetWorkload,
+    *,
+    source_format: SourceFormat = SourceFormat.PAPER,
+) -> Scenario:
+    """Scenario for the hierarchical balance-sheet workload.
+
+    One table per (company, year) with the company and year in
+    multi-row cells; items, parents and kinds are lexical domains built
+    from the workload's tree.
+    """
+    items = sorted({"assets", "liabilities", "equity"} | set(workload.children)
+                   | {c for cs in workload.children.values() for c in cs})
+    parents = sorted(set(items) | {ROOT_PARENT})
+    domains = {
+        "Item": DomainDescription("Item", items),
+        "Parent": DomainDescription("Parent", parents),
+        "Kind": DomainDescription("Kind", [KIND_LEAF, KIND_INTERNAL]),
+    }
+    hierarchy = HierarchyGraph(
+        (child, parent)
+        for parent, children in workload.children.items()
+        for child in children
+    )
+    pattern = RowPattern(
+        "balance_sheet_row",
+        [
+            StandardCell(StandardDomain.STRING, headline="Company"),
+            StandardCell(StandardDomain.INTEGER, headline="Year"),
+            LexicalCell("Item", headline="Item"),
+            LexicalCell("Parent", headline="Parent"),
+            LexicalCell("Kind", headline="Kind"),
+            StandardCell(StandardDomain.INTEGER, headline="Value"),
+        ],
+    )
+    mapping = RelationalMapping(
+        "BalanceSheet",
+        {
+            "Company": AttributeSource(headline="Company"),
+            "Year": AttributeSource(headline="Year"),
+            "Item": AttributeSource(headline="Item"),
+            "Parent": AttributeSource(headline="Parent"),
+            "Kind": AttributeSource(headline="Kind"),
+            "Value": AttributeSource(headline="Value"),
+        },
+    )
+    metadata = ExtractionMetadata(
+        domains=domains,
+        hierarchy=hierarchy,
+        classifications={},
+        row_patterns=[pattern],
+        mapping=mapping,
+        schema=workload.schema,
+    )
+
+    tables: List[Table] = []
+    for company in workload.companies:
+        for year in workload.years:
+            rows = [
+                t
+                for t in workload.ground_truth.relation("BalanceSheet")
+                if t["Company"] == company and t["Year"] == year
+            ]
+            physical: List[Row] = []
+            for index, t in enumerate(rows):
+                cells: List[Cell] = []
+                if index == 0:
+                    cells.append(Cell(company, rowspan=len(rows)))
+                    cells.append(Cell(str(year), rowspan=len(rows)))
+                cells.extend(
+                    [
+                        Cell(t["Item"]),
+                        Cell(t["Parent"]),
+                        Cell(t["Kind"]),
+                        Cell(str(t["Value"])),
+                    ]
+                )
+                physical.append(Row(cells))
+            tables.append(
+                Table(physical, caption=f"Balance sheet {company} {year}")
+            )
+    document = Document(
+        title="Balance sheets", tables=tables, source_format=source_format
+    )
+    return Scenario(
+        name="balance_sheet",
+        metadata=metadata,
+        constraints=workload.constraints,
+        ground_truth=workload.ground_truth,
+        document=document,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Product catalog
+# ---------------------------------------------------------------------------
+
+
+def catalog_scenario(
+    workload: CatalogWorkload,
+    *,
+    source_format: SourceFormat = SourceFormat.HTML,
+) -> Scenario:
+    """Scenario for the product-catalog workload (a web-table case,
+    so the default source format is HTML: no OCR noise, but the same
+    wrapper and repair machinery)."""
+    tuples = list(workload.ground_truth.relation("Catalog"))
+    categories = sorted({t["Category"] for t in tuples})
+    item_names = sorted({t["Item"] for t in tuples})
+    domains = {
+        "Category": DomainDescription("Category", categories),
+        "Item": DomainDescription("Item", item_names),
+        "Kind": DomainDescription("Kind", [KIND_PRODUCT, KIND_SUBTOTAL, KIND_TOTAL]),
+    }
+    hierarchy = HierarchyGraph(
+        (t["Item"], t["Category"]) for t in tuples if t["Item"] not in categories
+    )
+    pattern = RowPattern(
+        "catalog_row",
+        [
+            LexicalCell("Category", headline="Category"),
+            LexicalCell("Item", headline="Item", specialization_of=0),
+            LexicalCell("Kind", headline="Kind"),
+            StandardCell(StandardDomain.INTEGER, headline="Price"),
+        ],
+    )
+    mapping = RelationalMapping(
+        "Catalog",
+        {
+            "Category": AttributeSource(headline="Category"),
+            "Item": AttributeSource(headline="Item"),
+            "Kind": AttributeSource(headline="Kind"),
+            "Price": AttributeSource(headline="Price"),
+        },
+    )
+    metadata = ExtractionMetadata(
+        domains=domains,
+        hierarchy=hierarchy,
+        classifications={},
+        row_patterns=[pattern],
+        mapping=mapping,
+        schema=workload.schema,
+    )
+
+    # One table; each category's rows share a multi-row category cell.
+    physical: List[Row] = []
+    by_category: Dict[str, List] = {}
+    for t in tuples:
+        by_category.setdefault(t["Category"], []).append(t)
+    # Keep first-appearance order so the acquired instance lines up
+    # with the ground truth row for row.
+    for category in by_category:
+        rows = by_category[category]
+        for index, t in enumerate(rows):
+            cells: List[Cell] = []
+            if index == 0:
+                cells.append(Cell(category, rowspan=len(rows)))
+            cells.extend([Cell(t["Item"]), Cell(t["Kind"]), Cell(str(t["Price"]))])
+            physical.append(Row(cells))
+    document = Document(
+        title="Product catalog",
+        tables=[Table(physical, caption="Catalog")],
+        source_format=source_format,
+    )
+    return Scenario(
+        name="catalog",
+        metadata=metadata,
+        constraints=workload.constraints,
+        ground_truth=workload.ground_truth,
+        document=document,
+    )

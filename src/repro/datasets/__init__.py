@@ -1,0 +1,45 @@
+"""Workloads: the paper's running example plus seeded generators.
+
+- :mod:`repro.datasets.cashbudget` -- the exact Figure 1/3 cash budget
+  of the paper, its steady aggregate constraints, and a seeded
+  generator of random multi-year cash budgets with known ground truth;
+- :mod:`repro.datasets.balancesheet` -- a deeper hierarchical
+  balance-sheet generator (assets / liabilities / equity with nested
+  subtotal constraints), parameterised by depth and width;
+- :mod:`repro.datasets.catalog` -- the "web product catalog" scenario
+  the introduction motivates (per-category subtotals over prices).
+"""
+
+from repro.datasets.cashbudget import (
+    CASH_BUDGET_CONSTRAINT_DSL,
+    CashBudgetWorkload,
+    cash_budget_constraints,
+    cash_budget_schema,
+    generate_cash_budget,
+    paper_acquired_instance,
+    paper_ground_truth,
+    paper_rows,
+)
+from repro.datasets.balancesheet import (
+    BalanceSheetWorkload,
+    generate_balance_sheet,
+)
+from repro.datasets.catalog import CatalogWorkload, generate_catalog
+from repro.datasets.orders import OrdersWorkload, generate_orders
+
+__all__ = [
+    "CASH_BUDGET_CONSTRAINT_DSL",
+    "CashBudgetWorkload",
+    "cash_budget_schema",
+    "cash_budget_constraints",
+    "paper_ground_truth",
+    "paper_acquired_instance",
+    "paper_rows",
+    "generate_cash_budget",
+    "BalanceSheetWorkload",
+    "generate_balance_sheet",
+    "CatalogWorkload",
+    "generate_catalog",
+    "OrdersWorkload",
+    "generate_orders",
+]

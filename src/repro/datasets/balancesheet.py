@@ -1,0 +1,210 @@
+"""Hierarchical balance-sheet workload.
+
+The paper's motivating scenario is balance analysis: full balance
+sheets have *nested* subtotal structure (assets split into current and
+fixed assets, those split again, ...), which stresses the repair
+machinery much harder than the flat cash budget of the running
+example.  This generator builds a three-root hierarchy (assets,
+liabilities, equity) of configurable depth and branching, with:
+
+- one steady aggregate constraint family "every internal item equals
+  the sum of its children", and
+- the accounting equation ``assets = liabilities + equity``.
+
+The relational scheme is::
+
+    BalanceSheet(Company : S, Year : Z, Item : S, Parent : S,
+                 Kind : S, Value : Z)
+
+with ``M_D = {BalanceSheet.Value}``; ``Kind`` is ``leaf`` or
+``internal`` and ``Parent`` is the item's parent name (the roots use
+the reserved parent ``<root>``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.constraints.constraint import AggregateConstraint
+from repro.constraints.parser import parse_constraints
+from repro.relational.database import Database
+from repro.relational.domains import Domain
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+KIND_LEAF = "leaf"
+KIND_INTERNAL = "internal"
+ROOT_PARENT = "<root>"
+
+BALANCE_SHEET_CONSTRAINT_DSL = """
+function child_sum(c, y, p) = sum(Value) from BalanceSheet
+    where Company = $c and Year = $y and Parent = $p
+
+function item_value(c, y, i) = sum(Value) from BalanceSheet
+    where Company = $c and Year = $y and Item = $i
+
+# Every internal item equals the sum of its children.
+constraint internal_item_sum:
+    BalanceSheet(c, y, p, _, 'internal', _) =>
+        child_sum(c, y, p) - item_value(c, y, p) = 0
+
+# The accounting equation: assets = liabilities + equity.
+constraint accounting_equation:
+    BalanceSheet(c, y, _, _, _, _) =>
+        item_value(c, y, 'assets')
+        - item_value(c, y, 'liabilities')
+        - item_value(c, y, 'equity') = 0
+"""
+
+
+def balance_sheet_schema() -> DatabaseSchema:
+    relation = RelationSchema.build(
+        "BalanceSheet",
+        [
+            ("Company", Domain.STRING),
+            ("Year", Domain.INTEGER),
+            ("Item", Domain.STRING),
+            ("Parent", Domain.STRING),
+            ("Kind", Domain.STRING),
+            ("Value", Domain.INTEGER),
+        ],
+        key=("Company", "Year", "Item"),
+    )
+    return DatabaseSchema([relation], measure_attributes=[("BalanceSheet", "Value")])
+
+
+def balance_sheet_constraints() -> List[AggregateConstraint]:
+    _, constraints = parse_constraints(BALANCE_SHEET_CONSTRAINT_DSL)
+    return constraints
+
+
+@dataclass
+class BalanceSheetWorkload:
+    """A generated balance sheet with known ground truth."""
+
+    schema: DatabaseSchema
+    ground_truth: Database
+    constraints: List[AggregateConstraint]
+    companies: List[str]
+    years: List[int]
+    #: item name -> list of child item names (per tree structure, shared
+    #: by all (company, year) combinations)
+    children: Dict[str, List[str]]
+
+    def fresh_copy(self) -> Database:
+        return self.ground_truth.copy()
+
+
+#: Item-name vocabulary used to label generated nodes, so documents look
+#: like real statements (and so the wrapper's dictionaries are non-trivial).
+_ITEM_WORDS = [
+    "cash", "securities", "receivables", "inventory", "prepaid expenses",
+    "land", "buildings", "equipment", "goodwill", "patents",
+    "accounts payable", "accrued wages", "notes payable", "bonds",
+    "deferred taxes", "common stock", "preferred stock",
+    "retained earnings", "treasury stock", "reserves",
+]
+
+
+def _tree_items(
+    root: str, depth: int, branching: int, counter: List[int]
+) -> PyTuple[Dict[str, List[str]], List[str]]:
+    """Build one subtree; returns (children map, leaf names)."""
+    children: Dict[str, List[str]] = {}
+    leaves: List[str] = []
+
+    def grow(parent: str, level: int) -> None:
+        children[parent] = []
+        for _ in range(branching):
+            word = _ITEM_WORDS[counter[0] % len(_ITEM_WORDS)]
+            name = f"{word} #{counter[0]}"
+            counter[0] += 1
+            children[parent].append(name)
+            if level + 1 < depth:
+                grow(name, level + 1)
+            else:
+                leaves.append(name)
+
+    grow(root, 0)
+    return children, leaves
+
+
+def generate_balance_sheet(
+    *,
+    n_companies: int = 1,
+    n_years: int = 1,
+    depth: int = 2,
+    branching: int = 3,
+    first_year: int = 2003,
+    seed: int = 0,
+    value_scale: int = 1000,
+) -> BalanceSheetWorkload:
+    """Generate a consistent hierarchical balance sheet.
+
+    ``depth`` is the number of levels *below* each of the three roots;
+    leaf values are uniform in ``[0, value_scale]``, internal values
+    are the sums of their children, and one equity leaf absorbs the
+    difference so the accounting equation holds exactly.
+    """
+    if depth < 1 or branching < 1:
+        raise ValueError("depth and branching must be >= 1")
+    rng = random.Random(seed)
+
+    counter = [0]
+    children: Dict[str, List[str]] = {}
+    assets_children, assets_leaves = _tree_items("assets", depth, branching, counter)
+    liabilities_children, liabilities_leaves = _tree_items(
+        "liabilities", depth, branching, counter
+    )
+    equity_children, equity_leaves = _tree_items("equity", depth, branching, counter)
+    children.update(assets_children)
+    children.update(liabilities_children)
+    children.update(equity_children)
+
+    schema = balance_sheet_schema()
+    database = Database(schema)
+    companies = [f"ACME-{index}" for index in range(n_companies)]
+    years = [first_year + offset for offset in range(n_years)]
+
+    def subtree_total(root: str, values: Dict[str, int]) -> int:
+        if root not in children:
+            return values[root]
+        total = sum(subtree_total(child, values) for child in children[root])
+        values[root] = total
+        return total
+
+    for company in companies:
+        for year in years:
+            values: Dict[str, int] = {}
+            for leaf in assets_leaves + liabilities_leaves + equity_leaves:
+                values[leaf] = rng.randrange(0, value_scale + 1)
+            assets_total = subtree_total("assets", values)
+            liabilities_total = subtree_total("liabilities", values)
+            equity_total = subtree_total("equity", values)
+            # Let the last equity leaf absorb the accounting-equation gap
+            # (retained earnings may legitimately go negative).
+            gap = assets_total - liabilities_total - equity_total
+            values[equity_leaves[-1]] += gap
+            subtree_total("equity", values)
+
+            def emit(item: str, parent: str) -> None:
+                kind = KIND_INTERNAL if item in children else KIND_LEAF
+                database.insert(
+                    "BalanceSheet",
+                    [company, year, item, parent, kind, values[item]],
+                )
+                for child in children.get(item, ()):
+                    emit(child, item)
+
+            for root in ("assets", "liabilities", "equity"):
+                emit(root, ROOT_PARENT)
+
+    return BalanceSheetWorkload(
+        schema=schema,
+        ground_truth=database,
+        constraints=balance_sheet_constraints(),
+        companies=companies,
+        years=years,
+        children=children,
+    )

@@ -1,0 +1,312 @@
+"""The paper's running example: cash budgets (Figures 1 and 3).
+
+A cash budget summarises cash flows (receipts, disbursements, cash
+balances) of a firm over a year.  The relational scheme is::
+
+    CashBudget(Year : Z, Section : S, Subsection : S, Type : S, Value : Z)
+
+with ``M_D = {CashBudget.Value}``; ``Type`` classifies each item as
+``det`` (detail), ``aggr`` (aggregate of the details of its section)
+or ``drv`` (derived from items of any section).
+
+The constraints are the paper's Constraints 1-3 (Examples 3-4):
+
+1. per section and year, sum of detail values = the aggregate value;
+2. per year, net cash inflow = total cash receipts - total disbursements;
+3. per year, ending cash balance = beginning cash + net cash inflow.
+
+(The paper's Constraint 3 text contains the typo "net cash balance";
+the intended subsection, consistent with Example 1(d) and Figure 3, is
+"net cash inflow" and that is what we encode.)
+
+This module provides the exact paper instances -- the consistent
+ground truth of Figure 1 and the acquired instance of Figure 3 with
+its single recognition error (total cash receipts 2003 read as 250
+instead of 220) -- plus a seeded generator of random multi-year cash
+budgets for the benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.constraints.constraint import AggregateConstraint
+from repro.constraints.parser import parse_constraints
+from repro.relational.database import Database
+from repro.relational.domains import Domain
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+#: One logical row of a cash budget: (year, section, subsection, type, value).
+CashBudgetRow = PyTuple[int, str, str, str, int]
+
+SECTION_RECEIPTS = "Receipts"
+SECTION_DISBURSEMENTS = "Disbursements"
+SECTION_BALANCE = "Balance"
+
+TYPE_DETAIL = "det"
+TYPE_AGGREGATE = "aggr"
+TYPE_DERIVED = "drv"
+
+#: Subsection -> type classification of the running example (the
+#: "classification information" of the extraction metadata, Section 6.2).
+CLASSIFICATION: Dict[str, str] = {
+    "beginning cash": TYPE_DERIVED,
+    "cash sales": TYPE_DETAIL,
+    "receivables": TYPE_DETAIL,
+    "total cash receipts": TYPE_AGGREGATE,
+    "payment of accounts": TYPE_DETAIL,
+    "capital expenditure": TYPE_DETAIL,
+    "long-term financing": TYPE_DETAIL,
+    "total disbursements": TYPE_AGGREGATE,
+    "net cash inflow": TYPE_DERIVED,
+    "ending cash balance": TYPE_DERIVED,
+}
+
+#: Subsection -> section of the running example.
+SECTION_OF: Dict[str, str] = {
+    "beginning cash": SECTION_RECEIPTS,
+    "cash sales": SECTION_RECEIPTS,
+    "receivables": SECTION_RECEIPTS,
+    "total cash receipts": SECTION_RECEIPTS,
+    "payment of accounts": SECTION_DISBURSEMENTS,
+    "capital expenditure": SECTION_DISBURSEMENTS,
+    "long-term financing": SECTION_DISBURSEMENTS,
+    "total disbursements": SECTION_DISBURSEMENTS,
+    "net cash inflow": SECTION_BALANCE,
+    "ending cash balance": SECTION_BALANCE,
+}
+
+#: Display order of the ten subsections of one cash budget.
+SUBSECTION_ORDER: List[str] = [
+    "beginning cash",
+    "cash sales",
+    "receivables",
+    "total cash receipts",
+    "payment of accounts",
+    "capital expenditure",
+    "long-term financing",
+    "total disbursements",
+    "net cash inflow",
+    "ending cash balance",
+]
+
+CASH_BUDGET_CONSTRAINT_DSL = """
+# Aggregation functions of Example 2.
+function chi1(x, y, z) = sum(Value) from CashBudget
+    where Section = $x and Year = $y and Type = $z
+
+function chi2(x, y) = sum(Value) from CashBudget
+    where Year = $x and Subsection = $y
+
+# Constraint 1 (Example 3): per section and year, detail sum = aggregate.
+constraint detail_vs_aggregate:
+    CashBudget(y, x, _, _, _) =>
+        chi1(x, y, 'det') - chi1(x, y, 'aggr') = 0
+
+# Constraint 2 (Example 4): net cash inflow = receipts - disbursements.
+constraint net_cash_inflow:
+    CashBudget(x, _, _, _, _) =>
+        chi2(x, 'net cash inflow')
+        - chi2(x, 'total cash receipts')
+        + chi2(x, 'total disbursements') = 0
+
+# Constraint 3 (Example 4): ending balance = beginning cash + net inflow.
+constraint ending_cash_balance:
+    CashBudget(x, _, _, _, _) =>
+        chi2(x, 'ending cash balance')
+        - chi2(x, 'beginning cash')
+        - chi2(x, 'net cash inflow') = 0
+"""
+
+#: Extension (not in the paper's constraint list, but implied by the data):
+#: each year's beginning cash equals the previous year's ending balance.
+#: Usable only when consecutive years are both present.
+CROSS_YEAR_CONSTRAINT_DSL_TEMPLATE = """
+constraint carry_over_{prev}_{next}:
+    CashBudget({prev}, _, _, _, _), CashBudget({next}, _, _, _, _) =>
+        chi2({next}, 'beginning cash') - chi2({prev}, 'ending cash balance') = 0
+"""
+
+
+def cash_budget_schema() -> DatabaseSchema:
+    """The database scheme of Example 2 with ``M_D = {CashBudget.Value}``."""
+    relation = RelationSchema.build(
+        "CashBudget",
+        [
+            ("Year", Domain.INTEGER),
+            ("Section", Domain.STRING),
+            ("Subsection", Domain.STRING),
+            ("Type", Domain.STRING),
+            ("Value", Domain.INTEGER),
+        ],
+        key=("Year", "Subsection"),
+    )
+    return DatabaseSchema([relation], measure_attributes=[("CashBudget", "Value")])
+
+
+def cash_budget_constraints(
+    *, cross_year_pairs: Sequence[PyTuple[int, int]] = ()
+) -> List[AggregateConstraint]:
+    """Constraints 1-3, optionally extended with cross-year carry-over."""
+    text = CASH_BUDGET_CONSTRAINT_DSL
+    for previous_year, next_year in cross_year_pairs:
+        text += CROSS_YEAR_CONSTRAINT_DSL_TEMPLATE.format(
+            prev=previous_year, next=next_year
+        )
+    _, constraints = parse_constraints(text)
+    return constraints
+
+
+# ---------------------------------------------------------------------------
+# The paper's exact instances
+# ---------------------------------------------------------------------------
+
+#: Figure 1, year 2003 (correct values).
+_PAPER_2003: List[PyTuple[str, int]] = [
+    ("beginning cash", 20),
+    ("cash sales", 100),
+    ("receivables", 120),
+    ("total cash receipts", 220),
+    ("payment of accounts", 120),
+    ("capital expenditure", 0),
+    ("long-term financing", 40),
+    ("total disbursements", 160),
+    ("net cash inflow", 60),
+    ("ending cash balance", 80),
+]
+
+#: Figure 1, year 2004 (correct values).
+_PAPER_2004: List[PyTuple[str, int]] = [
+    ("beginning cash", 80),
+    ("cash sales", 100),
+    ("receivables", 100),
+    ("total cash receipts", 200),
+    ("payment of accounts", 130),
+    ("capital expenditure", 40),
+    ("long-term financing", 20),
+    ("total disbursements", 190),
+    ("net cash inflow", 10),
+    ("ending cash balance", 90),
+]
+
+
+def paper_rows(*, acquired: bool = False) -> List[CashBudgetRow]:
+    """The twenty rows of the running example, in Figure 3 order.
+
+    With ``acquired=True`` the single symbol-recognition error of the
+    paper is applied: *total cash receipts* for 2003 becomes 250.
+    """
+    rows: List[CashBudgetRow] = []
+    for year, items in ((2003, _PAPER_2003), (2004, _PAPER_2004)):
+        for subsection, value in items:
+            if acquired and year == 2003 and subsection == "total cash receipts":
+                value = 250
+            rows.append(
+                (year, SECTION_OF[subsection], subsection,
+                 CLASSIFICATION[subsection], value)
+            )
+    return rows
+
+
+def _database_from_rows(rows: Sequence[CashBudgetRow]) -> Database:
+    database = Database(cash_budget_schema())
+    for row in rows:
+        database.insert("CashBudget", list(row))
+    return database
+
+
+def paper_ground_truth() -> Database:
+    """The consistent instance of Figure 1 (both years, correct values)."""
+    return _database_from_rows(paper_rows(acquired=False))
+
+
+def paper_acquired_instance() -> Database:
+    """The acquired instance of Figure 3 (250 instead of 220 for 2003)."""
+    return _database_from_rows(paper_rows(acquired=True))
+
+
+# ---------------------------------------------------------------------------
+# Seeded generator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CashBudgetWorkload:
+    """A generated cash-budget workload with known ground truth."""
+
+    schema: DatabaseSchema
+    ground_truth: Database
+    constraints: List[AggregateConstraint]
+    rows: List[CashBudgetRow]
+    years: List[int]
+
+    def fresh_copy(self) -> Database:
+        """A mutable copy of the ground truth (e.g. for error injection)."""
+        return self.ground_truth.copy()
+
+
+def generate_cash_budget(
+    n_years: int = 2,
+    *,
+    first_year: int = 2003,
+    seed: int = 0,
+    value_scale: int = 100,
+    with_cross_year: bool = False,
+) -> CashBudgetWorkload:
+    """Generate a consistent multi-year cash budget.
+
+    Detail values are drawn uniformly from ``[0, 4 * value_scale]``;
+    aggregates and derived items are computed so every constraint holds
+    exactly, and consecutive years chain their balances (this year's
+    beginning cash = last year's ending balance), matching the shape of
+    the paper's Figure 1 data.
+    """
+    if n_years < 1:
+        raise ValueError("n_years must be >= 1")
+    rng = random.Random(seed)
+    rows: List[CashBudgetRow] = []
+    years = [first_year + offset for offset in range(n_years)]
+    beginning_cash = rng.randrange(0, 2 * value_scale)
+    for year in years:
+        cash_sales = rng.randrange(0, 4 * value_scale)
+        receivables = rng.randrange(0, 4 * value_scale)
+        total_receipts = cash_sales + receivables
+        payments = rng.randrange(0, 3 * value_scale)
+        capital_expenditure = rng.randrange(0, 2 * value_scale)
+        long_term = rng.randrange(0, 2 * value_scale)
+        total_disbursements = payments + capital_expenditure + long_term
+        net_inflow = total_receipts - total_disbursements
+        ending = beginning_cash + net_inflow
+        values = {
+            "beginning cash": beginning_cash,
+            "cash sales": cash_sales,
+            "receivables": receivables,
+            "total cash receipts": total_receipts,
+            "payment of accounts": payments,
+            "capital expenditure": capital_expenditure,
+            "long-term financing": long_term,
+            "total disbursements": total_disbursements,
+            "net cash inflow": net_inflow,
+            "ending cash balance": ending,
+        }
+        for subsection in SUBSECTION_ORDER:
+            rows.append(
+                (year, SECTION_OF[subsection], subsection,
+                 CLASSIFICATION[subsection], values[subsection])
+            )
+        beginning_cash = ending
+
+    cross_pairs: List[PyTuple[int, int]] = []
+    if with_cross_year:
+        cross_pairs = [(a, b) for a, b in zip(years, years[1:])]
+    constraints = cash_budget_constraints(cross_year_pairs=cross_pairs)
+    schema = cash_budget_schema()
+    return CashBudgetWorkload(
+        schema=schema,
+        ground_truth=_database_from_rows(rows),
+        constraints=constraints,
+        rows=rows,
+        years=years,
+    )

@@ -1,0 +1,141 @@
+"""Product-catalog workload (the "web site publishing product catalogs"
+scenario of the paper's introduction).
+
+A catalog page lists products grouped by category; each category
+closes with a subtotal row and the page closes with a grand total.
+Prices are kept in integer cents so the repair problem stays an ILP.
+
+The relational scheme is::
+
+    Catalog(Category : S, Item : S, Kind : S, Price : Z)
+
+with ``M_D = {Catalog.Price}``; ``Kind`` is ``product``, ``subtotal``
+or ``total``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple as PyTuple
+
+from repro.constraints.constraint import AggregateConstraint
+from repro.constraints.parser import parse_constraints
+from repro.relational.database import Database
+from repro.relational.domains import Domain
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+KIND_PRODUCT = "product"
+KIND_SUBTOTAL = "subtotal"
+KIND_TOTAL = "total"
+TOTAL_CATEGORY = "ALL"
+
+CATALOG_CONSTRAINT_DSL = """
+function cat_sum(c, k) = sum(Price) from Catalog
+    where Category = $c and Kind = $k
+
+function kind_sum(k) = sum(Price) from Catalog
+    where Kind = $k
+
+# Per category: product prices sum to the category subtotal.
+constraint category_subtotal:
+    Catalog(c, _, _, _) =>
+        cat_sum(c, 'product') - cat_sum(c, 'subtotal') = 0
+
+# Page level: subtotals sum to the grand total.
+constraint grand_total:
+    Catalog(_, _, _, _) =>
+        kind_sum('subtotal') - kind_sum('total') = 0
+"""
+
+#: Product-name vocabulary (doubles as the wrapper's Item dictionary).
+PRODUCT_WORDS = [
+    "laptop", "monitor", "keyboard", "mouse", "webcam", "headset",
+    "printer", "scanner", "router", "switch", "tablet", "charger",
+    "dock", "cable", "adapter", "speaker", "microphone", "stand",
+]
+
+CATEGORY_WORDS = [
+    "computers", "peripherals", "networking", "audio", "accessories",
+]
+
+
+def catalog_schema() -> DatabaseSchema:
+    relation = RelationSchema.build(
+        "Catalog",
+        [
+            ("Category", Domain.STRING),
+            ("Item", Domain.STRING),
+            ("Kind", Domain.STRING),
+            ("Price", Domain.INTEGER),
+        ],
+        key=("Category", "Item"),
+    )
+    return DatabaseSchema([relation], measure_attributes=[("Catalog", "Price")])
+
+
+def catalog_constraints() -> List[AggregateConstraint]:
+    _, constraints = parse_constraints(CATALOG_CONSTRAINT_DSL)
+    return constraints
+
+
+@dataclass
+class CatalogWorkload:
+    """A generated product catalog with known ground truth."""
+
+    schema: DatabaseSchema
+    ground_truth: Database
+    constraints: List[AggregateConstraint]
+    categories: List[str]
+
+    def fresh_copy(self) -> Database:
+        return self.ground_truth.copy()
+
+
+def generate_catalog(
+    *,
+    n_categories: int = 3,
+    products_per_category: int = 4,
+    seed: int = 0,
+    price_scale: int = 50000,
+    with_price_bounds: bool = False,
+) -> CatalogWorkload:
+    """Generate a consistent catalog (prices in integer cents).
+
+    With ``with_price_bounds`` the schema declares ``Price >= 0``:
+    repairs may not propose negative prices, which typically collapses
+    the card-minimal repair set for upward misreadings (only the
+    corrupted product can absorb a large positive delta).
+    """
+    if n_categories < 1 or products_per_category < 1:
+        raise ValueError("n_categories and products_per_category must be >= 1")
+    rng = random.Random(seed)
+    schema = catalog_schema()
+    if with_price_bounds:
+        schema.add_bound("Catalog", "Price", lower=0)
+    database = Database(schema)
+    categories: List[str] = []
+    grand_total = 0
+    for category_index in range(n_categories):
+        word = CATEGORY_WORDS[category_index % len(CATEGORY_WORDS)]
+        category = f"{word}-{category_index}"
+        categories.append(category)
+        subtotal = 0
+        for product_index in range(products_per_category):
+            product_word = PRODUCT_WORDS[
+                (category_index * products_per_category + product_index)
+                % len(PRODUCT_WORDS)
+            ]
+            item = f"{product_word} {category_index}.{product_index}"
+            price = rng.randrange(99, price_scale)
+            subtotal += price
+            database.insert("Catalog", [category, item, KIND_PRODUCT, price])
+        database.insert("Catalog", [category, f"{category} subtotal", KIND_SUBTOTAL, subtotal])
+        grand_total += subtotal
+    database.insert("Catalog", [TOTAL_CATEGORY, "grand total", KIND_TOTAL, grand_total])
+    return CatalogWorkload(
+        schema=schema,
+        ground_truth=database,
+        constraints=catalog_constraints(),
+        categories=categories,
+    )

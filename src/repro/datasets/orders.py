@@ -1,0 +1,173 @@
+"""Multi-relation workload: orders with line items.
+
+Everything in the paper's running example lives in a single relation;
+the constraint machinery, however, is defined for arbitrary database
+schemes (Definition 1 allows conjunctive bodies over several atoms,
+and the sets ``J(kappa)`` exist precisely to handle join variables).
+This workload exercises that generality:
+
+- ``Orders(OrderId : Z, Customer : S, Total : Z)``
+- ``OrderLines(OrderId : Z, Item : S, Amount : Z)``
+- ``Customers(Name : S, Region : S, CreditLimit : Z)``
+
+Constraints:
+
+1. per order, the sum of its line amounts equals the order total
+   (cross-relation aggregation);
+2. per customer *joined through the body* (``Orders(o, c, _),
+   Customers(c, _, _)``): the customer's order totals stay within the
+   declared credit limit -- a constraint whose body has a genuine join
+   variable, giving a non-empty ``J(kappa)`` that is nevertheless
+   steady (the joined attributes are not measures).
+
+``M_D = {Orders.Total, OrderLines.Amount}`` -- two measure attributes
+in two different relations, so repairs may fix either side of the
+books.  ``Customers.CreditLimit`` is deliberately NOT a measure: the
+limit is reference data, not an acquired value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple as PyTuple
+
+from repro.constraints.constraint import AggregateConstraint
+from repro.constraints.parser import parse_constraints
+from repro.relational.database import Database
+from repro.relational.domains import Domain
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+ORDERS_CONSTRAINT_DSL = """
+function line_sum(o) = sum(Amount) from OrderLines
+    where OrderId = $o
+
+function order_total(o) = sum(Total) from Orders
+    where OrderId = $o
+
+function customer_orders(c) = sum(Total) from Orders
+    where Customer = $c
+
+function credit_of(c) = sum(CreditLimit) from Customers
+    where Name = $c
+
+# Per order: line amounts sum to the order total.
+constraint lines_match_total:
+    Orders(o, _, _) => line_sum(o) - order_total(o) = 0
+
+# Per customer appearing in some order (a joined body!): total order
+# volume within the credit limit.
+constraint within_credit:
+    Orders(o, c, _), Customers(c, _, _) =>
+        customer_orders(c) - credit_of(c) <= 0
+"""
+
+
+def orders_schema() -> DatabaseSchema:
+    orders = RelationSchema.build(
+        "Orders",
+        [
+            ("OrderId", Domain.INTEGER),
+            ("Customer", Domain.STRING),
+            ("Total", Domain.INTEGER),
+        ],
+        key=("OrderId",),
+    )
+    lines = RelationSchema.build(
+        "OrderLines",
+        [
+            ("OrderId", Domain.INTEGER),
+            ("Item", Domain.STRING),
+            ("Amount", Domain.INTEGER),
+        ],
+        key=("OrderId", "Item"),
+    )
+    customers = RelationSchema.build(
+        "Customers",
+        [
+            ("Name", Domain.STRING),
+            ("Region", Domain.STRING),
+            ("CreditLimit", Domain.INTEGER),
+        ],
+        key=("Name",),
+    )
+    return DatabaseSchema(
+        [orders, lines, customers],
+        measure_attributes=[("Orders", "Total"), ("OrderLines", "Amount")],
+    )
+
+
+def orders_constraints() -> List[AggregateConstraint]:
+    _, constraints = parse_constraints(ORDERS_CONSTRAINT_DSL)
+    return constraints
+
+
+@dataclass
+class OrdersWorkload:
+    """A generated orders/lines/customers instance with ground truth."""
+
+    schema: DatabaseSchema
+    ground_truth: Database
+    constraints: List[AggregateConstraint]
+    order_ids: List[int]
+    customers: List[str]
+
+    def fresh_copy(self) -> Database:
+        return self.ground_truth.copy()
+
+
+_ITEMS = ["widget", "gadget", "sprocket", "flange", "gear", "bolt", "washer"]
+_REGIONS = ["north", "south", "east", "west"]
+
+
+def generate_orders(
+    *,
+    n_customers: int = 3,
+    n_orders: int = 5,
+    lines_per_order: int = 3,
+    seed: int = 0,
+    amount_scale: int = 500,
+) -> OrdersWorkload:
+    """Generate a consistent orders instance.
+
+    Line amounts are uniform in [1, amount_scale]; order totals are
+    exact sums; credit limits are set comfortably above each customer's
+    actual volume (so the inequality constraint is satisfied with slack
+    and only gross acquisition errors violate it).
+    """
+    if n_customers < 1 or n_orders < 1 or lines_per_order < 1:
+        raise ValueError("workload dimensions must be >= 1")
+    rng = random.Random(seed)
+    schema = orders_schema()
+    database = Database(schema)
+    customers = [f"customer-{i}" for i in range(n_customers)]
+
+    volumes: Dict[str, int] = {name: 0 for name in customers}
+    order_ids = list(range(1, n_orders + 1))
+    order_rows: List[PyTuple[int, str, int]] = []
+    for order_id in order_ids:
+        customer = customers[(order_id - 1) % n_customers]
+        total = 0
+        for line_index in range(lines_per_order):
+            item = _ITEMS[(order_id * lines_per_order + line_index) % len(_ITEMS)]
+            amount = rng.randrange(1, amount_scale + 1)
+            total += amount
+            database.insert(
+                "OrderLines", [order_id, f"{item} #{line_index}", amount]
+            )
+        order_rows.append((order_id, customer, total))
+        volumes[customer] += total
+    for order_id, customer, total in order_rows:
+        database.insert("Orders", [order_id, customer, total])
+    for index, customer in enumerate(customers):
+        region = _REGIONS[index % len(_REGIONS)]
+        limit = volumes[customer] + rng.randrange(amount_scale, 3 * amount_scale)
+        database.insert("Customers", [customer, region, limit])
+
+    return OrdersWorkload(
+        schema=schema,
+        ground_truth=database,
+        constraints=orders_constraints(),
+        order_ids=order_ids,
+        customers=customers,
+    )

@@ -1,0 +1,31 @@
+"""Evaluation kit: metrics, sweeps and ASCII reporting for the benches.
+
+- :mod:`repro.evalkit.metrics` -- repair quality (cell precision /
+  recall / value accuracy / exactness) against known injected errors,
+  and human-intervention accounting;
+- :mod:`repro.evalkit.runner` -- seeded parameter sweeps with
+  mean/stddev aggregation;
+- :mod:`repro.evalkit.tables` -- fixed-width ASCII tables, the output
+  format every bench prints its series in.
+"""
+
+from repro.evalkit.metrics import (
+    InterventionCost,
+    RepairQuality,
+    intervention_cost,
+    repair_quality,
+)
+from repro.evalkit.runner import SweepCell, aggregate, sweep
+from repro.evalkit.tables import ascii_table, format_float
+
+__all__ = [
+    "RepairQuality",
+    "repair_quality",
+    "InterventionCost",
+    "intervention_cost",
+    "sweep",
+    "aggregate",
+    "SweepCell",
+    "ascii_table",
+    "format_float",
+]

@@ -1,0 +1,65 @@
+"""Fixed-width ASCII tables (the benches' output format)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Render a float compactly (integers lose the trailing ``.0``)."""
+    if value != value:  # NaN
+        return "nan"
+    if float(value).is_integer() and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """A boxed fixed-width table::
+
+        +------+-------+
+        | k    | value |
+        +------+-------+
+        | 1    | 0.500 |
+        +------+-------+
+    """
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row} has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(fill: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(fill * (w + 2) for w in widths) + joint
+
+    def format_row(cells: Sequence[str]) -> str:
+        padded = [f" {cell.ljust(widths[i])} " for i, cell in enumerate(cells)]
+        return "|" + "|".join(padded) + "|"
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line())
+    parts.append(format_row(list(headers)))
+    parts.append(line())
+    for row in rendered:
+        parts.append(format_row(row))
+    parts.append(line())
+    return "\n".join(parts)

@@ -1,0 +1,52 @@
+"""Mixed-integer linear programming substrate.
+
+The paper computes card-minimal repairs by solving the MILP instance
+``S*(AC)`` with a commercial solver (LINDO API 4.0).  This package
+provides the solver substrate from scratch:
+
+- :mod:`repro.milp.model` -- variables (real / integer / binary),
+  linear expressions, constraints, and the model object;
+- :mod:`repro.milp.simplex` -- a dense primal simplex (Big-M phase
+  handling, Bland's anti-cycling rule) written against numpy only;
+- :mod:`repro.milp.branch_and_bound` -- best-first branch-and-bound
+  with a pluggable LP-relaxation backend;
+- :mod:`repro.milp.scipy_backend` -- a thin adapter over
+  ``scipy.optimize.milp`` (HiGHS);
+- :mod:`repro.milp.solver` -- the ``solve()`` facade selecting a
+  backend.
+
+The two independent backends ("bnb" and "scipy") are cross-checked in
+the test suite: for every solvable model they must agree on the
+optimal objective value.
+"""
+
+from repro.milp.model import (
+    Constraint,
+    LinExpr,
+    MILPModel,
+    ModelError,
+    Sense,
+    SolveStatus,
+    Solution,
+    Variable,
+    VarType,
+)
+from repro.milp.mps import MpsError, read_mps, write_mps
+from repro.milp.solver import available_backends, solve
+
+__all__ = [
+    "VarType",
+    "Variable",
+    "LinExpr",
+    "Sense",
+    "Constraint",
+    "MILPModel",
+    "ModelError",
+    "Solution",
+    "SolveStatus",
+    "solve",
+    "available_backends",
+    "read_mps",
+    "write_mps",
+    "MpsError",
+]

@@ -1,0 +1,237 @@
+"""Best-first branch-and-bound for MILP.
+
+The classic scheme:
+
+1. solve the LP relaxation of the node (integrality dropped, node
+   bounds applied);
+2. prune if infeasible or worse than the incumbent;
+3. if the relaxation is integral, it becomes the new incumbent;
+4. otherwise branch on the most fractional integral variable, adding
+   ``x <= floor(v)`` / ``x >= ceil(v)`` children.
+
+Nodes are explored best-first (lowest relaxation bound first), which
+makes the incumbent's optimality certificate immediate when the node
+queue empties or the best open bound meets the incumbent.
+
+The LP relaxation backend is pluggable: ``"simplex"`` uses the
+from-scratch solver in :mod:`repro.milp.simplex`, ``"scipy"`` uses
+``scipy.optimize.linprog`` (HiGHS).  Both see exactly the same arrays.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.milp.model import MILPModel, Sense, Solution, SolveStatus, VarType
+from repro.milp.simplex import LPResult, solve_lp
+
+INF = math.inf
+
+#: Integrality tolerance: a relaxation value within this of an integer
+#: counts as integral.
+INT_TOL = 1e-6
+
+
+@dataclass
+class _Arrays:
+    """The model lowered to dense arrays, shared by all nodes."""
+
+    costs: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integral: List[int]
+    objective_constant: float
+
+
+def _lower_model(model: MILPModel) -> _Arrays:
+    n = model.n_variables
+    costs = np.zeros(n)
+    for index, coefficient in model.objective.coefficients.items():
+        costs[index] = coefficient
+    ub_rows: List[np.ndarray] = []
+    ub_rhs: List[float] = []
+    eq_rows: List[np.ndarray] = []
+    eq_rhs: List[float] = []
+    for constraint in model.constraints:
+        row = np.zeros(n)
+        for index, coefficient in constraint.expr.coefficients.items():
+            row[index] = coefficient
+        if constraint.sense is Sense.LE:
+            ub_rows.append(row)
+            ub_rhs.append(constraint.rhs)
+        elif constraint.sense is Sense.GE:
+            ub_rows.append(-row)
+            ub_rhs.append(-constraint.rhs)
+        else:
+            eq_rows.append(row)
+            eq_rhs.append(constraint.rhs)
+    lower = np.array([v.lower for v in model.variables])
+    upper = np.array([v.upper for v in model.variables])
+    integral = [v.index for v in model.variables if v.var_type.is_integral]
+    return _Arrays(
+        costs=costs,
+        a_ub=np.array(ub_rows) if ub_rows else np.zeros((0, n)),
+        b_ub=np.array(ub_rhs),
+        a_eq=np.array(eq_rows) if eq_rows else np.zeros((0, n)),
+        b_eq=np.array(eq_rhs),
+        lower=lower,
+        upper=upper,
+        integral=integral,
+        objective_constant=model.objective.constant,
+    )
+
+
+LPSolver = Callable[[_Arrays, np.ndarray, np.ndarray], LPResult]
+
+
+def _lp_simplex(arrays: _Arrays, lower: np.ndarray, upper: np.ndarray) -> LPResult:
+    return solve_lp(
+        arrays.costs,
+        a_ub=arrays.a_ub,
+        b_ub=arrays.b_ub,
+        a_eq=arrays.a_eq,
+        b_eq=arrays.b_eq,
+        lower=lower,
+        upper=upper,
+    )
+
+
+def _lp_scipy(arrays: _Arrays, lower: np.ndarray, upper: np.ndarray) -> LPResult:
+    from scipy.optimize import linprog
+
+    result = linprog(
+        arrays.costs,
+        A_ub=arrays.a_ub if arrays.a_ub.size else None,
+        b_ub=arrays.b_ub if arrays.b_ub.size else None,
+        A_eq=arrays.a_eq if arrays.a_eq.size else None,
+        b_eq=arrays.b_eq if arrays.b_eq.size else None,
+        bounds=list(zip(lower, upper)),
+        method="highs",
+    )
+    if result.status == 0:
+        return LPResult(
+            status="optimal",
+            x=np.asarray(result.x),
+            objective=float(result.fun),
+            iterations=int(result.nit or 0),
+        )
+    if result.status == 2:
+        return LPResult(status="infeasible")
+    if result.status == 3:
+        return LPResult(status="unbounded")
+    return LPResult(status="iteration_limit")
+
+
+_LP_BACKENDS: Dict[str, LPSolver] = {
+    "simplex": _lp_simplex,
+    "scipy": _lp_scipy,
+}
+
+
+def solve_branch_and_bound(
+    model: MILPModel,
+    *,
+    lp_backend: str = "scipy",
+    max_nodes: int = 100_000,
+    gap_tolerance: float = 1e-9,
+) -> Solution:
+    """Solve *model* to optimality by branch-and-bound."""
+    if lp_backend not in _LP_BACKENDS:
+        raise ValueError(
+            f"unknown LP backend {lp_backend!r}; choose from "
+            f"{sorted(_LP_BACKENDS)}"
+        )
+    relax = _LP_BACKENDS[lp_backend]
+    arrays = _lower_model(model)
+
+    counter = itertools.count()
+    root = relax(arrays, arrays.lower, arrays.upper)
+    nodes_explored = 1
+    lp_iterations = root.iterations
+    if root.status == "infeasible":
+        return Solution(SolveStatus.INFEASIBLE, stats={"nodes": 1})
+    if root.status == "unbounded":
+        return Solution(SolveStatus.UNBOUNDED, stats={"nodes": 1})
+    if root.status != "optimal":
+        return Solution(SolveStatus.ERROR, stats={"nodes": 1})
+
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_objective = INF
+
+    # Heap of (bound, tiebreak, lower, upper, lp_result)
+    heap: List[Tuple[float, int, np.ndarray, np.ndarray, LPResult]] = []
+    heapq.heappush(
+        heap, (root.objective, next(counter), arrays.lower, arrays.upper, root)
+    )
+
+    while heap:
+        bound, _, lower, upper, lp = heapq.heappop(heap)
+        if bound >= incumbent_objective - gap_tolerance:
+            break  # best-first: every open node is at least this bad
+        assert lp.x is not None
+        fractional_index = -1
+        worst_fraction = INT_TOL
+        for index in arrays.integral:
+            value = lp.x[index]
+            fraction = abs(value - round(value))
+            if fraction > worst_fraction:
+                worst_fraction = fraction
+                fractional_index = index
+        if fractional_index < 0:
+            # Integral: candidate incumbent (round away LP noise).
+            candidate = lp.x.copy()
+            for index in arrays.integral:
+                candidate[index] = round(candidate[index])
+            objective = float(arrays.costs @ candidate)
+            if objective < incumbent_objective - gap_tolerance:
+                incumbent_objective = objective
+                incumbent_x = candidate
+            continue
+        if nodes_explored >= max_nodes:
+            break
+        value = lp.x[fractional_index]
+        for direction in ("down", "up"):
+            child_lower = lower
+            child_upper = upper
+            if direction == "down":
+                child_upper = upper.copy()
+                child_upper[fractional_index] = math.floor(value)
+            else:
+                child_lower = lower.copy()
+                child_lower[fractional_index] = math.ceil(value)
+            if child_lower[fractional_index] > child_upper[fractional_index]:
+                continue
+            child = relax(arrays, child_lower, child_upper)
+            nodes_explored += 1
+            lp_iterations += child.iterations
+            if child.status != "optimal":
+                continue
+            if child.objective is not None and (
+                child.objective < incumbent_objective - gap_tolerance
+            ):
+                heapq.heappush(
+                    heap,
+                    (child.objective, next(counter), child_lower, child_upper, child),
+                )
+
+    stats = {"nodes": float(nodes_explored), "lp_iterations": float(lp_iterations)}
+    if incumbent_x is None:
+        if nodes_explored >= max_nodes:
+            return Solution(SolveStatus.ITERATION_LIMIT, stats=stats)
+        return Solution(SolveStatus.INFEASIBLE, stats=stats)
+    return Solution(
+        SolveStatus.OPTIMAL,
+        objective=incumbent_objective + arrays.objective_constant,
+        values=model.solution_values(incumbent_x),
+        stats=stats,
+    )

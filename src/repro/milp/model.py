@@ -1,0 +1,374 @@
+"""MILP model objects: variables, linear expressions, constraints.
+
+A :class:`MILPModel` is a minimisation problem::
+
+    min  c . x
+    s.t. for each constraint:  a . x  (<= | >= | =)  b
+         l <= x <= u           (per-variable bounds, possibly infinite)
+         x_i integer           for integer/binary variables
+
+Models are built incrementally (``add_variable`` / ``add_constraint`` /
+``set_objective``) and consumed by the backends in
+:mod:`repro.milp.solver`.  Expressions support operator sugar so model
+construction code reads like algebra::
+
+    z = model.add_variable("z", VarType.REAL)
+    d = model.add_variable("d", VarType.BINARY)
+    model.add_constraint(z - 3 * d <= 0, name="link")
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+INF = math.inf
+
+
+class ModelError(ValueError):
+    """Raised for malformed models (duplicate names, bad bounds, ...)."""
+
+
+class VarType(enum.Enum):
+    """The three variable sorts of the MILP formulation ``S*(AC)``."""
+
+    REAL = "real"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+    @property
+    def is_integral(self) -> bool:
+        return self in (VarType.INTEGER, VarType.BINARY)
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable; interned in its model by index."""
+
+    name: str
+    index: int
+    var_type: VarType
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ModelError(
+                f"variable {self.name!r}: lower bound {self.lower} exceeds "
+                f"upper bound {self.upper}"
+            )
+
+    # Arithmetic sugar -------------------------------------------------
+
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        return self._expr() + other
+
+    def __radd__(self, other: "ExprLike") -> "LinExpr":
+        return self._expr() + other
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        return self._expr() - other
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return (-1.0 * self._expr()) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        return self._expr() * scalar
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self._expr() * scalar
+
+    def __neg__(self) -> "LinExpr":
+        return -1.0 * self._expr()
+
+    def __le__(self, other: "ExprLike") -> "Constraint":
+        return self._expr() <= other
+
+    def __ge__(self, other: "ExprLike") -> "Constraint":
+        return self._expr() >= other
+
+    def __eq__(self, other: object) -> object:
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return self._expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.index))
+
+
+class LinExpr:
+    """A linear expression ``sum(coeff_i * x_i) + constant``."""
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(
+        self, coefficients: Optional[Mapping[int, float]] = None, constant: float = 0.0
+    ) -> None:
+        self.coefficients: Dict[int, float] = dict(coefficients or {})
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(value: "ExprLike") -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value._expr()
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ModelError(f"{value!r} is not a linear expression")
+        return LinExpr({}, float(value))
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coefficients, self.constant)
+
+    def add_term(self, variable: Variable, coefficient: float) -> "LinExpr":
+        """In-place accumulation; returns self for chaining."""
+        index = variable.index
+        self.coefficients[index] = self.coefficients.get(index, 0.0) + coefficient
+        return self
+
+    def value(self, assignment: Sequence[float]) -> float:
+        """Evaluate under a full variable assignment (by index)."""
+        total = self.constant
+        for index, coefficient in self.coefficients.items():
+            total += coefficient * assignment[index]
+        return total
+
+    # Arithmetic -------------------------------------------------------
+
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        rhs = LinExpr._coerce(other)
+        result = self.copy()
+        for index, coefficient in rhs.coefficients.items():
+            result.coefficients[index] = result.coefficients.get(index, 0.0) + coefficient
+        result.constant += rhs.constant
+        return result
+
+    def __radd__(self, other: "ExprLike") -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        return self.__add__(LinExpr._coerce(other) * -1.0)
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if isinstance(scalar, bool) or not isinstance(scalar, (int, float)):
+            raise ModelError(f"cannot multiply LinExpr by {scalar!r}")
+        return LinExpr(
+            {i: c * scalar for i, c in self.coefficients.items()},
+            self.constant * scalar,
+        )
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self.__mul__(scalar)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # Comparisons build constraints -------------------------------------
+
+    def __le__(self, other: "ExprLike") -> "Constraint":
+        return Constraint.from_sides(self, Sense.LE, LinExpr._coerce(other))
+
+    def __ge__(self, other: "ExprLike") -> "Constraint":
+        return Constraint.from_sides(self, Sense.GE, LinExpr._coerce(other))
+
+    def __eq__(self, other: object) -> object:
+        if isinstance(other, (LinExpr, Variable, int, float)):
+            return Constraint.from_sides(self, Sense.EQ, LinExpr._coerce(other))
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - LinExpr not used as key
+        return id(self)
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+g}*x{i}" for i, c in sorted(self.coefficients.items())]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+ExprLike = Union[LinExpr, Variable, int, float]
+
+
+@dataclass
+class Constraint:
+    """``expr (<=|>=|=) rhs`` with the constant folded to the right."""
+
+    expr: LinExpr
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+    @staticmethod
+    def from_sides(left: LinExpr, sense: Sense, right: LinExpr) -> "Constraint":
+        moved = left - right
+        rhs = -moved.constant
+        moved.constant = 0.0
+        return Constraint(moved, sense, rhs)
+
+    def satisfied_by(self, assignment: Sequence[float], tolerance: float = 1e-6) -> bool:
+        value = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return value <= self.rhs + tolerance
+        if self.sense is Sense.GE:
+            return value >= self.rhs - tolerance
+        return abs(value - self.rhs) <= tolerance
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.expr!r} {self.sense.value} {self.rhs:g}"
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    ERROR = "error"
+
+
+@dataclass
+class Solution:
+    """Result of solving a model."""
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: Optional[Dict[str, float]] = None
+    #: backend-specific diagnostics (node counts, iterations, ...)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    def __getitem__(self, variable_name: str) -> float:
+        if self.values is None:
+            raise KeyError("solution has no variable values")
+        return self.values[variable_name]
+
+
+class MILPModel:
+    """An incrementally-built minimisation MILP."""
+
+    def __init__(self, name: str = "milp") -> None:
+        self.name = name
+        self.variables: List[Variable] = []
+        self._by_name: Dict[str, Variable] = {}
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+
+    # Construction -------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: str,
+        var_type: VarType = VarType.REAL,
+        lower: float = -INF,
+        upper: float = INF,
+    ) -> Variable:
+        """Create and register a new variable.
+
+        Binary variables force bounds to [0, 1] regardless of the
+        arguments (the standard convention).
+        """
+        if name in self._by_name:
+            raise ModelError(f"duplicate variable name {name!r}")
+        if var_type is VarType.BINARY:
+            lower, upper = 0.0, 1.0
+        variable = Variable(name, len(self.variables), var_type, float(lower), float(upper))
+        self.variables.append(variable)
+        self._by_name[name] = variable
+        return variable
+
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ModelError(f"no variable named {name!r}") from None
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                f"expected a Constraint (did you compare with ==?), got "
+                f"{constraint!r}"
+            )
+        if name:
+            constraint.name = name
+        for index in constraint.expr.coefficients:
+            if index >= len(self.variables):
+                raise ModelError(
+                    f"constraint references unknown variable index {index}"
+                )
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr: ExprLike) -> None:
+        """Set the (minimisation) objective."""
+        self.objective = LinExpr._coerce(expr).copy()
+
+    # Introspection --------------------------------------------------------
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def n_integral(self) -> int:
+        return sum(1 for v in self.variables if v.var_type.is_integral)
+
+    @property
+    def n_binary(self) -> int:
+        return sum(1 for v in self.variables if v.var_type is VarType.BINARY)
+
+    def is_pure_lp(self) -> bool:
+        return self.n_integral == 0
+
+    def evaluate_objective(self, assignment: Sequence[float]) -> float:
+        return self.objective.value(assignment)
+
+    def check_feasible(
+        self, assignment: Sequence[float], tolerance: float = 1e-6
+    ) -> bool:
+        """Full feasibility check of an assignment (bounds, integrality,
+        constraints) -- used by tests to validate backend output."""
+        if len(assignment) != self.n_variables:
+            return False
+        for variable, value in zip(self.variables, assignment):
+            if value < variable.lower - tolerance or value > variable.upper + tolerance:
+                return False
+            if variable.var_type.is_integral and abs(value - round(value)) > tolerance:
+                return False
+        return all(c.satisfied_by(assignment, tolerance) for c in self.constraints)
+
+    def solution_values(self, assignment: Sequence[float]) -> Dict[str, float]:
+        return {v.name: assignment[v.index] for v in self.variables}
+
+    def __repr__(self) -> str:
+        return (
+            f"MILPModel({self.name!r}: {self.n_variables} vars "
+            f"({self.n_integral} integral, {self.n_binary} binary), "
+            f"{self.n_constraints} constraints)"
+        )

@@ -1,0 +1,53 @@
+"""The ``solve()`` facade over the MILP backends.
+
+Backends:
+
+- ``"scipy"`` (default) -- ``scipy.optimize.milp`` / HiGHS;
+- ``"bnb"`` -- the from-scratch branch-and-bound with scipy's LP
+  relaxation (fast relaxations, our search);
+- ``"bnb-simplex"`` -- branch-and-bound over the from-scratch dense
+  simplex: every line of the solve path is in this repository.
+
+All backends receive the same :class:`~repro.milp.model.MILPModel` and
+return the same :class:`~repro.milp.model.Solution` shape, so they are
+interchangeable; the repair engine exposes the choice to callers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.milp.branch_and_bound import solve_branch_and_bound
+from repro.milp.model import MILPModel, Solution
+from repro.milp.scipy_backend import solve_scipy
+
+_BACKENDS: Dict[str, Callable[..., Solution]] = {
+    "scipy": lambda model, **kw: solve_scipy(model, **kw),
+    "bnb": lambda model, **kw: solve_branch_and_bound(model, lp_backend="scipy", **kw),
+    "bnb-simplex": lambda model, **kw: solve_branch_and_bound(
+        model, lp_backend="simplex", **kw
+    ),
+}
+
+DEFAULT_BACKEND = "scipy"
+
+
+def available_backends() -> List[str]:
+    """Names accepted by :func:`solve`."""
+    return sorted(_BACKENDS)
+
+
+def solve(model: MILPModel, backend: str = DEFAULT_BACKEND, **options) -> Solution:
+    """Solve *model* with the chosen backend.
+
+    Extra keyword *options* are passed through to the backend (e.g.
+    ``max_nodes`` for the branch-and-bound backends, ``time_limit`` for
+    scipy).
+    """
+    try:
+        runner = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown MILP backend {backend!r}; choose from {available_backends()}"
+        ) from None
+    return runner(model, **options)

@@ -1,0 +1,72 @@
+"""Relational database substrate used by the DART reproduction.
+
+The paper (Section 3) assumes classical notions of database scheme,
+relational scheme and relations, with sorted predicates
+``R(A1 : D1, ..., An : Dn)`` whose domains are the integers (Z), the
+reals (R) or strings (S).  This package provides those notions from
+scratch:
+
+- :mod:`repro.relational.domains` -- the three sorted domains and value
+  coercion/validation,
+- :mod:`repro.relational.schema` -- attribute, relation and database
+  schemas, including the set of *measure attributes* ``M_D``,
+- :mod:`repro.relational.tuples` -- tuples as ground atoms with
+  ``t[A]`` attribute access,
+- :mod:`repro.relational.predicates` -- the boolean condition language
+  used in WHERE clauses of aggregation functions,
+- :mod:`repro.relational.database` -- relation and database instances,
+- :mod:`repro.relational.csvio` -- plain-text import/export.
+"""
+
+from repro.relational.domains import Domain, coerce_value, value_in_domain
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    SchemaError,
+)
+from repro.relational.tuples import Tuple
+from repro.relational.predicates import (
+    And,
+    Comparison,
+    Condition,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    attr,
+    const,
+    var,
+)
+from repro.relational.database import Database, Relation
+from repro.relational.csvio import (
+    load_database,
+    load_relation_csv,
+    dump_relation_csv,
+)
+
+__all__ = [
+    "Domain",
+    "coerce_value",
+    "value_in_domain",
+    "Attribute",
+    "RelationSchema",
+    "DatabaseSchema",
+    "SchemaError",
+    "Tuple",
+    "Condition",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "FALSE",
+    "attr",
+    "const",
+    "var",
+    "Relation",
+    "Database",
+    "load_database",
+    "load_relation_csv",
+    "dump_relation_csv",
+]

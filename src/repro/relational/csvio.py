@@ -1,0 +1,107 @@
+"""CSV import/export for relations and databases.
+
+The DART pipeline stores acquired data in a relational database; this
+module provides the plain-text serialisation used by the examples and
+benches to persist instances and by tests to round-trip them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.relational.database import Database, Relation
+from repro.relational.domains import Domain, coerce_value
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+PathLike = Union[str, Path]
+
+
+def dump_relation_csv(relation: Relation, destination: Optional[PathLike] = None) -> str:
+    """Serialise *relation* to CSV (header row = attribute names).
+
+    Returns the CSV text; also writes it to *destination* when given.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(relation.schema.attribute_names)
+    for row in relation:
+        writer.writerow(list(row.values))
+    text = buffer.getvalue()
+    if destination is not None:
+        Path(destination).write_text(text, encoding="utf-8")
+    return text
+
+
+def load_relation_csv(
+    schema: RelationSchema,
+    source: Union[PathLike, str],
+    *,
+    is_text: bool = False,
+) -> Relation:
+    """Load a relation from CSV text or a CSV file.
+
+    The header row must name exactly the schema's attributes (any
+    order); values are coerced into the attribute domains.
+    """
+    if is_text:
+        text = source if isinstance(source, str) else Path(source).read_text()
+    else:
+        text = Path(source).read_text(encoding="utf-8")
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise ValueError("CSV input is empty (missing header row)")
+    header = [name.strip() for name in rows[0]]
+    expected = set(schema.attribute_names)
+    if set(header) != expected:
+        raise ValueError(
+            f"CSV header {header} does not match schema attributes "
+            f"{sorted(expected)}"
+        )
+    relation = Relation(schema)
+    for line_number, raw in enumerate(rows[1:], start=2):
+        if not raw or all(not cell.strip() for cell in raw):
+            continue
+        if len(raw) != len(header):
+            raise ValueError(
+                f"line {line_number}: expected {len(header)} cells, got {len(raw)}"
+            )
+        record = {}
+        for name, cell in zip(header, raw):
+            domain = schema.domain_of(name)
+            if domain is Domain.STRING:
+                record[name] = cell
+            else:
+                record[name] = coerce_value(cell, domain)
+        relation.insert_dict(record)
+    return relation
+
+
+def dump_database(database: Database, directory: PathLike) -> Dict[str, Path]:
+    """Write each relation of *database* to ``<directory>/<name>.csv``."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    for relation_name in database.schema.relation_names:
+        path = target / f"{relation_name}.csv"
+        dump_relation_csv(database.relation(relation_name), path)
+        written[relation_name] = path
+    return written
+
+
+def load_database(schema: DatabaseSchema, directory: PathLike) -> Database:
+    """Load a database instance from per-relation CSV files."""
+    source = Path(directory)
+    database = Database(schema)
+    for relation_schema in schema:
+        path = source / f"{relation_schema.name}.csv"
+        if not path.exists():
+            continue
+        loaded = load_relation_csv(relation_schema, path)
+        target_relation = database.relation(relation_schema.name)
+        for row in loaded:
+            target_relation.insert(list(row.values))
+    return database

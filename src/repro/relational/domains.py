@@ -1,0 +1,147 @@
+"""Sorted domains of the relational model.
+
+The paper restricts attribute domains to three sorts (Section 3):
+
+- ``Z`` -- the infinite domain of integers,
+- ``R`` -- the reals,
+- ``S`` -- strings.
+
+``Z`` and ``R`` are the *numerical domains*; attributes over them are
+*numerical attributes* and only those may be declared *measure
+attributes* (the values a repair is allowed to change).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Union
+
+#: The type of a database value once coerced into its domain.
+Value = Union[int, float, str]
+
+
+class Domain(enum.Enum):
+    """One of the three sorted domains of the paper's data model."""
+
+    INTEGER = "Z"
+    REAL = "R"
+    STRING = "S"
+
+    @property
+    def is_numerical(self) -> bool:
+        """``True`` for the numerical domains Z and R."""
+        return self in (Domain.INTEGER, Domain.REAL)
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "Domain":
+        """Parse a domain name from metadata text.
+
+        Accepts the paper's one-letter sort names (``Z``, ``R``, ``S``)
+        as well as common long forms (``integer``, ``int``, ``real``,
+        ``float``, ``string``, ``str``), case-insensitively.
+        """
+        normalized = text.strip().lower()
+        aliases = {
+            "z": cls.INTEGER,
+            "int": cls.INTEGER,
+            "integer": cls.INTEGER,
+            "r": cls.REAL,
+            "real": cls.REAL,
+            "float": cls.REAL,
+            "s": cls.STRING,
+            "str": cls.STRING,
+            "string": cls.STRING,
+        }
+        if normalized not in aliases:
+            raise ValueError(f"unknown domain name: {text!r}")
+        return aliases[normalized]
+
+
+class DomainError(ValueError):
+    """Raised when a value cannot be interpreted in a domain."""
+
+
+def value_in_domain(value: Any, domain: Domain) -> bool:
+    """Return ``True`` iff *value* already is a member of *domain*.
+
+    Booleans are rejected from the numerical domains even though
+    ``bool`` subclasses ``int`` in Python: a balance-sheet cell is never
+    a truth value.
+    """
+    if isinstance(value, bool):
+        return False
+    if domain is Domain.INTEGER:
+        return isinstance(value, int)
+    if domain is Domain.REAL:
+        return isinstance(value, (int, float)) and math.isfinite(value)
+    return isinstance(value, str)
+
+
+def coerce_value(value: Any, domain: Domain) -> Value:
+    """Coerce *value* into *domain*, raising :class:`DomainError` on failure.
+
+    Coercion is intentionally conservative: strings are parsed into
+    numbers only when the whole string is a number, and reals are
+    accepted as integers only when they are integral (``3.0`` -> ``3``).
+    This mirrors how the extraction pipeline hands numeric cell text to
+    the repairing module.
+    """
+    if isinstance(value, bool):
+        raise DomainError(f"boolean {value!r} is not a database value")
+
+    if domain is Domain.STRING:
+        if isinstance(value, str):
+            return value
+        raise DomainError(f"{value!r} is not a string")
+
+    if isinstance(value, str):
+        value = _parse_number(value)
+
+    if not isinstance(value, (int, float)) or not math.isfinite(float(value)):
+        raise DomainError(f"{value!r} is not a finite number")
+
+    if domain is Domain.REAL:
+        return float(value)
+
+    # Domain.INTEGER
+    if isinstance(value, int):
+        return value
+    if float(value).is_integer():
+        return int(value)
+    raise DomainError(f"{value!r} is not an integer")
+
+
+def _parse_number(text: str) -> Union[int, float]:
+    """Parse numeric cell text, tolerating surrounding blanks and signs."""
+    stripped = text.strip()
+    if not stripped:
+        raise DomainError("empty string is not a number")
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError as exc:
+        raise DomainError(f"{text!r} is not a number") from exc
+
+
+def format_value(value: Value) -> str:
+    """Render a database value the way the benches and CSV writer print it.
+
+    Integers print bare; reals keep a decimal point; strings pass
+    through unchanged.
+    """
+    if isinstance(value, bool):
+        raise DomainError(f"boolean {value!r} is not a database value")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value.is_integer():
+            return f"{value:.1f}"
+        return repr(value)
+    return value

@@ -1,0 +1,323 @@
+"""The boolean condition language of WHERE clauses.
+
+Aggregation functions in the paper are parameterised SQL sum-queries::
+
+    chi(x1, ..., xk) = SELECT sum(e) FROM R WHERE alpha(x1, ..., xk)
+
+where ``alpha`` is a boolean formula over the parameters ``x1..xk``,
+constants, and attributes of ``R``.  This module implements that
+formula language: terms (constants, attribute references, variables),
+comparisons, and boolean connectives.  Conditions are also reused by
+the relational layer as plain selection predicates.
+
+A condition is evaluated against a tuple together with a *binding*
+mapping variable names to constants (the ground substitution theta of
+Section 5).  Evaluating a condition that still contains unbound
+variables raises :class:`UnboundVariableError` -- grounding must happen
+first.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Set
+
+from repro.relational.tuples import Tuple
+
+Binding = Mapping[str, Any]
+
+_EMPTY_BINDING: Dict[str, Any] = {}
+
+
+class UnboundVariableError(LookupError):
+    """A condition was evaluated with a free variable left unbound."""
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """A term of the condition language: constant, attribute, or variable."""
+
+    def evaluate(self, row: Tuple, binding: Binding) -> Any:
+        raise NotImplementedError
+
+    def attributes(self) -> Set[str]:
+        """Attribute names referenced by this term."""
+        return set()
+
+    def variables(self) -> Set[str]:
+        """Variable names referenced by this term."""
+        return set()
+
+    def substitute(self, binding: Binding) -> "Term":
+        """Replace bound variables by constants; other terms unchanged."""
+        return self
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Tuple, binding: Binding) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class AttrRef(Term):
+    """A reference to an attribute of the tuple being tested."""
+
+    name: str
+
+    def evaluate(self, row: Tuple, binding: Binding) -> Any:
+        return row[self.name]
+
+    def attributes(self) -> Set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A parameter variable, bound by a ground substitution."""
+
+    name: str
+
+    def evaluate(self, row: Tuple, binding: Binding) -> Any:
+        try:
+            return binding[self.name]
+        except KeyError:
+            raise UnboundVariableError(
+                f"variable {self.name!r} is unbound"
+            ) from None
+
+    def variables(self) -> Set[str]:
+        return {self.name}
+
+    def substitute(self, binding: Binding) -> Term:
+        if self.name in binding:
+            return Const(binding[self.name])
+        return self
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+def const(value: Any) -> Const:
+    """Shorthand constructor for a constant term."""
+    return Const(value)
+
+
+def attr(name: str) -> AttrRef:
+    """Shorthand constructor for an attribute reference."""
+    return AttrRef(name)
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor for a parameter variable."""
+    return Var(name)
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+class Condition:
+    """A boolean formula over terms."""
+
+    def holds(self, row: Tuple, binding: Binding = _EMPTY_BINDING) -> bool:
+        raise NotImplementedError
+
+    def attributes(self) -> Set[str]:
+        """All attribute names mentioned anywhere in the formula."""
+        return set()
+
+    def variables(self) -> Set[str]:
+        """All free variable names mentioned anywhere in the formula."""
+        return set()
+
+    def substitute(self, binding: Binding) -> "Condition":
+        """Replace bound variables by constants throughout the formula."""
+        return self
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or((self, other))
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Boolean(Condition):
+    """A constant truth value (``TRUE`` / ``FALSE``)."""
+
+    value: bool
+
+    def holds(self, row: Tuple, binding: Binding = _EMPTY_BINDING) -> bool:
+        return self.value
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = Boolean(True)
+FALSE = Boolean(False)
+
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``left op right`` where op is one of =, !=, <, <=, >, >=."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def holds(self, row: Tuple, binding: Binding = _EMPTY_BINDING) -> bool:
+        left_value = self.left.evaluate(row, binding)
+        right_value = self.right.evaluate(row, binding)
+        return _COMPARATORS[self.op](left_value, right_value)
+
+    def attributes(self) -> Set[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def variables(self) -> Set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def substitute(self, binding: Binding) -> Condition:
+        return Comparison(
+            self.left.substitute(binding), self.op, self.right.substitute(binding)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction of sub-conditions (empty conjunction is true)."""
+
+    parts: Sequence[Condition]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def holds(self, row: Tuple, binding: Binding = _EMPTY_BINDING) -> bool:
+        return all(part.holds(row, binding) for part in self.parts)
+
+    def attributes(self) -> Set[str]:
+        return set().union(*(p.attributes() for p in self.parts)) if self.parts else set()
+
+    def variables(self) -> Set[str]:
+        return set().union(*(p.variables() for p in self.parts)) if self.parts else set()
+
+    def substitute(self, binding: Binding) -> Condition:
+        return And(tuple(p.substitute(binding) for p in self.parts))
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({p})" if isinstance(p, Or) else str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction of sub-conditions (empty disjunction is false)."""
+
+    parts: Sequence[Condition]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def holds(self, row: Tuple, binding: Binding = _EMPTY_BINDING) -> bool:
+        return any(part.holds(row, binding) for part in self.parts)
+
+    def attributes(self) -> Set[str]:
+        return set().union(*(p.attributes() for p in self.parts)) if self.parts else set()
+
+    def variables(self) -> Set[str]:
+        return set().union(*(p.variables() for p in self.parts)) if self.parts else set()
+
+    def substitute(self, binding: Binding) -> Condition:
+        return Or(tuple(p.substitute(binding) for p in self.parts))
+
+    def __str__(self) -> str:
+        return " OR ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation of a sub-condition."""
+
+    part: Condition
+
+    def holds(self, row: Tuple, binding: Binding = _EMPTY_BINDING) -> bool:
+        return not self.part.holds(row, binding)
+
+    def attributes(self) -> Set[str]:
+        return self.part.attributes()
+
+    def variables(self) -> Set[str]:
+        return self.part.variables()
+
+    def substitute(self, binding: Binding) -> Condition:
+        return Not(self.part.substitute(binding))
+
+    def __str__(self) -> str:
+        return f"NOT ({self.part})"
+
+
+def conjunction(parts: Sequence[Condition]) -> Condition:
+    """Build a flat conjunction, simplifying the 0- and 1-element cases."""
+    flattened: list = []
+
+    def collect(part: Condition) -> None:
+        if isinstance(part, And):
+            for inner in part.parts:
+                collect(inner)
+        elif part is TRUE or part == TRUE:
+            return
+        else:
+            flattened.append(part)
+
+    for part in parts:
+        collect(part)
+    if not flattened:
+        return TRUE
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(tuple(flattened))
+
+
+def equals(attribute: str, value_or_term: Any) -> Comparison:
+    """Shorthand for the ubiquitous ``Attribute = constant-or-term``."""
+    if isinstance(value_or_term, Term):
+        right = value_or_term
+    else:
+        right = Const(value_or_term)
+    return Comparison(AttrRef(attribute), "=", right)

@@ -1,0 +1,257 @@
+"""Relation and database schemas.
+
+A relational scheme is a sorted predicate ``R(A1 : D1, ..., An : Dn)``
+(paper, Section 3).  A database scheme is a named collection of
+relational schemes together with the set of *measure attributes*
+``M_D`` -- the numerical attributes that hold measure data (weights,
+lengths, prices, balance-sheet values, ...).  Repairs are only allowed
+to change measure values, so the schema is where that policy lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.domains import Domain
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or schema lookups that fail."""
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, sorted attribute of a relational scheme."""
+
+    name: str
+    domain: Domain
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise SchemaError("attribute name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.domain}"
+
+
+class RelationSchema:
+    """A relational scheme ``R(A1 : D1, ..., An : Dn)``.
+
+    Attribute order is significant (tuples are ground atoms, so
+    positional construction must be stable) and attribute names must be
+    unique within the scheme.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[Attribute],
+        key: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not name or not name.strip():
+            raise SchemaError("relation name must be non-empty")
+        if not attributes:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        self.name = name
+        self.attributes: Tuple[Attribute, ...] = tuple(attributes)
+        self._index: Dict[str, int] = {}
+        for position, attribute in enumerate(self.attributes):
+            if attribute.name in self._index:
+                raise SchemaError(
+                    f"duplicate attribute {attribute.name!r} in relation {name!r}"
+                )
+            self._index[attribute.name] = position
+        self.key: Optional[Tuple[str, ...]] = None
+        if key is not None:
+            for attr_name in key:
+                if attr_name not in self._index:
+                    raise SchemaError(
+                        f"key attribute {attr_name!r} not in relation {name!r}"
+                    )
+            self.key = tuple(key)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        specs: Sequence[Tuple[str, Domain]],
+        key: Optional[Sequence[str]] = None,
+    ) -> "RelationSchema":
+        """Build a scheme from ``(attribute name, domain)`` pairs."""
+        return cls(name, [Attribute(n, d) for n, d in specs], key=key)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._index
+
+    def position_of(self, name: str) -> int:
+        """Return the 0-based position of attribute *name*."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self.attributes[self.position_of(name)]
+
+    def domain_of(self, name: str) -> Domain:
+        return self.attribute(name).domain
+
+    def numerical_attributes(self) -> List[str]:
+        """Names of the attributes over the numerical domains Z and R."""
+        return [a.name for a in self.attributes if a.domain.is_numerical]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(str(a) for a in self.attributes)
+        return f"{self.name}({attrs})"
+
+
+class DatabaseSchema:
+    """A database scheme: relational schemes plus the measure set ``M_D``."""
+
+    def __init__(
+        self,
+        relations: Iterable[RelationSchema],
+        measure_attributes: Iterable[Tuple[str, str]] = (),
+    ) -> None:
+        self._relations: Dict[str, RelationSchema] = {}
+        for schema in relations:
+            if schema.name in self._relations:
+                raise SchemaError(f"duplicate relation name {schema.name!r}")
+            self._relations[schema.name] = schema
+
+        self._measures: Set[Tuple[str, str]] = set()
+        for relation_name, attribute_name in measure_attributes:
+            self.add_measure(relation_name, attribute_name)
+        #: declared value bounds per (relation, attribute):
+        #: (lower-or-None, upper-or-None)
+        self._bounds: Dict[Tuple[str, str], Tuple[Optional[float], Optional[float]]] = {}
+
+    def add_measure(self, relation_name: str, attribute_name: str) -> None:
+        """Declare ``relation.attribute`` to be a measure attribute.
+
+        Only numerical attributes may be measures (the repair
+        primitives of Definition 2 act on numerical values only).
+        """
+        schema = self.relation(relation_name)
+        attribute = schema.attribute(attribute_name)
+        if not attribute.domain.is_numerical:
+            raise SchemaError(
+                f"measure attribute {relation_name}.{attribute_name} must be "
+                f"numerical, found domain {attribute.domain}"
+            )
+        self._measures.add((relation_name, attribute_name))
+
+    def add_bound(
+        self,
+        relation_name: str,
+        attribute_name: str,
+        *,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ) -> None:
+        """Declare a value bound for a numerical attribute.
+
+        Bounds are *domain knowledge* about valid values (prices are
+        non-negative, percentages stay in [0, 100], ...).  The repair
+        engine intersects them with its Big-M box, so no proposed
+        repair can step outside them -- which both prunes nonsensical
+        candidate repairs and often collapses otherwise-ambiguous
+        card-minimal repair sets.
+        """
+        schema = self.relation(relation_name)
+        attribute = schema.attribute(attribute_name)
+        if not attribute.domain.is_numerical:
+            raise SchemaError(
+                f"bound on {relation_name}.{attribute_name}: attribute is "
+                f"not numerical"
+            )
+        existing = self._bounds.get((relation_name, attribute_name), (None, None))
+        new_lower = existing[0] if lower is None else float(lower)
+        new_upper = existing[1] if upper is None else float(upper)
+        if new_lower is not None and new_upper is not None and new_lower > new_upper:
+            raise SchemaError(
+                f"bound on {relation_name}.{attribute_name}: lower "
+                f"{new_lower} exceeds upper {new_upper}"
+            )
+        self._bounds[(relation_name, attribute_name)] = (new_lower, new_upper)
+
+    def bounds_of(
+        self, relation_name: str, attribute_name: str
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """The declared ``(lower, upper)`` bound (``None`` = unbounded)."""
+        return self._bounds.get((relation_name, attribute_name), (None, None))
+
+    @property
+    def declared_bounds(self) -> Dict[Tuple[str, str], Tuple[Optional[float], Optional[float]]]:
+        return dict(self._bounds)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r} in schema") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    @property
+    def measure_attributes(self) -> Set[Tuple[str, str]]:
+        """The set ``M_D`` as ``(relation, attribute)`` pairs."""
+        return set(self._measures)
+
+    def is_measure(self, relation_name: str, attribute_name: str) -> bool:
+        return (relation_name, attribute_name) in self._measures
+
+    def measures_of(self, relation_name: str) -> List[str]:
+        """The set ``M_R``: measure attributes of one relation, in scheme order."""
+        schema = self.relation(relation_name)
+        return [
+            a.name
+            for a in schema.attributes
+            if (relation_name, a.name) in self._measures
+        ]
+
+    def __repr__(self) -> str:
+        parts = [repr(r) for r in self._relations.values()]
+        return "DatabaseSchema(" + "; ".join(parts) + f"; M_D={sorted(self._measures)})"
+
+
+@dataclass
+class SchemaMismatch:
+    """One way a tuple fails to conform to a schema (used in validation)."""
+
+    relation: str
+    attribute: str
+    value: object
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.relation}.{self.attribute}={self.value!r}: {self.reason}"
+        )

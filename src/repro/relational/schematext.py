@@ -1,0 +1,154 @@
+"""A plain-text schema format for the command-line tool.
+
+DART's metadata lives in files an acquisition designer edits by hand;
+the schema part uses one declaration per line::
+
+    # comments start with '#'
+    relation CashBudget(Year: int, Section: str, Subsection: str,
+                        Type: str, Value: int) key (Year, Subsection)
+    measure CashBudget.Value
+    bound CashBudget.Value >= -100000
+
+Domains accept the same aliases as :meth:`repro.relational.domains.
+Domain.parse` (``int``/``Z``, ``real``/``R``, ``str``/``S``).  The
+``key (...)`` clause is optional; ``measure`` lines declare ``M_D``;
+``bound`` lines declare value bounds the repair engine must respect
+(``>=`` lower, ``<=`` upper; repeatable per attribute).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.relational.domains import Domain
+from repro.relational.schema import DatabaseSchema, RelationSchema, SchemaError
+
+_RELATION_RE = re.compile(
+    r"^relation\s+(?P<name>\w+)\s*\((?P<attrs>[^)]*)\)"
+    r"(?:\s*key\s*\((?P<key>[^)]*)\))?\s*$",
+    re.IGNORECASE,
+)
+_MEASURE_RE = re.compile(r"^measure\s+(?P<rel>\w+)\.(?P<attr>\w+)\s*$", re.IGNORECASE)
+_BOUND_RE = re.compile(
+    r"^bound\s+(?P<rel>\w+)\.(?P<attr>\w+)\s*(?P<op>>=|<=)\s*"
+    r"(?P<value>-?\d+(?:\.\d+)?)\s*$",
+    re.IGNORECASE,
+)
+
+
+class SchemaTextError(ValueError):
+    """Raised on malformed schema text."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def parse_schema(text: str) -> DatabaseSchema:
+    """Parse the schema text format into a :class:`DatabaseSchema`."""
+    relations: List[RelationSchema] = []
+    measures: List[Tuple[str, str]] = []
+    bounds: List[Tuple[int, str, str, str, float]] = []
+    # Join continuation lines: a declaration may wrap; treat a line
+    # starting with whitespace as a continuation of the previous one.
+    logical_lines: List[Tuple[int, str]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            continue
+        if stripped[0].isspace() and logical_lines:
+            last_number, last_text = logical_lines[-1]
+            logical_lines[-1] = (last_number, last_text + " " + stripped.strip())
+        else:
+            logical_lines.append((number, stripped.strip()))
+
+    for number, line in logical_lines:
+        relation_match = _RELATION_RE.match(line)
+        if relation_match:
+            name = relation_match.group("name")
+            attributes: List[Tuple[str, Domain]] = []
+            attrs_text = relation_match.group("attrs").strip()
+            if not attrs_text:
+                raise SchemaTextError(f"relation {name!r} has no attributes", number)
+            for part in attrs_text.split(","):
+                if ":" not in part:
+                    raise SchemaTextError(
+                        f"attribute {part.strip()!r} needs 'name: domain'", number
+                    )
+                attr_name, domain_name = part.split(":", 1)
+                try:
+                    domain = Domain.parse(domain_name)
+                except ValueError as exc:
+                    raise SchemaTextError(str(exc), number) from exc
+                attributes.append((attr_name.strip(), domain))
+            key = None
+            if relation_match.group("key"):
+                key = [k.strip() for k in relation_match.group("key").split(",")]
+            try:
+                relations.append(RelationSchema.build(name, attributes, key=key))
+            except SchemaError as exc:
+                raise SchemaTextError(str(exc), number) from exc
+            continue
+        measure_match = _MEASURE_RE.match(line)
+        if measure_match:
+            measures.append((measure_match.group("rel"), measure_match.group("attr")))
+            continue
+        bound_match = _BOUND_RE.match(line)
+        if bound_match:
+            bounds.append(
+                (
+                    number,
+                    bound_match.group("rel"),
+                    bound_match.group("attr"),
+                    bound_match.group("op"),
+                    float(bound_match.group("value")),
+                )
+            )
+            continue
+        raise SchemaTextError(f"cannot parse declaration {line!r}", number)
+
+    if not relations:
+        raise SchemaTextError("no relation declarations found", 1)
+    try:
+        schema = DatabaseSchema(relations, measure_attributes=measures)
+    except SchemaError as exc:
+        raise SchemaTextError(str(exc), 1) from exc
+    for number, relation_name, attribute, op, value in bounds:
+        try:
+            if op == ">=":
+                schema.add_bound(relation_name, attribute, lower=value)
+            else:
+                schema.add_bound(relation_name, attribute, upper=value)
+        except SchemaError as exc:
+            raise SchemaTextError(str(exc), number) from exc
+    return schema
+
+
+def load_schema(path: Union[str, Path]) -> DatabaseSchema:
+    """Load a schema from a text file."""
+    return parse_schema(Path(path).read_text(encoding="utf-8"))
+
+
+def dump_schema(schema: DatabaseSchema) -> str:
+    """Render *schema* back into the text format (round-trippable)."""
+    lines: List[str] = []
+    for relation in schema:
+        attrs = ", ".join(
+            f"{a.name}: {a.domain.value}" for a in relation.attributes
+        )
+        key = ""
+        if relation.key:
+            key = " key (" + ", ".join(relation.key) + ")"
+        lines.append(f"relation {relation.name}({attrs}){key}")
+    for relation_name, attribute in sorted(schema.measure_attributes):
+        lines.append(f"measure {relation_name}.{attribute}")
+    for (relation_name, attribute), (lower, upper) in sorted(
+        schema.declared_bounds.items()
+    ):
+        if lower is not None:
+            lines.append(f"bound {relation_name}.{attribute} >= {lower:g}")
+        if upper is not None:
+            lines.append(f"bound {relation_name}.{attribute} <= {upper:g}")
+    return "\n".join(lines) + "\n"

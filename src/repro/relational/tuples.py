@@ -1,0 +1,118 @@
+"""Tuples as ground atoms.
+
+A tuple is a ground atom ``R(v1, ..., vn)`` over a relational scheme;
+``t[A]`` denotes the value of attribute ``A`` in ``t`` (paper,
+Section 3).  Tuples are immutable: the repairing framework never
+mutates a tuple in place, it builds updated copies (Definition 2).
+Each tuple carries a stable ``tuple_id`` assigned by the relation that
+owns it, so that updates can refer to tuples even after their values
+changed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple as PyTuple
+
+from repro.relational.domains import coerce_value, format_value
+from repro.relational.schema import RelationSchema, SchemaError
+
+
+class Tuple:
+    """An immutable ground atom over a relational scheme."""
+
+    __slots__ = ("schema", "values", "tuple_id")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        values: Sequence[Any],
+        tuple_id: Optional[int] = None,
+    ) -> None:
+        if len(values) != schema.arity:
+            raise SchemaError(
+                f"relation {schema.name!r} has arity {schema.arity}, "
+                f"got {len(values)} values"
+            )
+        coerced = tuple(
+            coerce_value(value, attribute.domain)
+            for value, attribute in zip(values, schema.attributes)
+        )
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "values", coerced)
+        object.__setattr__(self, "tuple_id", tuple_id)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Tuple is immutable")
+
+    def __getitem__(self, attribute: str) -> Any:
+        """``t[A]``: the value of attribute *attribute* in this tuple."""
+        return self.values[self.schema.position_of(attribute)]
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        if self.schema.has_attribute(attribute):
+            return self[attribute]
+        return default
+
+    @property
+    def relation_name(self) -> str:
+        return self.schema.name
+
+    def replacing(self, attribute: str, value: Any) -> "Tuple":
+        """Return a copy of this tuple with *attribute* set to *value*.
+
+        This is the effect ``u(t)`` of an atomic update
+        ``u = <t, A, v'>`` (Definition 2); the copy keeps the same
+        ``tuple_id`` so the repaired tuple is still "the same row".
+        """
+        position = self.schema.position_of(attribute)
+        new_values = list(self.values)
+        new_values[position] = value
+        return Tuple(self.schema, new_values, tuple_id=self.tuple_id)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(zip(self.schema.attribute_names, self.values))
+
+    def key_values(self) -> Optional[PyTuple[Any, ...]]:
+        """Values of the key attributes, or ``None`` if no key declared."""
+        if self.schema.key is None:
+            return None
+        return tuple(self[name] for name in self.schema.key)
+
+    def identity(self) -> PyTuple[Any, ...]:
+        """A hashable identity for the tuple.
+
+        Prefers the stable ``tuple_id`` (survives value updates), else
+        the declared key, else the full value vector.
+        """
+        if self.tuple_id is not None:
+            return (self.relation_name, "#", self.tuple_id)
+        key = self.key_values()
+        if key is not None:
+            return (self.relation_name, "k", key)
+        return (self.relation_name, "v", self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and self.values == other.values
+            and self.tuple_id == other.tuple_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema.name, self.values, self.tuple_id))
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(
+            format_value(v) if not isinstance(v, str) else repr(v)
+            for v in self.values
+        )
+        suffix = "" if self.tuple_id is None else f"  [id={self.tuple_id}]"
+        return f"{self.relation_name}({rendered}){suffix}"

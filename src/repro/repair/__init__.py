@@ -1,0 +1,88 @@
+"""Card-minimal repair of inconsistent numerical data (the paper's core).
+
+- :mod:`repro.repair.updates` -- atomic updates, consistent database
+  updates and repairs (Definitions 2-5);
+- :mod:`repro.repair.translation` -- the MILP construction of
+  Section 5: ``S(AC)`` -> ``S'(AC)`` -> ``S''(AC)`` -> ``S*(AC)``,
+  including both the theoretical and the practical Big-M bound;
+- :mod:`repro.repair.engine` -- :class:`RepairEngine`, the public
+  entry point computing card-minimal repairs;
+- :mod:`repro.repair.bruteforce` -- an exponential oracle used to
+  validate optimality on small instances;
+- :mod:`repro.repair.interactive` -- the supervised validation loop of
+  Section 6.3 (operator accepts/rejects updates, pins become
+  constraints, the MILP is re-solved);
+- :mod:`repro.repair.baselines` -- non-card-minimal repairers used as
+  evaluation baselines.
+"""
+
+from repro.repair.updates import (
+    AtomicUpdate,
+    Repair,
+    RepairError,
+    apply_repair,
+)
+from repro.repair.translation import (
+    BigMStrategy,
+    MILPTranslation,
+    RepairObjective,
+    TranslationError,
+    practical_big_m,
+    theoretical_big_m,
+    translate,
+)
+from repro.repair.cqa import ConsistentAnswer, consistent_aggregate_answer
+from repro.repair.enumeration import (
+    count_card_minimal_supports,
+    enumerate_card_minimal_repairs,
+)
+from repro.repair.setminimal import (
+    find_set_minimal_not_card_minimal,
+    is_set_minimal,
+)
+from repro.repair.engine import RepairEngine, RepairOutcome, UnrepairableError
+from repro.repair.bruteforce import brute_force_card_minimal
+from repro.repair.interactive import (
+    FallibleOperator,
+    Operator,
+    OracleOperator,
+    ValidationLoop,
+    ValidationSession,
+    involvement_order,
+)
+from repro.repair.baselines import (
+    aggregate_recompute_repair,
+    greedy_local_repair,
+)
+
+__all__ = [
+    "AtomicUpdate",
+    "Repair",
+    "RepairError",
+    "apply_repair",
+    "translate",
+    "MILPTranslation",
+    "TranslationError",
+    "BigMStrategy",
+    "theoretical_big_m",
+    "practical_big_m",
+    "RepairEngine",
+    "RepairObjective",
+    "RepairOutcome",
+    "UnrepairableError",
+    "ConsistentAnswer",
+    "consistent_aggregate_answer",
+    "enumerate_card_minimal_repairs",
+    "count_card_minimal_supports",
+    "is_set_minimal",
+    "find_set_minimal_not_card_minimal",
+    "brute_force_card_minimal",
+    "Operator",
+    "OracleOperator",
+    "FallibleOperator",
+    "ValidationLoop",
+    "ValidationSession",
+    "involvement_order",
+    "greedy_local_repair",
+    "aggregate_recompute_repair",
+]

@@ -1,0 +1,165 @@
+"""Baseline repairers (not card-minimal) for the evaluation benches.
+
+The paper motivates card-minimality by contrast (Example 7 exhibits a
+3-update repair where a 1-update repair exists).  These baselines make
+that contrast measurable:
+
+- :func:`greedy_local_repair` -- repeatedly pick a violated ground
+  equality and fix it by changing a single cell (the one involved in
+  the fewest other constraints, to limit ripple), until consistent or
+  out of rounds.  This is the "chase the violations" strategy a naive
+  implementation would use.
+- :func:`aggregate_recompute_repair` -- the spreadsheet strategy:
+  assume all *detail* values are right and recompute every dependent
+  value from them (iterate each equality's "defined" cell to fixpoint).
+
+Both return a :class:`~repro.repair.updates.Repair` (or ``None`` on
+non-convergence); both can return repairs of much larger cardinality
+than optimal, and the recompute baseline repairs the wrong cells
+whenever the acquisition error hit a detail value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.constraints.constraint import AggregateConstraint, Relop
+from repro.constraints.grounding import (
+    Cell,
+    GroundConstraint,
+    GroundingEngine,
+    ground_constraints,
+)
+from repro.relational.database import Database, diff_databases
+from repro.relational.domains import Domain
+from repro.repair.updates import AtomicUpdate, Repair
+
+
+def _repair_from_diff(original: Database, modified: Database) -> Repair:
+    updates = [
+        AtomicUpdate(relation, tuple_id, attribute, float(old), float(new))
+        for relation, tuple_id, attribute, old, new in diff_databases(
+            original, modified
+        )
+    ]
+    return Repair(updates)
+
+
+def _round_for(database: Database, cell: Cell, value: float) -> float:
+    relation, _, attribute = cell
+    domain = database.schema.relation(relation).domain_of(attribute)
+    if domain is Domain.INTEGER:
+        return float(round(value))
+    return value
+
+
+def greedy_local_repair(
+    database: Database,
+    constraints: Sequence[AggregateConstraint],
+    *,
+    max_rounds: int = 1000,
+) -> Optional[Repair]:
+    """Fix one violated ground constraint per round by one cell change.
+
+    Within the violated constraint, the cell involved in the fewest
+    *other* ground constraints is changed (least ripple); the new value
+    is whatever makes this constraint hold exactly.  Returns ``None``
+    if the instance is not consistent after ``max_rounds``.
+    """
+    engine = GroundingEngine(database, list(constraints), require_steady=True)
+    grounds = engine.system
+    involvement: Dict[Cell, int] = {}
+    for ground in grounds:
+        for cell in ground.coefficients:
+            involvement[cell] = involvement.get(cell, 0) + 1
+
+    working = database.copy()
+    for _ in range(max_rounds):
+        violated = [g for g in grounds if not g.holds(working)]
+        if not violated:
+            return _repair_from_diff(database, working)
+        ground = violated[0]
+        # Pick the least-entangled cell with a usable coefficient.
+        candidates = sorted(
+            ground.coefficients, key=lambda c: (involvement[c], c)
+        )
+        cell = candidates[0]
+        coefficient = ground.coefficients[cell]
+        current = float(working.get_value(*cell))
+        lhs = ground.evaluate(working)
+        # Choose the new value making the constraint tight:
+        # lhs - coeff*current + coeff*new == rhs.
+        target = (ground.rhs - (lhs - coefficient * current)) / coefficient
+        working.set_value(cell[0], cell[1], cell[2], _round_for(working, cell, target))
+    return None
+
+
+def aggregate_recompute_repair(
+    database: Database,
+    constraints: Sequence[AggregateConstraint],
+    *,
+    max_rounds: int = 100,
+) -> Optional[Repair]:
+    """The spreadsheet strategy: re-evaluate every "formula" cell.
+
+    Each ground equality is *oriented*: one of its cells is chosen as
+    the cell the equality defines (its "formula output"), the rest are
+    inputs.  Orientation is a greedy matching -- every equality claims
+    a distinct cell, preferring negative-coefficient cells (totals are
+    conventionally written ``details - total = 0``) and, among those,
+    cells involved in more equalities (aggregates feed other
+    formulas).  The oriented system is then evaluated to fixpoint.
+
+    Equalities that cannot claim a cell (all of their cells are claimed
+    by other formulas -- e.g. a pure cross-check like the accounting
+    equation) are treated as checks: if any of them fails after the
+    fixpoint, recomputation cannot repair the instance and ``None`` is
+    returned.  This mirrors real spreadsheets, where a broken check row
+    needs a human, and is exactly the behavioural contrast with the
+    MILP repair the E7 bench measures.
+    """
+    engine = GroundingEngine(database, list(constraints), require_steady=True)
+    grounds = [g for g in engine.system if g.relop == Relop.EQ]
+    checks = [g for g in engine.system if g.relop != Relop.EQ]
+
+    involvement: Dict[Cell, int] = {}
+    for ground in engine.system:
+        for cell in ground.coefficients:
+            involvement[cell] = involvement.get(cell, 0) + 1
+
+    claimed: Dict[int, Cell] = {}
+    taken: set = set()
+    for index, ground in enumerate(grounds):
+        candidates = sorted(
+            (c for c in ground.coefficients if c not in taken),
+            key=lambda c: (
+                ground.coefficients[c] >= 0,  # prefer negative coefficient
+                -involvement[c],
+                c,
+            ),
+        )
+        if candidates:
+            claimed[index] = candidates[0]
+            taken.add(candidates[0])
+
+    working = database.copy()
+    for _ in range(max_rounds):
+        changed = False
+        for index, ground in enumerate(grounds):
+            cell = claimed.get(index)
+            if cell is None or ground.holds(working):
+                continue
+            coefficient = ground.coefficients[cell]
+            current = float(working.get_value(*cell))
+            lhs = ground.evaluate(working)
+            target = (ground.rhs - (lhs - coefficient * current)) / coefficient
+            new_value = _round_for(working, cell, target)
+            if new_value != current:
+                working.set_value(cell[0], cell[1], cell[2], new_value)
+                changed = True
+        if not changed:
+            break
+    still_violated = [g for g in engine.system if not g.holds(working)]
+    if still_violated:
+        return None
+    return _repair_from_diff(database, working)

@@ -1,0 +1,152 @@
+"""Brute-force card-minimal repair (the test oracle).
+
+Enumerates candidate cell subsets by increasing cardinality; for each
+subset, asks whether freezing every *other* involved cell at its
+current value leaves the ground system satisfiable.  The first
+cardinality with a satisfiable subset is the card-minimal cardinality,
+and the witness assignment is a card-minimal repair.
+
+Satisfiability of "fix these, free those" is itself decided with the
+MILP layer (zero objective, no deltas needed), so the oracle's only
+assumption shared with the engine under test is the *ground system* --
+which the tests validate separately by direct evaluation.
+
+Exponential in the number of involved cells: use on small instances
+only (the tests cap at ~20 cells / cardinality 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple as PyTuple
+
+from repro.constraints.constraint import AggregateConstraint, Relop
+from repro.constraints.grounding import Cell, GroundConstraint, ground_constraints
+from repro.milp.model import MILPModel, SolveStatus, VarType
+from repro.milp.solver import solve
+from repro.relational.database import Database
+from repro.relational.domains import Domain
+from repro.repair.updates import AtomicUpdate, Repair
+
+
+def _subset_feasible(
+    grounds: Sequence[GroundConstraint],
+    cells: Sequence[Cell],
+    values: Mapping[Cell, float],
+    integer: Mapping[Cell, bool],
+    free: Sequence[Cell],
+    bound: float,
+    pins: Mapping[Cell, float],
+    bounds: Mapping[Cell, PyTuple[Optional[float], Optional[float]]],
+) -> Optional[Dict[Cell, float]]:
+    """If the system is satisfiable with only *free* cells changeable,
+    return a witness assignment for the free cells; else ``None``."""
+    free_set = set(free)
+    model = MILPModel("oracle")
+    variables: Dict[Cell, object] = {}
+    for cell in free:
+        var_type = VarType.INTEGER if integer[cell] else VarType.REAL
+        declared_lower, declared_upper = bounds.get(cell, (None, None))
+        lower = -bound if declared_lower is None else max(-bound, declared_lower)
+        upper = bound if declared_upper is None else min(bound, declared_upper)
+        variables[cell] = model.add_variable(
+            f"z_{cells.index(cell)}", var_type, lower=lower, upper=upper
+        )
+    for g_index, ground in enumerate(grounds):
+        expr = 0.0
+        has_variable = False
+        for cell, coefficient in ground.coefficients.items():
+            if cell in free_set:
+                expr = expr + coefficient * variables[cell]
+                has_variable = True
+            else:
+                expr = expr + coefficient * values[cell]
+        rhs = ground.rhs - ground.constant
+        if not has_variable:
+            if not Relop.holds(ground.relop, float(expr) + ground.constant, ground.rhs):
+                return None
+            continue
+        if ground.relop == Relop.LE:
+            model.add_constraint(expr <= rhs, name=f"g{g_index}")
+        elif ground.relop == Relop.GE:
+            model.add_constraint(expr >= rhs, name=f"g{g_index}")
+        else:
+            model.add_constraint(expr == rhs, name=f"g{g_index}")
+    for cell, pinned in pins.items():
+        if cell in free_set:
+            model.add_constraint(variables[cell] == float(pinned))
+        elif values[cell] != pinned:
+            return None
+    if not free:
+        # Every ground constraint was checked against the frozen values
+        # above; an empty free set is feasible iff none failed.
+        return {}
+    model.set_objective(0.0)
+    solution = solve(model)
+    if solution.status is not SolveStatus.OPTIMAL or solution.values is None:
+        return None
+    witness: Dict[Cell, float] = {}
+    for cell in free:
+        value = solution.values[f"z_{cells.index(cell)}"]
+        if integer[cell]:
+            value = round(value)
+        witness[cell] = value
+    return witness
+
+
+def brute_force_card_minimal(
+    database: Database,
+    constraints: Sequence[AggregateConstraint],
+    *,
+    max_cardinality: Optional[int] = None,
+    bound: float = 1e9,
+    pins: Optional[Mapping[Cell, float]] = None,
+) -> Optional[Repair]:
+    """Exhaustively find a card-minimal repair, or ``None`` if none exists
+    within *max_cardinality* (default: all involved cells)."""
+    grounds = ground_constraints(constraints, database, require_steady=True)
+    cells: List[Cell] = []
+    seen = set()
+    for ground in grounds:
+        for cell in ground.coefficients:
+            if cell not in seen:
+                seen.add(cell)
+                cells.append(cell)
+    cells.sort()
+    pins = dict(pins or {})
+    for cell in pins:
+        if cell not in seen:
+            seen.add(cell)
+            cells.append(cell)
+
+    schema = database.schema
+    values: Dict[Cell, float] = {}
+    integer: Dict[Cell, bool] = {}
+    declared_bounds: Dict[Cell, PyTuple[Optional[float], Optional[float]]] = {}
+    for cell in cells:
+        relation, tuple_id, attribute = cell
+        values[cell] = float(database.get_value(relation, tuple_id, attribute))
+        integer[cell] = schema.relation(relation).domain_of(attribute) is Domain.INTEGER
+        declared_bounds[cell] = schema.bounds_of(relation, attribute)
+
+    limit = len(cells) if max_cardinality is None else min(max_cardinality, len(cells))
+    for cardinality in range(0, limit + 1):
+        for subset in itertools.combinations(cells, cardinality):
+            witness = _subset_feasible(
+                grounds, cells, values, integer, list(subset), bound, pins,
+                declared_bounds,
+            )
+            if witness is None:
+                continue
+            updates = [
+                AtomicUpdate(cell[0], cell[1], cell[2], values[cell], witness[cell])
+                for cell in subset
+                if witness[cell] != values[cell]
+            ]
+            # The witness might coincide with the original value on some
+            # freed cell; then a smaller subset would also have been
+            # feasible and was already tried -- unless we are at that
+            # smaller cardinality now.  Accept only exact-size repairs.
+            if len(updates) == cardinality:
+                return Repair(updates)
+    return None

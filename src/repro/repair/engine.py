@@ -1,0 +1,224 @@
+"""The repair engine: DART's repairing module (Sections 5 and 6.3).
+
+:class:`RepairEngine` owns a database instance and a set of steady
+aggregate constraints and answers:
+
+- ``is_consistent()`` / ``violations()`` -- the detection step;
+- ``find_card_minimal_repair(pins=...)`` -- the MILP-based computation
+  of a card-minimal repair, with operator pins from the validation
+  loop folded in as additional equality constraints;
+- ``apply(repair)`` / ``is_repair(repair)`` -- repair application and
+  verification.
+
+Every returned repair is *verified*: the engine applies it to a copy
+of the database and re-checks all constraints, so a Big-M artefact or
+a solver tolerance issue can never silently hand back a non-repair.
+If the MILP comes back infeasible, or a ``y`` variable lands on the
+Big-M bound, the engine escalates M (x100, a bounded number of times)
+before concluding the instance is unrepairable.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+logger = logging.getLogger(__name__)
+
+from repro.constraints.constraint import AggregateConstraint, ConstraintError
+from repro.constraints.grounding import (
+    Cell,
+    GroundConstraint,
+    GroundingEngine,
+    Violation,
+    ground_constraints,
+)
+from repro.milp.model import Solution, SolveStatus
+from repro.milp.solver import DEFAULT_BACKEND, solve
+from repro.relational.database import Database
+from repro.repair.translation import (
+    BigMStrategy,
+    MILPTranslation,
+    RepairObjective,
+    TranslationError,
+    translate,
+)
+from repro.repair.updates import Repair, apply_repair
+
+
+class UnrepairableError(RuntimeError):
+    """No repair exists (or none within the escalated Big-M bounds)."""
+
+
+@dataclass
+class RepairOutcome:
+    """A computed card-minimal repair plus solve diagnostics."""
+
+    repair: Repair
+    objective: float
+    translation: MILPTranslation
+    solution: Solution
+    escalations: int = 0
+
+    @property
+    def cardinality(self) -> int:
+        return self.repair.cardinality
+
+
+class RepairEngine:
+    """Card-minimal repair computation for one (database, constraints) pair."""
+
+    def __init__(
+        self,
+        database: Database,
+        constraints: Sequence[AggregateConstraint],
+        *,
+        backend: str = DEFAULT_BACKEND,
+        big_m_strategy: BigMStrategy = BigMStrategy.PRACTICAL,
+        max_escalations: int = 3,
+        objective: RepairObjective = RepairObjective.CARDINALITY,
+        weights: Optional[Mapping[Cell, float]] = None,
+    ) -> None:
+        """``objective`` / ``weights`` select the minimality semantics
+        (see :class:`~repro.repair.translation.RepairObjective`); the
+        default is the paper's card-minimality."""
+        self.database = database
+        self.constraints = list(constraints)
+        self.backend = backend
+        self.big_m_strategy = big_m_strategy
+        self.max_escalations = max_escalations
+        self.objective = objective
+        self.weights = dict(weights) if weights else None
+        for constraint in self.constraints:
+            constraint.validate(database.schema)
+            if not constraint.is_steady(database.schema):
+                witness = constraint.steadiness_witness(database.schema)
+                raise ConstraintError(
+                    f"constraint {constraint.name!r} is not steady (measure "
+                    f"attributes {sorted(witness)} occur in A | J); the MILP "
+                    f"translation of Section 5 does not apply"
+                )
+        self._grounding = GroundingEngine(
+            database, self.constraints, require_steady=True
+        )
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+
+    def violations(self, database: Optional[Database] = None) -> List[Violation]:
+        """Ground constraints violated by the (given or own) instance."""
+        return self._grounding.violations(database)
+
+    def is_consistent(self, database: Optional[Database] = None) -> bool:
+        """``D |= AC``?"""
+        return self._grounding.is_consistent(database)
+
+    @property
+    def ground_system(self) -> List[GroundConstraint]:
+        """The system ``S(AC)`` (cached)."""
+        return self._grounding.system
+
+    def involved_cells(self) -> List[Cell]:
+        return self._grounding.cells()
+
+    # ------------------------------------------------------------------
+    # Repair computation
+    # ------------------------------------------------------------------
+
+    def find_card_minimal_repair(
+        self,
+        pins: Optional[Mapping[Cell, float]] = None,
+        **solver_options,
+    ) -> RepairOutcome:
+        """Compute a card-minimal repair (Definition 5) via ``S*(AC)``.
+
+        ``pins`` maps cells to operator-imposed exact values
+        (Section 6.3).  Raises :class:`UnrepairableError` if no repair
+        exists.  The returned repair is verified against the
+        constraints before being handed back.
+        """
+        big_m_override: Optional[float] = None
+        escalations = 0
+        while True:
+            translation = translate(
+                self.database,
+                self.constraints,
+                pins=pins,
+                strategy=self.big_m_strategy,
+                big_m=big_m_override,
+                grounds=self.ground_system,
+                objective=self.objective,
+                weights=self.weights,
+            )
+            logger.debug(
+                "solving S*(AC): N=%d, %d ground rows, M=%g, backend=%s%s",
+                translation.n,
+                len(translation.grounds),
+                translation.big_m,
+                self.backend,
+                f", {len(translation.pins)} pin(s)" if translation.pins else "",
+            )
+            solution = solve(translation.model, backend=self.backend, **solver_options)
+            if solution.status is SolveStatus.INFEASIBLE:
+                logger.info(
+                    "MILP infeasible at M=%g (escalation %d/%d)",
+                    translation.big_m, escalations, self.max_escalations,
+                )
+                if escalations >= self.max_escalations:
+                    raise UnrepairableError(
+                        f"MILP infeasible after {escalations} Big-M escalations; "
+                        f"no repair exists within |value| <= {translation.big_m:g}"
+                        + (" under the given pins" if pins else "")
+                    )
+                big_m_override = translation.big_m * 100.0
+                escalations += 1
+                continue
+            if not solution.is_optimal:
+                raise UnrepairableError(
+                    f"MILP solver returned {solution.status.value}"
+                )
+            repair = translation.extract_repair(solution)
+            repaired = apply_repair(self.database, repair)
+            if not self.is_consistent(repaired):
+                # Numerically possible only if M was too tight for some
+                # intermediate value; escalate and retry.
+                if escalations >= self.max_escalations:
+                    raise UnrepairableError(
+                        "solver returned a candidate that fails verification "
+                        "even after Big-M escalation"
+                    )
+                big_m_override = translation.big_m * 100.0
+                escalations += 1
+                continue
+            if translation.binding_deltas(solution) and escalations < self.max_escalations:
+                # The bound binds: a smaller-cardinality repair might be
+                # hiding beyond it.  Re-solve once with a larger M.
+                big_m_override = translation.big_m * 100.0
+                escalations += 1
+                continue
+            logger.info(
+                "card-minimal repair found: objective=%g, %d update(s), "
+                "%d escalation(s)",
+                solution.objective or 0.0, repair.cardinality, escalations,
+            )
+            return RepairOutcome(
+                repair=repair,
+                objective=float(solution.objective or 0.0),
+                translation=translation,
+                solution=solution,
+                escalations=escalations,
+            )
+
+    # ------------------------------------------------------------------
+    # Application / verification
+    # ------------------------------------------------------------------
+
+    def apply(self, repair: Repair) -> Database:
+        """``rho(D)`` -- a repaired copy; the original is untouched."""
+        return apply_repair(self.database, repair)
+
+    def is_repair(self, repair: Repair) -> bool:
+        """Definition 4: does applying *repair* satisfy the constraints?"""
+        return self.is_consistent(apply_repair(self.database, repair))

@@ -1,0 +1,77 @@
+"""The data-extraction module: wrapper + database generator (Section 6.2).
+
+- :mod:`repro.wrapping.html` -- an HTML table parser built on the
+  standard library's ``html.parser``; reconstructs the physical table
+  (rowspan/colspan cells) and its logical grid;
+- :mod:`repro.wrapping.metadata` -- extraction metadata: domain
+  descriptions, hierarchical relationships (Figure 6), classification
+  information, the relational mapping, and the row-pattern set;
+- :mod:`repro.wrapping.patterns` -- row patterns (Figure 7a): ordered
+  cells whose content is a lexical domain or a standard domain, an
+  optional headline, and hierarchy requirements between cells;
+- :mod:`repro.wrapping.matching` -- edit-distance similarity, the
+  most-similar-item (msi) dictionary repair, and the t-norms that
+  combine cell scores into row scores;
+- :mod:`repro.wrapping.wrapper` -- the wrapper: match every table row
+  against the row patterns, pick the best, and emit scored row-pattern
+  instances (Figure 7b);
+- :mod:`repro.wrapping.dbgen` -- the database generator: row-pattern
+  instances -> relational tuples, with classification-driven
+  attributes (the ``Type`` column of the running example).
+"""
+
+from repro.wrapping.html import HtmlTableParseError, parse_html_tables
+from repro.wrapping.matching import (
+    TNorm,
+    levenshtein,
+    most_similar_item,
+    similarity,
+)
+from repro.wrapping.metadata import (
+    ClassificationInfo,
+    DomainDescription,
+    ExtractionMetadata,
+    HierarchyGraph,
+    RelationalMapping,
+    TableSelector,
+)
+from repro.wrapping.patterns import (
+    CellPattern,
+    LexicalCell,
+    RowPattern,
+    StandardCell,
+    StandardDomain,
+)
+from repro.wrapping.wrapper import (
+    CellMatch,
+    RowPatternInstance,
+    Wrapper,
+    WrapperReport,
+)
+from repro.wrapping.dbgen import DatabaseGenerator, ExtractionError
+
+__all__ = [
+    "parse_html_tables",
+    "HtmlTableParseError",
+    "levenshtein",
+    "similarity",
+    "most_similar_item",
+    "TNorm",
+    "DomainDescription",
+    "HierarchyGraph",
+    "ClassificationInfo",
+    "RelationalMapping",
+    "ExtractionMetadata",
+    "TableSelector",
+    "StandardDomain",
+    "StandardCell",
+    "LexicalCell",
+    "CellPattern",
+    "RowPattern",
+    "Wrapper",
+    "WrapperReport",
+    "RowPatternInstance",
+    "CellMatch",
+    "DatabaseGenerator",
+    "ExtractionError",
+]

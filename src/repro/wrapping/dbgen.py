@@ -1,0 +1,116 @@
+"""The database generator (Section 6.2).
+
+Takes the row-pattern instances the wrapper produced and builds the
+database instance ``D`` the repairing module works on.  Each instance
+becomes one tuple of the mapped relation:
+
+- headline-sourced attributes take the bound value of the cell
+  carrying that headline label, coerced into the attribute's domain;
+- classification-sourced attributes apply a classification to the
+  value extracted for another attribute (the ``Type`` column of the
+  running example is implied by ``Subsection``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.relational.database import Database
+from repro.relational.domains import Domain, DomainError, coerce_value
+from repro.wrapping.metadata import AttributeSource, ExtractionMetadata, MetadataError
+from repro.wrapping.wrapper import RowPatternInstance
+
+
+class ExtractionError(ValueError):
+    """Raised when an instance cannot be turned into a tuple."""
+
+
+@dataclass
+class GenerationReport:
+    """The generated database plus per-row provenance."""
+
+    database: Database
+    inserted: int
+    skipped: List[RowPatternInstance] = field(default_factory=list)
+
+
+class DatabaseGenerator:
+    """Row-pattern instances -> a database instance of the target scheme."""
+
+    def __init__(self, metadata: ExtractionMetadata) -> None:
+        self.metadata = metadata
+
+    def generate(
+        self,
+        instances: Sequence[RowPatternInstance],
+        *,
+        skip_failures: bool = False,
+    ) -> GenerationReport:
+        """Build the database.  With ``skip_failures`` rows that cannot
+        be coerced are collected instead of raising."""
+        database = Database(self.metadata.schema)
+        mapping = self.metadata.mapping
+        relation_schema = self.metadata.schema.relation(mapping.relation)
+        inserted = 0
+        skipped: List[RowPatternInstance] = []
+        for instance in instances:
+            try:
+                record = self._record_for(instance)
+            except (ExtractionError, MetadataError, DomainError, KeyError) as exc:
+                if skip_failures:
+                    skipped.append(instance)
+                    continue
+                raise ExtractionError(
+                    f"row {instance.row_index} of table {instance.table_index}: "
+                    f"{exc}"
+                ) from exc
+            database.insert_dict(mapping.relation, record)
+            inserted += 1
+        return GenerationReport(database=database, inserted=inserted, skipped=skipped)
+
+    def _record_for(self, instance: RowPatternInstance) -> Dict[str, Any]:
+        mapping = self.metadata.mapping
+        relation_schema = self.metadata.schema.relation(mapping.relation)
+        record: Dict[str, Any] = {}
+        # Headline-sourced attributes first...
+        for attribute, source in mapping.sources.items():
+            if source.headline is None:
+                continue
+            raw = instance.value(source.headline)
+            domain = relation_schema.domain_of(attribute)
+            record[attribute] = self._coerce(raw, domain, attribute)
+        # ...then classification-sourced ones (they read other attributes).
+        for attribute, source in mapping.sources.items():
+            if source.headline is not None:
+                continue
+            assert source.classify_attribute is not None
+            assert source.classification is not None
+            if source.classify_attribute not in record:
+                raise ExtractionError(
+                    f"attribute {attribute!r} classifies "
+                    f"{source.classify_attribute!r}, which is itself "
+                    f"classification-sourced (unsupported chain)"
+                )
+            classification = self.metadata.classifications[source.classification]
+            record[attribute] = classification.classify(
+                str(record[source.classify_attribute])
+            )
+        return record
+
+    @staticmethod
+    def _coerce(raw: str, domain: Domain, attribute: str) -> Any:
+        if domain is Domain.STRING:
+            return raw
+        text = raw.strip()
+        try:
+            return coerce_value(text, domain)
+        except DomainError:
+            # Last-resort digit extraction for OCR-damaged numerics; the
+            # repairing module will judge the value against constraints.
+            digits = "".join(ch for ch in text if ch.isdigit() or ch in "-.")
+            if digits.lstrip("-").replace(".", "", 1).isdigit():
+                return coerce_value(digits, domain)
+            raise ExtractionError(
+                f"cannot read {raw!r} as {domain} for attribute {attribute!r}"
+            ) from None

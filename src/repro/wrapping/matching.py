@@ -1,0 +1,139 @@
+"""String similarity, dictionary repair (msi) and t-norms.
+
+The wrapper scores the match between a table cell and a row-pattern
+cell.  For lexical-domain cells the score is the best similarity
+between the cell text and any lexical item of the domain; the item
+achieving it is the *most similar item* (msi), and binding the
+instance to the msi instead of the raw text is the wrapper-level
+"repair" of misspelled strings (Section 6.2).
+
+Similarity is normalised Levenshtein::
+
+    sim(a, b) = 1 - dist(a, b) / (len(a) + len(b))
+
+This normalisation makes the paper's Example 13 concrete: with the
+OCR misreading "bgnning cesh" of "beginning cash" the distance is 3
+over combined length 26, giving a score of ~0.885 -- the "90%" cell
+score of Figure 7(b) (an exact match scores 100%).
+
+Row scores combine cell scores with a *t-norm* (the paper leaves the
+choice open; the A3 ablation bench compares them):
+
+- product: ``prod(s_i)``;
+- minimum (Gödel): ``min(s_i)``;
+- Łukasiewicz: ``max(0, sum(s_i) - (n - 1))``.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+
+def levenshtein(a: str, b: str, upper_bound: Optional[int] = None) -> int:
+    """Classic edit distance (substitution, insertion, deletion = 1).
+
+    With *upper_bound* the computation stops early once the distance
+    provably exceeds it and returns ``upper_bound + 1`` -- the msi
+    search uses this to skip hopeless dictionary items without
+    changing any result.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    if upper_bound is not None and len(a) - len(b) > upper_bound:
+        return upper_bound + 1
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        row_minimum = i
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            value = min(
+                previous[j] + 1,      # deletion
+                current[j - 1] + 1,   # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+            current.append(value)
+            if value < row_minimum:
+                row_minimum = value
+        if upper_bound is not None and row_minimum > upper_bound:
+            return upper_bound + 1
+        previous = current
+    return previous[-1]
+
+
+def similarity(a: str, b: str, *, case_sensitive: bool = False) -> float:
+    """Normalised similarity in [0, 1]: ``1 - dist / (|a| + |b|)``."""
+    if not case_sensitive:
+        a, b = a.lower(), b.lower()
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / (len(a) + len(b))
+
+
+def most_similar_item(
+    text: str,
+    items: Sequence[str],
+    *,
+    minimum_score: float = 0.0,
+) -> PyTuple[Optional[str], float]:
+    """The msi: the dictionary item most similar to *text* and its score.
+
+    Returns ``(None, best_score)`` when nothing reaches
+    ``minimum_score``.  Ties break toward the lexicographically first
+    item for determinism.
+    """
+    normalized = text.lower()
+    best_item: Optional[str] = None
+    best_score = -1.0
+    for item in sorted(items):
+        candidate = item.lower()
+        total_length = len(normalized) + len(candidate)
+        if total_length == 0:
+            score = 1.0
+        else:
+            if best_score > 0.0:
+                # Prune: sim = 1 - d/total needs d < total*(1-best) to
+                # beat the incumbent; the banded distance bails out as
+                # soon as that becomes impossible.  Exact -- only the
+                # work is skipped, never a better match.
+                budget = int(total_length * (1.0 - best_score))
+                distance = levenshtein(normalized, candidate, upper_bound=budget)
+            else:
+                distance = levenshtein(normalized, candidate)
+            score = 1.0 - distance / total_length
+        if score > best_score:
+            best_item = item
+            best_score = score
+    if best_item is None or best_score < minimum_score:
+        return None, max(best_score, 0.0)
+    return best_item, best_score
+
+
+class TNorm(enum.Enum):
+    """T-norms available for combining cell scores into a row score."""
+
+    PRODUCT = "product"
+    MINIMUM = "minimum"
+    LUKASIEWICZ = "lukasiewicz"
+
+    def combine(self, scores: Iterable[float]) -> float:
+        values = list(scores)
+        if not values:
+            return 1.0
+        for value in values:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"t-norm input {value} outside [0, 1]")
+        if self is TNorm.PRODUCT:
+            return math.prod(values)
+        if self is TNorm.MINIMUM:
+            return min(values)
+        return max(0.0, sum(values) - (len(values) - 1))

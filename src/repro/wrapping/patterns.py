@@ -1,0 +1,123 @@
+"""Row patterns (Figure 7a).
+
+A row pattern specifies the structure and content of one kind of table
+row: an ordered set of cells, each requiring either a *standard
+domain* (Integer, Real, String) or a *lexical domain* from the
+extraction metadata.  Each cell may carry a *headline* label (the
+semantic name used by the database generator) and a *hierarchy
+requirement* pointing at another cell: the lexical item bound here
+must be a specialisation of the item bound there (Figure 7a's arrow
+from the Subsection cell to the Section cell).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from repro.wrapping.metadata import MetadataError
+
+
+class StandardDomain(enum.Enum):
+    """The built-in cell content domains."""
+
+    INTEGER = "Integer"
+    REAL = "Real"
+    STRING = "String"
+
+
+@dataclass(frozen=True)
+class StandardCell:
+    """A cell requiring a standard domain value."""
+
+    domain: StandardDomain
+    headline: Optional[str] = None
+
+    @property
+    def is_lexical(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        label = f" [{self.headline}]" if self.headline else ""
+        return f"{self.domain.value}{label}"
+
+
+@dataclass(frozen=True)
+class LexicalCell:
+    """A cell requiring an item of a lexical domain.
+
+    ``specialization_of`` optionally names the 0-based index of another
+    (lexical) cell of the same pattern: the item bound here must be a
+    specialisation of the item bound there.
+    """
+
+    domain_name: str
+    headline: Optional[str] = None
+    specialization_of: Optional[int] = None
+
+    @property
+    def is_lexical(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        label = f" [{self.headline}]" if self.headline else ""
+        arrow = (
+            f" (specialises cell {self.specialization_of})"
+            if self.specialization_of is not None
+            else ""
+        )
+        return f"{self.domain_name}{label}{arrow}"
+
+
+CellPattern = object  # union alias for isinstance checks in the wrapper
+
+
+@dataclass(frozen=True)
+class RowPattern:
+    """An ordered set of cell patterns with a name."""
+
+    name: str
+    cells: Sequence[object]  # StandardCell | LexicalCell
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cells", tuple(self.cells))
+        if not self.cells:
+            raise MetadataError(f"row pattern {self.name!r} has no cells")
+        seen_labels: Set[str] = set()
+        for index, cell in enumerate(self.cells):
+            if not isinstance(cell, (StandardCell, LexicalCell)):
+                raise MetadataError(
+                    f"row pattern {self.name!r}: cell {index} is not a "
+                    f"StandardCell or LexicalCell"
+                )
+            if cell.headline:
+                if cell.headline in seen_labels:
+                    raise MetadataError(
+                        f"row pattern {self.name!r}: duplicate headline "
+                        f"label {cell.headline!r}"
+                    )
+                seen_labels.add(cell.headline)
+            if isinstance(cell, LexicalCell) and cell.specialization_of is not None:
+                target = cell.specialization_of
+                if not 0 <= target < len(self.cells) or target == index:
+                    raise MetadataError(
+                        f"row pattern {self.name!r}: cell {index} references "
+                        f"invalid cell {target}"
+                    )
+                if not isinstance(self.cells[target], LexicalCell):
+                    raise MetadataError(
+                        f"row pattern {self.name!r}: hierarchy requirement "
+                        f"must point at a lexical cell"
+                    )
+
+    @property
+    def arity(self) -> int:
+        return len(self.cells)
+
+    def headline_labels(self) -> List[str]:
+        return [cell.headline for cell in self.cells if cell.headline]
+
+    def __str__(self) -> str:
+        cells = " | ".join(str(cell) for cell in self.cells)
+        return f"RowPattern({self.name!r}: {cells})"

@@ -1,0 +1,93 @@
+"""Unit tests for aggregation functions (repro.constraints.aggregates).
+
+Checks the paper's Example 2 values literally: chi1('Receipts', 2003,
+'det') = 220 on the ground truth, chi1('Disbursements', 2003, 'aggr')
+= 160, chi2(2003, 'cash sales') = 100, chi2(2004, 'net cash inflow')
+= 10.
+"""
+
+import pytest
+
+from repro.constraints.aggregates import AggregationFunction
+from repro.constraints.expressions import attr_expr
+from repro.relational.predicates import equals, var
+
+
+@pytest.fixture
+def chi1():
+    condition = (
+        equals("Section", var("x")) & equals("Year", var("y")) & equals("Type", var("z"))
+    )
+    return AggregationFunction("chi1", "CashBudget", ["x", "y", "z"], attr_expr("Value"), condition)
+
+
+@pytest.fixture
+def chi2():
+    condition = equals("Year", var("x")) & equals("Subsection", var("y"))
+    return AggregationFunction("chi2", "CashBudget", ["x", "y"], attr_expr("Value"), condition)
+
+
+class TestExample2:
+    def test_chi1_detail_sum(self, chi1, ground_truth):
+        assert chi1(ground_truth, "Receipts", 2003, "det") == 220
+
+    def test_chi1_aggregate(self, chi1, ground_truth):
+        assert chi1(ground_truth, "Disbursements", 2003, "aggr") == 160
+
+    def test_chi2_single_value(self, chi2, ground_truth):
+        assert chi2(ground_truth, 2003, "cash sales") == 100
+        assert chi2(ground_truth, 2004, "net cash inflow") == 10
+
+    def test_chi1_on_acquired_instance(self, chi1, acquired):
+        # The recognition error: the aggregate reads 250 instead of 220.
+        assert chi1(acquired, "Receipts", 2003, "aggr") == 250
+
+    def test_empty_selection_sums_to_zero(self, chi1, ground_truth):
+        assert chi1(ground_truth, "NoSuchSection", 2003, "det") == 0
+
+
+class TestInvolvedTuples:
+    def test_t_chi_contents(self, chi1, ground_truth):
+        involved = chi1.involved_tuples(ground_truth, ["Receipts", 2003, "det"])
+        assert {t["Subsection"] for t in involved} == {"cash sales", "receivables"}
+
+    def test_t_chi_is_ordered_by_id(self, chi2, ground_truth):
+        involved = chi2.involved_tuples(ground_truth, [2003, "cash sales"])
+        assert len(involved) == 1
+        assert involved[0].tuple_id == 1
+
+
+class TestValidation:
+    def test_wrong_arity_rejected(self, chi1, ground_truth):
+        with pytest.raises(ValueError):
+            chi1.evaluate(ground_truth, ["Receipts", 2003])
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AggregationFunction(
+                "bad", "CashBudget", ["x", "x"], attr_expr("Value"),
+                equals("Year", var("x")),
+            )
+
+    def test_where_variables_must_be_parameters(self):
+        with pytest.raises(ValueError):
+            AggregationFunction(
+                "bad", "CashBudget", ["x"], attr_expr("Value"),
+                equals("Year", var("q")),
+            )
+
+    def test_where_attribute_sets(self, chi1, chi2):
+        assert chi1.where_attributes() == {"Section", "Year", "Type"}
+        assert chi2.where_attributes() == {"Year", "Subsection"}
+        assert chi1.parameters_in_where() == {"x", "y", "z"}
+
+    def test_constant_expression_sums_counts(self, ground_truth):
+        counter = AggregationFunction(
+            "count_like", "CashBudget", ["y"], 1, equals("Year", var("y"))
+        )
+        assert counter(ground_truth, 2003) == 10
+
+    def test_repr_mentions_sql_shape(self, chi1):
+        rendered = repr(chi1)
+        assert "SELECT sum" in rendered
+        assert "FROM CashBudget" in rendered

@@ -1,0 +1,130 @@
+"""Tests for declared value bounds (schema + repair integration)."""
+
+import pytest
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.datasets import generate_catalog
+from repro.relational.schema import SchemaError
+from repro.relational.schematext import SchemaTextError, dump_schema, parse_schema
+from repro.repair import (
+    RepairEngine,
+    brute_force_card_minimal,
+    enumerate_card_minimal_repairs,
+)
+
+
+class TestSchemaBounds:
+    def test_declare_and_read(self):
+        workload = generate_catalog(seed=0, with_price_bounds=True)
+        assert workload.schema.bounds_of("Catalog", "Price") == (0.0, None)
+        assert workload.schema.bounds_of("Catalog", "Kind") == (None, None)
+
+    def test_bound_on_string_attribute_rejected(self):
+        workload = generate_catalog(seed=0)
+        with pytest.raises(SchemaError):
+            workload.schema.add_bound("Catalog", "Kind", lower=0)
+
+    def test_crossed_bounds_rejected(self):
+        workload = generate_catalog(seed=0)
+        workload.schema.add_bound("Catalog", "Price", lower=10)
+        with pytest.raises(SchemaError):
+            workload.schema.add_bound("Catalog", "Price", upper=5)
+
+    def test_bounds_merge(self):
+        workload = generate_catalog(seed=0)
+        workload.schema.add_bound("Catalog", "Price", lower=0)
+        workload.schema.add_bound("Catalog", "Price", upper=100)
+        assert workload.schema.bounds_of("Catalog", "Price") == (0.0, 100.0)
+
+
+class TestSchemaTextBounds:
+    def test_parse_bound_lines(self):
+        schema = parse_schema(
+            "relation R(A: int, B: int)\nmeasure R.A\n"
+            "bound R.A >= 0\nbound R.A <= 500\n"
+        )
+        assert schema.bounds_of("R", "A") == (0.0, 500.0)
+
+    def test_bound_on_unknown_attribute_errors(self):
+        with pytest.raises(SchemaTextError):
+            parse_schema("relation R(A: int)\nbound R.Z >= 0\n")
+
+    def test_roundtrip(self):
+        schema = parse_schema(
+            "relation R(A: int)\nmeasure R.A\nbound R.A >= -5\n"
+        )
+        reparsed = parse_schema(dump_schema(schema))
+        assert reparsed.bounds_of("R", "A") == (-5.0, None)
+
+
+class TestRepairWithBounds:
+    def make_upward_error_case(self, *, with_bounds: bool):
+        workload = generate_catalog(
+            n_categories=2, products_per_category=3, seed=1,
+            with_price_bounds=with_bounds,
+        )
+        product_cells = [
+            ("Catalog", t.tuple_id, "Price")
+            for t in workload.ground_truth.relation("Catalog")
+            if t["Kind"] == "product"
+        ]
+        # seed=2 produces a large upward misreading (digit duplication).
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 1, seed=2, cells=product_cells
+        )
+        (cell, old, new), = injected
+        assert new > old  # the case the bound matters for
+        return workload, corrupted, injected
+
+    def test_bounds_collapse_ambiguity(self):
+        # Without bounds: any product of the category absorbs the delta
+        # (going negative).  With Price >= 0: only the corrupted product
+        # can, so the card-minimal repair becomes unique and correct.
+        _, corrupted_free, injected = self.make_upward_error_case(with_bounds=False)
+        workload_bounded, corrupted, injected = self.make_upward_error_case(
+            with_bounds=True
+        )
+        engine_free = RepairEngine(corrupted_free, workload_bounded.constraints)
+        engine_bounded = RepairEngine(corrupted, workload_bounded.constraints)
+        free_repairs = enumerate_card_minimal_repairs(engine_free, limit=10)
+        bounded_repairs = enumerate_card_minimal_repairs(engine_bounded, limit=10)
+        assert len(free_repairs) == 3
+        assert len(bounded_repairs) == 1
+        (cell, old, new), = injected
+        update = bounded_repairs[0].updates[0]
+        assert update.cell == cell
+        assert update.new_value == old
+
+    def test_bounded_repair_never_negative(self):
+        workload, corrupted, injected = self.make_upward_error_case(with_bounds=True)
+        engine = RepairEngine(corrupted, workload.constraints)
+        outcome = engine.find_card_minimal_repair()
+        repaired = engine.apply(outcome.repair)
+        assert all(t["Price"] >= 0 for t in repaired.relation("Catalog"))
+
+    def test_bruteforce_honours_bounds(self):
+        workload, corrupted, injected = self.make_upward_error_case(with_bounds=True)
+        oracle = brute_force_card_minimal(
+            corrupted, workload.constraints, max_cardinality=2
+        )
+        assert oracle is not None
+        (cell, old, _), = injected
+        assert oracle.cells() == [cell]
+        assert oracle.updates[0].new_value == old
+
+    def test_bounds_can_force_larger_repairs(self):
+        # Tighten the box so the single-cell fix is out of reach: the
+        # engine must fall back to a multi-cell repair or report
+        # unrepairable -- never return an out-of-bounds value.
+        workload, corrupted, injected = self.make_upward_error_case(with_bounds=True)
+        (cell, old, new), = injected
+        # Upper bound below the true value of the corrupted cell.
+        workload.schema.add_bound("Catalog", "Price", upper=old - 1)
+        engine = RepairEngine(corrupted, workload.constraints)
+        try:
+            outcome = engine.find_card_minimal_repair()
+        except Exception:
+            return  # unrepairable is acceptable under absurd bounds
+        assert engine.is_repair(outcome.repair)
+        for update in outcome.repair:
+            assert 0 <= update.new_value <= old - 1

@@ -1,0 +1,76 @@
+"""Optimality validation: MILP engine vs the brute-force oracle.
+
+The key guarantee of Section 5 is that solutions of S*(AC) are
+*card-minimal* repairs.  We check it by exhaustive search on the
+running example and on randomly corrupted generated workloads.
+"""
+
+import pytest
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.datasets import generate_cash_budget, generate_catalog
+from repro.repair.bruteforce import brute_force_card_minimal
+from repro.repair.engine import RepairEngine
+from repro.repair.updates import apply_repair
+
+
+class TestRunningExample:
+    def test_oracle_agrees_on_cardinality(self, acquired, constraints):
+        engine = RepairEngine(acquired, constraints)
+        milp_repair = engine.find_card_minimal_repair().repair
+        oracle_repair = brute_force_card_minimal(acquired, constraints, max_cardinality=2)
+        assert oracle_repair is not None
+        assert oracle_repair.cardinality == milp_repair.cardinality == 1
+
+    def test_oracle_repair_is_a_repair(self, acquired, constraints):
+        engine = RepairEngine(acquired, constraints)
+        oracle_repair = brute_force_card_minimal(acquired, constraints, max_cardinality=2)
+        assert engine.is_repair(oracle_repair)
+
+    def test_consistent_instance_gets_empty_repair(self, ground_truth, constraints):
+        repair = brute_force_card_minimal(ground_truth, constraints, max_cardinality=1)
+        assert repair is not None
+        assert repair.cardinality == 0
+
+    def test_respects_pins(self, acquired, constraints):
+        repair = brute_force_card_minimal(
+            acquired,
+            constraints,
+            max_cardinality=3,
+            pins={("CashBudget", 3, "Value"): 250.0},
+        )
+        assert repair is not None
+        assert repair.cardinality >= 2
+
+
+class TestRandomAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cash_budget_agreement(self, seed):
+        workload = generate_cash_budget(n_years=1, seed=seed)
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 1 + seed % 2, seed=seed
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        milp_outcome = engine.find_card_minimal_repair()
+        oracle = brute_force_card_minimal(
+            corrupted, workload.constraints, max_cardinality=3
+        )
+        assert oracle is not None
+        assert milp_outcome.cardinality == oracle.cardinality
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_catalog_agreement(self, seed):
+        workload = generate_catalog(
+            n_categories=2, products_per_category=2, seed=seed
+        )
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 1, seed=seed
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        milp_outcome = engine.find_card_minimal_repair()
+        oracle = brute_force_card_minimal(
+            corrupted, workload.constraints, max_cardinality=2
+        )
+        assert oracle is not None
+        assert milp_outcome.cardinality == oracle.cardinality
+        assert engine.is_repair(oracle)

@@ -1,0 +1,208 @@
+"""Unit tests for aggregate constraints, A(kappa), J(kappa), steadiness.
+
+Includes the paper's Example 9 verbatim: the cross-relation constraint
+with chi over R2 is NOT steady (A = {A5, A2}, J = {A3, A4}, and
+M_D = {A2, A4}), while Constraint 1 of the running example IS steady
+(A = {Year, Section, Type}, J = {}).
+"""
+
+import pytest
+
+from repro.constraints.aggregates import AggregationFunction
+from repro.constraints.constraint import (
+    AggregateConstraint,
+    BodyAtom,
+    ConstraintError,
+    ConstraintTerm,
+    Relop,
+)
+from repro.constraints.expressions import attr_expr
+from repro.datasets import cash_budget_constraints, cash_budget_schema
+from repro.relational.domains import Domain
+from repro.relational.predicates import Const, equals, var, Var
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def example9_schema():
+    r1 = RelationSchema.build(
+        "R1", [("A1", Domain.STRING), ("A2", Domain.INTEGER), ("A3", Domain.STRING)]
+    )
+    r2 = RelationSchema.build(
+        "R2", [("A4", Domain.INTEGER), ("A5", Domain.STRING), ("A6", Domain.INTEGER)]
+    )
+    return DatabaseSchema([r1, r2], measure_attributes=[("R1", "A2"), ("R2", "A4")])
+
+
+@pytest.fixture
+def example9_constraint(example9_schema):
+    chi = AggregationFunction(
+        "chi", "R2", ["x"], attr_expr("A6"), equals("A5", var("x"))
+    )
+    return AggregateConstraint(
+        "example9",
+        body=[
+            BodyAtom("R1", [Var("x1"), Var("x2"), Var("x3")]),
+            BodyAtom("R2", [Var("x3"), Var("x4"), Var("x5")]),
+        ],
+        terms=[ConstraintTerm(1.0, chi, [Var("x2")])],
+        relop="<=",
+        rhs=100,
+    )
+
+
+class TestExample9:
+    def test_a_kappa(self, example9_schema, example9_constraint):
+        # A = {A5 (named in WHERE), A2 (corresponds to x2, passed to x)}
+        assert example9_constraint.a_kappa(example9_schema) == {
+            ("R2", "A5"),
+            ("R1", "A2"),
+        }
+
+    def test_j_kappa(self, example9_schema, example9_constraint):
+        # x3 is shared by R1 (position A3) and R2 (position A4).
+        assert example9_constraint.j_kappa(example9_schema) == {
+            ("R1", "A3"),
+            ("R2", "A4"),
+        }
+
+    def test_not_steady(self, example9_schema, example9_constraint):
+        assert not example9_constraint.is_steady(example9_schema)
+        witness = example9_constraint.steadiness_witness(example9_schema)
+        assert ("R1", "A2") in witness
+        assert ("R2", "A4") in witness
+
+
+class TestRunningExampleSteadiness:
+    def test_constraint1_sets(self, schema):
+        constraint = cash_budget_constraints()[0]
+        assert constraint.a_kappa(schema) == {
+            ("CashBudget", "Year"),
+            ("CashBudget", "Section"),
+            ("CashBudget", "Type"),
+        }
+        assert constraint.j_kappa(schema) == set()
+
+    def test_all_running_constraints_steady(self, schema):
+        for constraint in cash_budget_constraints():
+            assert constraint.is_steady(schema), constraint.name
+
+    def test_measure_in_where_breaks_steadiness(self, schema):
+        chi = AggregationFunction(
+            "bad", "CashBudget", [], attr_expr("Value"), equals("Value", 100)
+        )
+        constraint = AggregateConstraint(
+            "nonsteady",
+            body=[BodyAtom("CashBudget", [Var("y"), Var("x"), Var("a"), Var("b"), Var("c")])],
+            terms=[ConstraintTerm(1.0, chi, [])],
+            relop="<=",
+            rhs=0,
+        )
+        assert not constraint.is_steady(schema)
+
+    def test_measure_variable_in_argument_breaks_steadiness(self, schema):
+        chi = AggregationFunction(
+            "chi_v", "CashBudget", ["v"], attr_expr("Value"), equals("Year", var("v"))
+        )
+        # Pass the *Value* variable (a measure position) as the argument.
+        constraint = AggregateConstraint(
+            "nonsteady2",
+            body=[BodyAtom("CashBudget", [Var("y"), Var("x"), Var("a"), Var("b"), Var("v")])],
+            terms=[ConstraintTerm(1.0, chi, [Var("v")])],
+            relop="<=",
+            rhs=0,
+        )
+        assert not constraint.is_steady(schema)
+
+    def test_join_on_measure_breaks_steadiness(self, schema):
+        chi = AggregationFunction(
+            "chi_y", "CashBudget", ["y"], attr_expr("Value"), equals("Year", var("y"))
+        )
+        # The same variable v occurs twice in measure/non-measure positions.
+        constraint = AggregateConstraint(
+            "nonsteady3",
+            body=[
+                BodyAtom("CashBudget", [Var("y"), Var("x"), Var("a"), Var("b"), Var("v")]),
+                BodyAtom("CashBudget", [Var("y2"), Var("x2"), Var("a2"), Var("b2"), Var("v")]),
+            ],
+            terms=[ConstraintTerm(1.0, chi, [Var("y")])],
+            relop="<=",
+            rhs=0,
+        )
+        assert ("CashBudget", "Value") in constraint.j_kappa(schema)
+        assert not constraint.is_steady(schema)
+
+
+class TestWellFormedness:
+    def test_empty_body_rejected(self, schema):
+        chi = AggregationFunction("c", "CashBudget", [], attr_expr("Value"), equals("Year", 2003))
+        with pytest.raises(ConstraintError):
+            AggregateConstraint("bad", [], [ConstraintTerm(1.0, chi, [])], "<=", 0)
+
+    def test_no_terms_rejected(self):
+        with pytest.raises(ConstraintError):
+            AggregateConstraint(
+                "bad", [BodyAtom("R", [Var("x")])], [], "<=", 0
+            )
+
+    def test_loose_argument_variable_rejected(self, schema):
+        chi = AggregationFunction(
+            "c", "CashBudget", ["y"], attr_expr("Value"), equals("Year", var("y"))
+        )
+        with pytest.raises(ConstraintError):
+            AggregateConstraint(
+                "bad",
+                [BodyAtom("CashBudget", [Var("a"), Var("b"), Var("c"), Var("d"), Var("e")])],
+                [ConstraintTerm(1.0, chi, [Var("nope")])],
+                "<=",
+                0,
+            )
+
+    def test_argument_arity_checked(self, schema):
+        chi = AggregationFunction(
+            "c", "CashBudget", ["y"], attr_expr("Value"), equals("Year", var("y"))
+        )
+        with pytest.raises(ConstraintError):
+            ConstraintTerm(1.0, chi, [])
+
+    def test_unknown_relop_rejected(self):
+        with pytest.raises(ConstraintError):
+            Relop.check("<")
+
+    def test_validate_checks_atom_arity(self, schema):
+        chi = AggregationFunction(
+            "c", "CashBudget", [], attr_expr("Value"), equals("Year", 2003)
+        )
+        constraint = AggregateConstraint(
+            "bad_arity",
+            [BodyAtom("CashBudget", [Var("x")])],
+            [ConstraintTerm(1.0, chi, [])],
+            "<=",
+            0,
+        )
+        with pytest.raises(ConstraintError):
+            constraint.validate(schema)
+
+
+class TestEvaluation:
+    def test_holds_under_binding(self, schema, ground_truth):
+        constraint = cash_budget_constraints()[0]
+        assert constraint.holds_under(ground_truth, {"x": "Receipts", "y": 2003})
+
+    def test_violated_under_binding(self, schema, acquired):
+        constraint = cash_budget_constraints()[0]
+        assert not constraint.holds_under(acquired, {"x": "Receipts", "y": 2003})
+        # The other section/year combinations still hold.
+        assert constraint.holds_under(acquired, {"x": "Disbursements", "y": 2003})
+        assert constraint.holds_under(acquired, {"x": "Receipts", "y": 2004})
+
+    def test_aggregate_value(self, acquired):
+        constraint = cash_budget_constraints()[0]
+        # chi1(det) - chi1(aggr) = 220 - 250 = -30 on the corrupted year.
+        value = constraint.aggregate_value(acquired, {"x": "Receipts", "y": 2003})
+        assert value == -30
+
+    def test_relop_tolerance(self):
+        assert Relop.holds("=", 1.0, 1.0 + 1e-12)
+        assert Relop.holds("<=", 1.0 + 1e-12, 1.0)
+        assert not Relop.holds("=", 1.0, 1.1)

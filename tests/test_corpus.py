@@ -1,0 +1,72 @@
+"""Tests for corpus-level processing (repro.core.corpus)."""
+
+import pytest
+
+from repro.acquisition.ocr import OcrChannel
+from repro.core import cash_budget_scenario, run_corpus
+from repro.datasets import generate_cash_budget
+
+
+def scenarios(n=3):
+    return [
+        cash_budget_scenario(generate_cash_budget(n_years=2, seed=seed))
+        for seed in range(n)
+    ]
+
+
+class TestRunCorpus:
+    def test_noiseless_corpus_all_consistent(self):
+        result = run_corpus(scenarios(3))
+        assert result.n_documents == 3
+        assert result.n_consistent_on_arrival == 3
+        assert result.recovery_rate == 1.0
+        assert result.total_injected_errors == 0
+        assert result.total_values_inspected == 0
+        assert result.mean_iterations == 0.0
+
+    def test_noisy_corpus_recovers(self):
+        result = run_corpus(
+            scenarios(3),
+            channel_factory=lambda index: OcrChannel(
+                numeric_error_rate=0.08, string_error_rate=0.08, seed=100 + index
+            ),
+        )
+        assert result.recovery_rate == 1.0
+        assert result.total_injected_errors > 0
+        assert result.total_values_acquired == 3 * 20
+
+    def test_channels_are_independent_per_document(self):
+        result = run_corpus(
+            scenarios(2),
+            channel_factory=lambda index: OcrChannel(
+                numeric_error_rate=0.15, string_error_rate=0.0, seed=7 + index
+            ),
+        )
+        counts = [len(s.acquisition.injected_errors) for s in result.sessions]
+        # Independent seeds: the error patterns differ (cells hit differ
+        # with overwhelming probability for these seeds).
+        errors_a = result.sessions[0].acquisition.injected_errors
+        errors_b = result.sessions[1].acquisition.injected_errors
+        assert errors_a != errors_b
+
+    def test_non_interactive_mode(self):
+        result = run_corpus(
+            scenarios(2),
+            channel_factory=lambda index: OcrChannel(
+                numeric_error_rate=0.1, string_error_rate=0.0, seed=50 + index
+            ),
+            interactive=False,
+        )
+        for session in result.sessions:
+            assert session.validation is None
+
+    def test_summary_text(self):
+        result = run_corpus(scenarios(2))
+        summary = result.summary()
+        assert "2 document(s)" in summary
+        assert "recovery rate 100%" in summary
+
+    def test_empty_corpus(self):
+        result = run_corpus([])
+        assert result.n_documents == 0
+        assert result.recovery_rate == 1.0

@@ -1,0 +1,161 @@
+"""Unit tests for consistent query answering (repro.repair.cqa)."""
+
+import pytest
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.constraints.parser import parse_constraints
+from repro.datasets import generate_catalog
+from repro.datasets.cashbudget import CASH_BUDGET_CONSTRAINT_DSL
+from repro.repair import (
+    RepairEngine,
+    RepairObjective,
+    consistent_aggregate_answer,
+)
+from repro.repair.translation import TranslationError
+
+
+@pytest.fixture
+def chi_functions():
+    functions, _ = parse_constraints(CASH_BUDGET_CONSTRAINT_DSL)
+    return functions
+
+
+class TestRunningExample:
+    def test_corrupted_value_has_consistent_answer(
+        self, acquired, constraints, chi_functions
+    ):
+        # The card-minimal repair is unique (Example 8), so the query
+        # "total cash receipts 2003" is consistent and equals 220 --
+        # NOT the acquired 250.
+        engine = RepairEngine(acquired, constraints)
+        answer = consistent_aggregate_answer(
+            engine, chi_functions["chi2"], [2003, "total cash receipts"]
+        )
+        assert answer.is_consistent
+        assert answer.consistent_value == pytest.approx(220.0)
+        assert answer.acquired_value == pytest.approx(250.0)
+        assert answer.cardinality == 1
+
+    def test_untouched_value_keeps_acquired_answer(
+        self, acquired, constraints, chi_functions
+    ):
+        engine = RepairEngine(acquired, constraints)
+        answer = consistent_aggregate_answer(
+            engine, chi_functions["chi2"], [2004, "cash sales"]
+        )
+        assert answer.is_consistent
+        assert answer.consistent_value == pytest.approx(100.0)
+
+    def test_detail_sum_query(self, acquired, constraints, chi_functions):
+        engine = RepairEngine(acquired, constraints)
+        answer = consistent_aggregate_answer(
+            engine, chi_functions["chi1"], ["Receipts", 2003, "det"]
+        )
+        assert answer.is_consistent
+        assert answer.consistent_value == pytest.approx(220.0)
+
+    def test_consistent_database_answers_exactly(
+        self, ground_truth, constraints, chi_functions
+    ):
+        engine = RepairEngine(ground_truth, constraints)
+        answer = consistent_aggregate_answer(
+            engine, chi_functions["chi2"], [2003, "total cash receipts"]
+        )
+        assert answer.cardinality == 0
+        assert answer.consistent_value == pytest.approx(220.0)
+
+    def test_str(self, acquired, constraints, chi_functions):
+        engine = RepairEngine(acquired, constraints)
+        answer = consistent_aggregate_answer(
+            engine, chi_functions["chi2"], [2003, "total cash receipts"]
+        )
+        assert "consistent answer: 220" in str(answer)
+
+
+class TestAmbiguousRepairs:
+    def make_ambiguous_catalog(self):
+        """One product-price error: any product of the category can
+        absorb it, so several card-minimal repairs exist."""
+        workload = generate_catalog(
+            n_categories=2, products_per_category=3, seed=1
+        )
+        product_cells = [
+            ("Catalog", t.tuple_id, "Price")
+            for t in workload.ground_truth.relation("Catalog")
+            if t["Kind"] == "product"
+        ]
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 1, seed=2, cells=product_cells
+        )
+        return workload, corrupted, injected
+
+    def test_per_product_query_is_ambiguous(self):
+        workload, corrupted, injected = self.make_ambiguous_catalog()
+        (cell, old, new), = injected
+        engine = RepairEngine(corrupted, workload.constraints)
+        functions, _ = parse_constraints(
+            """
+            function price_of(i) = sum(Price) from Catalog where Item = $i
+            constraint dummy: Catalog(_, _, _, _) => price_of('x') <= 1000000000
+            """
+        )
+        corrupted_item = corrupted.relation("Catalog").get(cell[1])["Item"]
+        answer = consistent_aggregate_answer(
+            engine, functions["price_of"], [corrupted_item]
+        )
+        # The corrupted product might keep its (wrong) acquired value in
+        # some card-minimal repair and be restored in another.
+        assert not answer.is_consistent
+        assert answer.glb <= min(old, new) + 1e-6
+        assert answer.lub >= max(old, new) - 1e-6 or answer.lub >= new - 1e-6
+
+    def test_category_sum_is_consistent_despite_ambiguity(self):
+        workload, corrupted, injected = self.make_ambiguous_catalog()
+        (cell, old, new), = injected
+        engine = RepairEngine(corrupted, workload.constraints)
+        functions, _ = parse_constraints(
+            """
+            function cat_products(c) = sum(Price) from Catalog
+                where Category = $c and Kind = 'product'
+            constraint dummy: Catalog(_, _, _, _) => cat_products('x') <= 1000000000
+            """
+        )
+        category = corrupted.relation("Catalog").get(cell[1])["Category"]
+        answer = consistent_aggregate_answer(
+            engine, functions["cat_products"], [category]
+        )
+        # Every card-minimal repair restores the category sum to the
+        # (unchanged) subtotal value, so the SUM is consistent even
+        # though the individual prices are not.
+        assert answer.is_consistent
+
+    def test_pins_narrow_the_range(self):
+        workload, corrupted, injected = self.make_ambiguous_catalog()
+        (cell, old, new), = injected
+        engine = RepairEngine(corrupted, workload.constraints)
+        functions, _ = parse_constraints(
+            """
+            function price_of(i) = sum(Price) from Catalog where Item = $i
+            constraint dummy: Catalog(_, _, _, _) => price_of('x') <= 1000000000
+            """
+        )
+        corrupted_item = corrupted.relation("Catalog").get(cell[1])["Item"]
+        answer = consistent_aggregate_answer(
+            engine,
+            functions["price_of"],
+            [corrupted_item],
+            pins={cell: old},
+        )
+        assert answer.is_consistent
+        assert answer.consistent_value == pytest.approx(old)
+
+
+class TestGuards:
+    def test_requires_cardinality_objective(self, acquired, constraints, chi_functions):
+        engine = RepairEngine(
+            acquired, constraints, objective=RepairObjective.TOTAL_CHANGE
+        )
+        with pytest.raises(TranslationError):
+            consistent_aggregate_answer(
+                engine, chi_functions["chi2"], [2003, "cash sales"]
+            )

@@ -1,0 +1,76 @@
+"""Unit tests for CSV import/export (repro.relational.csvio)."""
+
+import pytest
+
+from repro.datasets import cash_budget_schema, paper_ground_truth
+from repro.relational.csvio import (
+    dump_database,
+    dump_relation_csv,
+    load_database,
+    load_relation_csv,
+)
+from repro.relational.database import Database
+
+
+class TestRoundTrip:
+    def test_relation_roundtrip_values(self, ground_truth):
+        relation = ground_truth.relation("CashBudget")
+        text = dump_relation_csv(relation)
+        loaded = load_relation_csv(relation.schema, text, is_text=True)
+        assert [tuple(t.values) for t in loaded] == [
+            tuple(t.values) for t in relation
+        ]
+
+    def test_database_roundtrip_via_files(self, tmp_path, ground_truth):
+        dump_database(ground_truth, tmp_path)
+        reloaded = load_database(cash_budget_schema(), tmp_path)
+        assert reloaded == ground_truth
+
+    def test_dump_writes_file(self, tmp_path, ground_truth):
+        target = tmp_path / "cb.csv"
+        dump_relation_csv(ground_truth.relation("CashBudget"), target)
+        assert target.exists()
+        assert "total cash receipts" in target.read_text()
+
+
+class TestHeaderHandling:
+    def test_header_order_independent(self, schema):
+        text = "Value,Year,Type,Subsection,Section\n9,2003,det,cash sales,Receipts\n"
+        loaded = load_relation_csv(schema.relation("CashBudget"), text, is_text=True)
+        row = list(loaded)[0]
+        assert row["Value"] == 9
+        assert row["Section"] == "Receipts"
+
+    def test_wrong_header_rejected(self, schema):
+        with pytest.raises(ValueError):
+            load_relation_csv(schema.relation("CashBudget"), "A,B\n1,2\n", is_text=True)
+
+    def test_empty_input_rejected(self, schema):
+        with pytest.raises(ValueError):
+            load_relation_csv(schema.relation("CashBudget"), "", is_text=True)
+
+    def test_blank_lines_skipped(self, schema):
+        text = (
+            "Year,Section,Subsection,Type,Value\n"
+            "\n"
+            "2003,Receipts,cash sales,det,100\n"
+            "\n"
+        )
+        loaded = load_relation_csv(schema.relation("CashBudget"), text, is_text=True)
+        assert len(loaded) == 1
+
+    def test_ragged_row_rejected(self, schema):
+        text = "Year,Section,Subsection,Type,Value\n2003,Receipts\n"
+        with pytest.raises(ValueError):
+            load_relation_csv(schema.relation("CashBudget"), text, is_text=True)
+
+    def test_values_coerced_to_domains(self, schema):
+        text = "Year,Section,Subsection,Type,Value\n2003,Receipts,cash sales,det,100\n"
+        loaded = load_relation_csv(schema.relation("CashBudget"), text, is_text=True)
+        row = list(loaded)[0]
+        assert isinstance(row["Year"], int)
+        assert isinstance(row["Value"], int)
+
+    def test_missing_relation_file_gives_empty_relation(self, tmp_path, schema):
+        database = load_database(schema, tmp_path)
+        assert len(database.relation("CashBudget")) == 0

@@ -1,0 +1,136 @@
+"""Unit tests for the workload generators (repro.datasets)."""
+
+import pytest
+
+from repro.constraints.grounding import check_consistency
+from repro.datasets import (
+    generate_balance_sheet,
+    generate_cash_budget,
+    generate_catalog,
+    paper_acquired_instance,
+    paper_ground_truth,
+    paper_rows,
+)
+from repro.datasets.cashbudget import CLASSIFICATION, SECTION_OF, SUBSECTION_ORDER
+
+
+class TestPaperInstances:
+    def test_twenty_rows(self):
+        assert len(paper_rows()) == 20
+        assert paper_ground_truth().total_tuples() == 20
+
+    def test_acquired_differs_only_in_one_cell(self):
+        truth_rows = paper_rows(acquired=False)
+        acquired_rows = paper_rows(acquired=True)
+        differences = [
+            (a, b) for a, b in zip(truth_rows, acquired_rows) if a != b
+        ]
+        assert len(differences) == 1
+        truth_row, acquired_row = differences[0]
+        assert truth_row[2] == "total cash receipts"
+        assert truth_row[4] == 220 and acquired_row[4] == 250
+
+    def test_truth_consistent_acquired_not(self, constraints):
+        assert check_consistency(paper_ground_truth(), constraints) == []
+        assert check_consistency(paper_acquired_instance(), constraints)
+
+    def test_figure1_values_pinned(self):
+        truth = paper_ground_truth()
+        rows = {(t["Year"], t["Subsection"]): t["Value"] for t in truth.relation("CashBudget")}
+        assert rows[(2003, "beginning cash")] == 20
+        assert rows[(2003, "total cash receipts")] == 220
+        assert rows[(2004, "ending cash balance")] == 90
+
+    def test_classification_complete(self):
+        assert set(CLASSIFICATION) == set(SUBSECTION_ORDER)
+        assert set(SECTION_OF) == set(SUBSECTION_ORDER)
+
+
+class TestCashBudgetGenerator:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_budgets_are_consistent(self, seed):
+        workload = generate_cash_budget(n_years=3, seed=seed)
+        assert check_consistency(workload.ground_truth, workload.constraints) == []
+
+    def test_years_chain_balances(self):
+        workload = generate_cash_budget(n_years=3, seed=2)
+        values = {
+            (t["Year"], t["Subsection"]): t["Value"]
+            for t in workload.ground_truth.relation("CashBudget")
+        }
+        for previous_year, next_year in zip(workload.years, workload.years[1:]):
+            assert values[(next_year, "beginning cash")] == values[
+                (previous_year, "ending cash balance")
+            ]
+
+    def test_cross_year_constraints_hold(self):
+        workload = generate_cash_budget(n_years=3, seed=2, with_cross_year=True)
+        assert len(workload.constraints) == 3 + 2
+        assert check_consistency(workload.ground_truth, workload.constraints) == []
+
+    def test_deterministic_per_seed(self):
+        a = generate_cash_budget(n_years=2, seed=5)
+        b = generate_cash_budget(n_years=2, seed=5)
+        assert a.rows == b.rows
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            generate_cash_budget(n_years=0)
+
+    def test_fresh_copy_is_independent(self):
+        workload = generate_cash_budget(seed=1)
+        copy = workload.fresh_copy()
+        copy.set_value("CashBudget", 0, "Value", 99999)
+        assert workload.ground_truth.get_value("CashBudget", 0, "Value") != 99999
+
+
+class TestBalanceSheetGenerator:
+    @pytest.mark.parametrize("depth,branching", [(1, 2), (2, 2), (2, 3), (3, 2)])
+    def test_consistent_at_all_shapes(self, depth, branching):
+        workload = generate_balance_sheet(depth=depth, branching=branching, seed=1)
+        assert check_consistency(workload.ground_truth, workload.constraints) == []
+
+    def test_tuple_count(self):
+        workload = generate_balance_sheet(depth=2, branching=2, seed=0)
+        # 3 roots, each with 2 children and 4 grandchildren: 3 * 7 = 21.
+        assert workload.ground_truth.total_tuples() == 21
+
+    def test_accounting_equation_exact(self):
+        workload = generate_balance_sheet(depth=2, branching=3, seed=4)
+        values = {
+            t["Item"]: t["Value"]
+            for t in workload.ground_truth.relation("BalanceSheet")
+        }
+        assert values["assets"] == values["liabilities"] + values["equity"]
+
+    def test_multiple_companies_years(self):
+        workload = generate_balance_sheet(
+            n_companies=2, n_years=2, depth=1, branching=2, seed=3
+        )
+        assert workload.ground_truth.total_tuples() == 2 * 2 * 3 * 3
+        assert check_consistency(workload.ground_truth, workload.constraints) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            generate_balance_sheet(depth=0)
+
+
+class TestCatalogGenerator:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_consistent(self, seed):
+        workload = generate_catalog(seed=seed)
+        assert check_consistency(workload.ground_truth, workload.constraints) == []
+
+    def test_structure(self):
+        workload = generate_catalog(n_categories=3, products_per_category=4, seed=1)
+        # 3*4 products + 3 subtotals + 1 grand total.
+        assert workload.ground_truth.total_tuples() == 16
+
+    def test_prices_positive(self):
+        workload = generate_catalog(seed=2)
+        for row in workload.ground_truth.relation("Catalog"):
+            assert row["Price"] > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            generate_catalog(n_categories=0)

@@ -1,0 +1,78 @@
+"""Unit tests for the database generator (repro.wrapping.dbgen)."""
+
+import pytest
+
+from repro.acquisition.conversion import to_html
+from repro.acquisition.documents import Cell, Document, Row, Table
+from repro.core.scenarios import cash_budget_document, cash_budget_metadata
+from repro.datasets import paper_ground_truth, paper_rows
+from repro.wrapping.dbgen import DatabaseGenerator, ExtractionError
+from repro.wrapping.wrapper import Wrapper
+
+
+@pytest.fixture
+def metadata():
+    return cash_budget_metadata()
+
+
+def instances_for(metadata, html):
+    return Wrapper(metadata).wrap_html(html).instances
+
+
+class TestGeneration:
+    def test_figure1_regenerates_figure3_truth(self, metadata):
+        html = to_html(cash_budget_document(paper_rows()))
+        generator = DatabaseGenerator(metadata)
+        report = generator.generate(instances_for(metadata, html))
+        assert report.inserted == 20
+        assert report.database == paper_ground_truth()
+
+    def test_type_attribute_from_classification(self, metadata):
+        html = to_html(cash_budget_document(paper_rows()))
+        report = DatabaseGenerator(metadata).generate(instances_for(metadata, html))
+        rows = list(report.database.relation("CashBudget"))
+        assert rows[0]["Type"] == "drv"   # beginning cash
+        assert rows[1]["Type"] == "det"   # cash sales
+        assert rows[3]["Type"] == "aggr"  # total cash receipts
+
+    def test_numeric_coercion(self, metadata):
+        html = to_html(cash_budget_document(paper_rows()))
+        report = DatabaseGenerator(metadata).generate(instances_for(metadata, html))
+        for row in report.database.relation("CashBudget"):
+            assert isinstance(row["Year"], int)
+            assert isinstance(row["Value"], int)
+
+
+class TestFailureHandling:
+    def damaged_instances(self):
+        # A Value cell destroyed beyond digit recovery; a permissive
+        # match threshold lets the row through to the generator so the
+        # coercion-failure path is exercised deterministically.
+        permissive = cash_budget_metadata(match_threshold=0.0)
+        table = Table(
+            [Row([Cell("2003"), Cell("Receipts"), Cell("cash sales"), Cell("???")])]
+        )
+        instances = instances_for(permissive, to_html(Document("d", [table])))
+        assert instances, "permissive threshold must admit the row"
+        return permissive, instances
+
+    def test_unparseable_value_raises_by_default(self):
+        permissive, instances = self.damaged_instances()
+        with pytest.raises(ExtractionError):
+            DatabaseGenerator(permissive).generate(instances)
+
+    def test_skip_failures_collects(self):
+        permissive, instances = self.damaged_instances()
+        report = DatabaseGenerator(permissive).generate(instances, skip_failures=True)
+        assert report.inserted == 0
+        assert len(report.skipped) == 1
+
+    def test_digit_rescue(self, metadata):
+        # "10O" has rescueable digits.
+        table = Table(
+            [Row([Cell("2003"), Cell("Receipts"), Cell("cash sales"), Cell("10O")])]
+        )
+        instances = instances_for(metadata, to_html(Document("d", [table])))
+        report = DatabaseGenerator(metadata).generate(instances)
+        row = list(report.database.relation("CashBudget"))[0]
+        assert row["Value"] == 10

@@ -1,0 +1,129 @@
+"""Unit tests for the sorted domains (repro.relational.domains)."""
+
+import math
+
+import pytest
+
+from repro.relational.domains import (
+    Domain,
+    DomainError,
+    coerce_value,
+    format_value,
+    value_in_domain,
+)
+
+
+class TestDomain:
+    def test_numerical_flags(self):
+        assert Domain.INTEGER.is_numerical
+        assert Domain.REAL.is_numerical
+        assert not Domain.STRING.is_numerical
+
+    def test_str_uses_paper_sort_names(self):
+        assert str(Domain.INTEGER) == "Z"
+        assert str(Domain.REAL) == "R"
+        assert str(Domain.STRING) == "S"
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Z", Domain.INTEGER),
+            ("int", Domain.INTEGER),
+            ("Integer", Domain.INTEGER),
+            ("R", Domain.REAL),
+            ("float", Domain.REAL),
+            ("S", Domain.STRING),
+            ("string", Domain.STRING),
+            ("  str  ", Domain.STRING),
+        ],
+    )
+    def test_parse_aliases(self, text, expected):
+        assert Domain.parse(text) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Domain.parse("decimal")
+
+
+class TestValueInDomain:
+    def test_integer_membership(self):
+        assert value_in_domain(3, Domain.INTEGER)
+        assert not value_in_domain(3.5, Domain.INTEGER)
+        assert not value_in_domain("3", Domain.INTEGER)
+
+    def test_real_membership_accepts_ints(self):
+        assert value_in_domain(3, Domain.REAL)
+        assert value_in_domain(3.5, Domain.REAL)
+
+    def test_real_rejects_non_finite(self):
+        assert not value_in_domain(math.inf, Domain.REAL)
+        assert not value_in_domain(math.nan, Domain.REAL)
+
+    def test_booleans_are_never_values(self):
+        assert not value_in_domain(True, Domain.INTEGER)
+        assert not value_in_domain(False, Domain.REAL)
+
+    def test_string_membership(self):
+        assert value_in_domain("abc", Domain.STRING)
+        assert not value_in_domain(1, Domain.STRING)
+
+
+class TestCoerceValue:
+    def test_int_passthrough(self):
+        assert coerce_value(42, Domain.INTEGER) == 42
+
+    def test_integral_float_to_int(self):
+        assert coerce_value(3.0, Domain.INTEGER) == 3
+        assert isinstance(coerce_value(3.0, Domain.INTEGER), int)
+
+    def test_fractional_float_rejected_for_int(self):
+        with pytest.raises(DomainError):
+            coerce_value(3.5, Domain.INTEGER)
+
+    def test_string_parse_int(self):
+        assert coerce_value(" -17 ", Domain.INTEGER) == -17
+
+    def test_string_parse_real(self):
+        assert coerce_value("2.5", Domain.REAL) == 2.5
+
+    def test_int_to_real_becomes_float(self):
+        value = coerce_value(7, Domain.REAL)
+        assert value == 7.0
+        assert isinstance(value, float)
+
+    def test_bad_number_text_rejected(self):
+        with pytest.raises(DomainError):
+            coerce_value("12a", Domain.INTEGER)
+        with pytest.raises(DomainError):
+            coerce_value("", Domain.REAL)
+
+    def test_string_domain_rejects_numbers(self):
+        with pytest.raises(DomainError):
+            coerce_value(5, Domain.STRING)
+
+    def test_string_domain_passthrough(self):
+        assert coerce_value("total", Domain.STRING) == "total"
+
+    def test_boolean_rejected_everywhere(self):
+        for domain in Domain:
+            with pytest.raises(DomainError):
+                coerce_value(True, domain)
+
+    def test_infinity_rejected(self):
+        with pytest.raises(DomainError):
+            coerce_value(math.inf, Domain.REAL)
+
+
+class TestFormatValue:
+    def test_int(self):
+        assert format_value(12) == "12"
+
+    def test_integral_float_keeps_decimal(self):
+        assert format_value(12.0) == "12.0"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_boolean_rejected(self):
+        with pytest.raises(DomainError):
+            format_value(True)

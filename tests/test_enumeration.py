@@ -1,0 +1,106 @@
+"""Unit tests for repair enumeration (repro.repair.enumeration)."""
+
+import pytest
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.datasets import generate_catalog
+from repro.repair import (
+    RepairEngine,
+    RepairObjective,
+    count_card_minimal_supports,
+    enumerate_card_minimal_repairs,
+)
+from repro.repair.translation import TranslationError
+
+
+class TestRunningExample:
+    def test_repair_is_unique(self, acquired, constraints):
+        # Example 8: "repair rho of Example 6 is the unique card-minimal
+        # repair" -- verified computationally.
+        engine = RepairEngine(acquired, constraints)
+        repairs = enumerate_card_minimal_repairs(engine, limit=25)
+        assert len(repairs) == 1
+        assert repairs[0].updates[0].new_value == 220
+
+    def test_consistent_instance_enumerates_empty_repair_only(
+        self, ground_truth, constraints
+    ):
+        engine = RepairEngine(ground_truth, constraints)
+        repairs = enumerate_card_minimal_repairs(engine, limit=25)
+        assert len(repairs) == 1
+        assert repairs[0].cardinality == 0
+
+
+class TestAmbiguousCatalog:
+    def make_case(self):
+        workload = generate_catalog(
+            n_categories=2, products_per_category=3, seed=1
+        )
+        product_cells = [
+            ("Catalog", t.tuple_id, "Price")
+            for t in workload.ground_truth.relation("Catalog")
+            if t["Kind"] == "product"
+        ]
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 1, seed=2, cells=product_cells
+        )
+        return workload, corrupted, injected
+
+    def test_one_support_per_category_product(self):
+        workload, corrupted, injected = self.make_case()
+        engine = RepairEngine(corrupted, workload.constraints)
+        repairs = enumerate_card_minimal_repairs(engine, limit=25)
+        # Any of the 3 products of the corrupted category can absorb
+        # the error (the subtotal cannot: it would break the grand
+        # total), so exactly 3 single-cell supports exist.
+        assert len(repairs) == 3
+        supports = {repair.cells()[0] for repair in repairs}
+        (cell, _, _), = injected
+        category = corrupted.relation("Catalog").get(cell[1])["Category"]
+        for relation, tuple_id, attribute in supports:
+            row = corrupted.relation("Catalog").get(tuple_id)
+            assert row["Category"] == category
+            assert row["Kind"] == "product"
+
+    def test_all_enumerated_are_repairs(self):
+        workload, corrupted, injected = self.make_case()
+        engine = RepairEngine(corrupted, workload.constraints)
+        for repair in enumerate_card_minimal_repairs(engine, limit=25):
+            assert engine.is_repair(repair)
+            assert repair.cardinality == 1
+
+    def test_supports_are_distinct(self):
+        workload, corrupted, injected = self.make_case()
+        engine = RepairEngine(corrupted, workload.constraints)
+        repairs = enumerate_card_minimal_repairs(engine, limit=25)
+        supports = [tuple(repair.cells()) for repair in repairs]
+        assert len(supports) == len(set(supports))
+
+    def test_limit_respected(self):
+        workload, corrupted, injected = self.make_case()
+        engine = RepairEngine(corrupted, workload.constraints)
+        assert len(enumerate_card_minimal_repairs(engine, limit=2)) == 2
+
+    def test_count_helper(self):
+        workload, corrupted, injected = self.make_case()
+        engine = RepairEngine(corrupted, workload.constraints)
+        assert count_card_minimal_supports(engine) == 3
+
+    def test_pins_collapse_the_set(self):
+        workload, corrupted, injected = self.make_case()
+        (cell, old, _), = injected
+        engine = RepairEngine(corrupted, workload.constraints)
+        repairs = enumerate_card_minimal_repairs(
+            engine, limit=25, pins={cell: old}
+        )
+        assert len(repairs) == 1
+        assert repairs[0].cells() == [cell]
+
+
+class TestGuards:
+    def test_requires_cardinality_objective(self, acquired, constraints):
+        engine = RepairEngine(
+            acquired, constraints, objective=RepairObjective.TOTAL_CHANGE
+        )
+        with pytest.raises(TranslationError):
+            enumerate_card_minimal_repairs(engine)

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs and prints its key results.
+
+Examples are documentation that executes; these tests keep them green.
+Each script is executed in-process (runpy) with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv=None) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), script
+    old_argv = sys.argv
+    sys.argv = [str(script)] + list(argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "250 -> 220" in out
+        assert "objective (number of changed values): 1" in out
+        assert "repaired instance equals the source document: True" in out
+
+    def test_balance_sheet_pipeline(self, capsys):
+        out = run_example("balance_sheet_pipeline.py", capsys, argv=["7"])
+        assert "acquisition module" in out
+        assert "final instance equals the source document: True" in out
+
+    def test_product_catalog(self, capsys):
+        out = run_example("product_catalog.py", capsys, argv=["3"])
+        assert "card-minimal (DART)" in out
+        assert "final catalog equals the source: True" in out
+
+    def test_constraint_dsl_tour(self, capsys):
+        out = run_example("constraint_dsl_tour.py", capsys)
+        assert "steady=True" in out
+        assert "RepairEngine refused it" in out
+        assert "4200 -> 4000" in out
+
+    def test_reliable_answers(self, capsys):
+        out = run_example("reliable_answers.py", capsys)
+        assert "card-minimal repairs: 1" in out
+        assert "consistent answer: 220" in out
+        assert "answer range:" in out

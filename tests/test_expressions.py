@@ -1,0 +1,118 @@
+"""Unit tests for attribute expressions (repro.constraints.expressions)."""
+
+import pytest
+
+from repro.constraints.expressions import (
+    AttrTerm,
+    ConstTerm,
+    ExpressionError,
+    Product,
+    Sum,
+    attr_expr,
+    const_expr,
+)
+from repro.relational.domains import Domain
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import Tuple
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema.build(
+        "R",
+        [("Name", Domain.STRING), ("A", Domain.INTEGER), ("B", Domain.REAL)],
+    )
+
+
+@pytest.fixture
+def row(schema):
+    return Tuple(schema, ["x", 10, 2.5])
+
+
+class TestEvaluation:
+    def test_constant(self, row):
+        assert const_expr(7).evaluate(row) == 7.0
+
+    def test_attribute(self, row):
+        assert attr_expr("A").evaluate(row) == 10.0
+
+    def test_sum_and_difference(self, row):
+        assert (attr_expr("A") + attr_expr("B")).evaluate(row) == 12.5
+        assert (attr_expr("A") - attr_expr("B")).evaluate(row) == 7.5
+
+    def test_scalar_product(self, row):
+        assert (3 * attr_expr("A")).evaluate(row) == 30.0
+        assert (attr_expr("A") * 0.5).evaluate(row) == 5.0
+
+    def test_mixed_expression(self, row):
+        # 2*(A - B) + 1
+        expression = 2 * (attr_expr("A") - attr_expr("B")) + 1
+        assert expression.evaluate(row) == 16.0
+
+    def test_string_attribute_rejected_at_eval(self, row):
+        with pytest.raises(ExpressionError):
+            attr_expr("Name").evaluate(row)
+
+
+class TestConstruction:
+    def test_bad_scalar_rejected(self):
+        with pytest.raises(ExpressionError):
+            "a" * attr_expr("A")  # type: ignore[operator]
+        with pytest.raises(ExpressionError):
+            True * attr_expr("A")  # type: ignore[operator]
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(ExpressionError):
+            attr_expr("A") + "b"  # type: ignore[operator]
+
+    def test_const_expr_rejects_bool(self):
+        with pytest.raises(ExpressionError):
+            const_expr(True)  # type: ignore[arg-type]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Sum(const_expr(1), const_expr(2), "*")
+
+
+class TestAttributes:
+    def test_attribute_collection(self):
+        expression = 2 * (attr_expr("A") - attr_expr("B")) + attr_expr("A")
+        assert expression.attributes() == {"A", "B"}
+
+    def test_validate_against_schema(self, schema):
+        (attr_expr("A") + attr_expr("B")).validate_against(schema)
+        with pytest.raises(ExpressionError):
+            attr_expr("Name").validate_against(schema)
+        with pytest.raises(Exception):
+            attr_expr("Missing").validate_against(schema)
+
+
+class TestLinearization:
+    def test_single_attribute(self):
+        linear = attr_expr("A").linearize()
+        assert linear.as_dict() == {"A": 1.0}
+        assert linear.constant == 0.0
+
+    def test_collects_repeated_attributes(self):
+        linear = (attr_expr("A") + 2 * attr_expr("A")).linearize()
+        assert linear.as_dict() == {"A": 3.0}
+
+    def test_difference_and_constant(self):
+        linear = (attr_expr("A") - attr_expr("B") + 5).linearize()
+        assert linear.as_dict() == {"A": 1.0, "B": -1.0}
+        assert linear.constant == 5.0
+
+    def test_nested_scaling(self):
+        # 2*(3*A - (B + 1)) = 6A - 2B - 2
+        linear = (2 * (3 * attr_expr("A") - (attr_expr("B") + 1))).linearize()
+        assert linear.as_dict() == {"A": 6.0, "B": -2.0}
+        assert linear.constant == -2.0
+
+    def test_linearization_matches_evaluation(self, row):
+        expression = 2 * (3 * attr_expr("A") - (attr_expr("B") + 1)) + 4
+        linear = expression.linearize()
+        via_linear = (
+            sum(coeff * float(row[name]) for name, coeff in linear.coefficients)
+            + linear.constant
+        )
+        assert via_linear == pytest.approx(expression.evaluate(row))

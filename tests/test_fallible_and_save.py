@@ -1,0 +1,111 @@
+"""Tests for the fallible operator model and session artefact export."""
+
+import pytest
+
+from repro.acquisition.ocr import OcrChannel, inject_value_errors
+from repro.core import DartSystem, cash_budget_scenario
+from repro.datasets import generate_cash_budget
+from repro.repair import (
+    FallibleOperator,
+    RepairEngine,
+    ValidationLoop,
+)
+from repro.repair.updates import AtomicUpdate
+
+
+class TestFallibleOperator:
+    def test_zero_slip_rate_is_the_oracle(self):
+        workload = generate_cash_budget(n_years=2, seed=3)
+        corrupted, _ = inject_value_errors(workload.ground_truth, 2, seed=5)
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            pytest.skip("errors cancelled")
+        operator = FallibleOperator(
+            workload.ground_truth, slip_rate=0.0, acquired=corrupted
+        )
+        session = ValidationLoop(engine, operator).run()
+        assert operator.slips == 0
+        assert session.repaired_database == workload.ground_truth
+
+    def test_full_slip_rate_derails(self):
+        workload = generate_cash_budget(n_years=2, seed=3)
+        corrupted, _ = inject_value_errors(workload.ground_truth, 2, seed=5)
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            pytest.skip("errors cancelled")
+        operator = FallibleOperator(
+            workload.ground_truth, slip_rate=1.0, seed=1, acquired=corrupted
+        )
+        session = ValidationLoop(engine, operator, max_iterations=20).run()
+        assert operator.slips == operator.reviews > 0
+        # With every verdict wrong the loop is exactly as unreliable as
+        # its operator: the result is consistent but not the source.
+        assert session.repaired_database != workload.ground_truth
+
+    def test_slip_counting(self):
+        workload = generate_cash_budget(n_years=2, seed=3)
+        operator = FallibleOperator(workload.ground_truth, slip_rate=1.0, seed=2)
+        update = AtomicUpdate("CashBudget", 3, "Value", 1, 2)
+        operator.review(update)
+        assert operator.slips == 1
+        assert operator.reviews == 1
+
+    def test_rate_validation(self):
+        workload = generate_cash_budget(seed=0)
+        with pytest.raises(ValueError):
+            FallibleOperator(workload.ground_truth, slip_rate=1.5)
+
+    def test_loop_still_terminates_under_noise(self):
+        workload = generate_cash_budget(n_years=2, seed=9)
+        corrupted, _ = inject_value_errors(workload.ground_truth, 3, seed=8)
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            pytest.skip("errors cancelled")
+        operator = FallibleOperator(
+            workload.ground_truth, slip_rate=0.3, seed=4, acquired=corrupted
+        )
+        session = ValidationLoop(engine, operator, max_iterations=30).run()
+        # Pins accumulate monotonically, so the loop always terminates;
+        # convergence (to *something* consistent) is still guaranteed.
+        assert session.iterations <= 30
+
+
+class TestSessionSave:
+    def test_artifacts_written(self, tmp_path):
+        workload = generate_cash_budget(n_years=2, seed=7)
+        scenario = cash_budget_scenario(workload)
+        channel = OcrChannel(numeric_error_rate=0.08, string_error_rate=0.1, seed=42)
+        session = DartSystem(scenario, ocr_channel=channel).process()
+        session.save(tmp_path / "session")
+        root = tmp_path / "session"
+        assert (root / "acquired.html").exists()
+        assert (root / "acquired" / "CashBudget.csv").exists()
+        assert (root / "final" / "CashBudget.csv").exists()
+        assert (root / "violations.txt").exists()
+        assert (root / "repair.txt").exists()
+        assert (root / "transcript.txt").exists()
+        transcript = (root / "transcript.txt").read_text()
+        assert "iteration 1" in transcript
+
+    def test_consistent_session_omits_repair_files(self, tmp_path):
+        workload = generate_cash_budget(n_years=2, seed=7)
+        scenario = cash_budget_scenario(workload)
+        channel = OcrChannel(numeric_error_rate=0.0, string_error_rate=0.0, seed=1)
+        session = DartSystem(scenario, ocr_channel=channel).process()
+        session.save(tmp_path / "clean")
+        root = tmp_path / "clean"
+        assert (root / "acquired.html").exists()
+        assert not (root / "repair.txt").exists()
+        assert not (root / "transcript.txt").exists()
+        assert (root / "violations.txt").read_text() == ""
+
+    def test_final_csv_reloads_to_truth(self, tmp_path):
+        from repro.relational.csvio import load_database
+
+        workload = generate_cash_budget(n_years=2, seed=7)
+        scenario = cash_budget_scenario(workload)
+        channel = OcrChannel(numeric_error_rate=0.08, string_error_rate=0.1, seed=42)
+        session = DartSystem(scenario, ocr_channel=channel).process()
+        session.save(tmp_path / "s")
+        reloaded = load_database(workload.schema, tmp_path / "s" / "final")
+        assert reloaded == workload.ground_truth

@@ -1,0 +1,154 @@
+"""Unit tests for grounding (repro.constraints.grounding).
+
+Checks Example 10 structurally: grounding Constraints 1-3 over the
+Figure 3 instance yields the eight non-trivial equalities
+z2+z3=z4, z5+z6+z7=z8, z12+z13=z14, z15+z16+z17=z18 (Constraint 1),
+z4-z8=z9, z14-z18=z19 (Constraint 2), z1+z9=z10, z11+z19=z20
+(Constraint 3) -- in our 0-based cell ids, CashBudget[i-1].Value.
+"""
+
+import pytest
+
+from repro.constraints.grounding import (
+    GroundingEngine,
+    check_consistency,
+    enumerate_substitutions,
+    ground_constraints,
+)
+from repro.constraints.constraint import ConstraintError
+from repro.constraints.parser import parse_constraints
+from repro.datasets import cash_budget_constraints
+
+
+def cell(i: int):
+    """The paper's z_i (1-based) as our cell key (0-based tuple id)."""
+    return ("CashBudget", i - 1, "Value")
+
+
+class TestSubstitutionEnumeration:
+    def test_constraint1_substitutions(self, acquired, constraints):
+        substitutions = list(enumerate_substitutions(constraints[0], acquired))
+        pairs = {(s["x"], s["y"]) for s in substitutions}
+        assert pairs == {
+            (section, year)
+            for section in ("Receipts", "Disbursements", "Balance")
+            for year in (2003, 2004)
+        }
+
+    def test_constraint2_substitutions_projected(self, acquired, constraints):
+        substitutions = list(enumerate_substitutions(constraints[1], acquired))
+        # Projection onto the used variable x collapses the 10 tuples
+        # per year into one substitution per year.
+        assert {s["x"] for s in substitutions} == {2003, 2004}
+        assert len(substitutions) == 2
+
+    def test_constant_atom_positions_filter(self, acquired, schema):
+        text = """
+        function val(y, s) = sum(Value) from CashBudget
+            where Year = $y and Subsection = $s
+        constraint only2003:
+            CashBudget(2003, _, s, _, _) => val(2003, s) >= 0
+        """
+        _, constraints = parse_constraints(text)
+        substitutions = list(enumerate_substitutions(constraints[0], acquired))
+        assert len(substitutions) == 10  # subsections of 2003 only
+
+
+class TestExample10:
+    def test_system_size_and_shape(self, acquired, constraints):
+        system = ground_constraints(constraints, acquired)
+        assert len(system) == 8
+        as_sets = [
+            (dict(g.coefficients), g.relop, g.rhs - g.constant) for g in system
+        ]
+        expected = [
+            # Constraint 1: z2 + z3 - z4 = 0 etc.
+            {cell(2): 1.0, cell(3): 1.0, cell(4): -1.0},
+            {cell(5): 1.0, cell(6): 1.0, cell(7): 1.0, cell(8): -1.0},
+            {cell(12): 1.0, cell(13): 1.0, cell(14): -1.0},
+            {cell(15): 1.0, cell(16): 1.0, cell(17): 1.0, cell(18): -1.0},
+            # Constraint 2: z9 - z4 + z8 = 0 etc.
+            {cell(9): 1.0, cell(4): -1.0, cell(8): 1.0},
+            {cell(19): 1.0, cell(14): -1.0, cell(18): 1.0},
+            # Constraint 3: z10 - z1 - z9 = 0 etc.
+            {cell(10): 1.0, cell(1): -1.0, cell(9): -1.0},
+            {cell(20): 1.0, cell(11): -1.0, cell(19): -1.0},
+        ]
+        for coefficients in expected:
+            assert (coefficients, "=", 0.0) in as_sets
+
+    def test_involved_cells_count_is_paper_n(self, acquired, constraints):
+        engine = GroundingEngine(acquired, constraints)
+        assert len(engine.cells()) == 20  # N = 20 in Example 10
+
+    def test_trivial_balance_section_rows_dropped(self, acquired, constraints):
+        # 'Balance' has no det/aggr rows; its ground instances are the
+        # trivially-true 0 = 0 and must not appear in S(AC).
+        system = ground_constraints(constraints, acquired)
+        assert all(g.coefficients for g in system)
+
+
+class TestConsistency:
+    def test_ground_truth_consistent(self, ground_truth, constraints):
+        assert check_consistency(ground_truth, constraints) == []
+
+    def test_acquired_has_exactly_two_violations(self, acquired, constraints):
+        violations = check_consistency(acquired, constraints)
+        assert len(violations) == 2
+        sources = sorted(v.ground.source for v in violations)
+        assert sources == ["detail_vs_aggregate", "net_cash_inflow"]
+
+    def test_violation_amounts(self, acquired, constraints):
+        violations = check_consistency(acquired, constraints)
+        assert all(v.amount == 30.0 for v in violations)
+
+    def test_engine_checks_other_instances(self, ground_truth, acquired, constraints):
+        engine = GroundingEngine(acquired, constraints)
+        # Re-check against a repaired copy without regrounding.
+        fixed = acquired.copy()
+        fixed.set_value("CashBudget", 3, "Value", 220)
+        assert engine.is_consistent(fixed)
+        assert not engine.is_consistent(acquired)
+        assert engine.is_consistent(ground_truth)
+
+
+class TestSteadyEnforcement:
+    def test_require_steady_rejects_nonsteady(self, acquired):
+        text = """
+        function by_value(v) = sum(Value) from CashBudget where Value = $v
+        constraint bad: CashBudget(_, _, _, _, v) => by_value(v) <= 1000
+        """
+        _, constraints = parse_constraints(text)
+        with pytest.raises(ConstraintError):
+            ground_constraints(constraints, acquired, require_steady=True)
+
+    def test_non_steady_allowed_for_checking(self, acquired):
+        text = """
+        function by_value(v) = sum(Value) from CashBudget where Value = $v
+        constraint soft: CashBudget(_, _, _, _, v) => by_value(v) <= 100000
+        """
+        _, constraints = parse_constraints(text)
+        system = ground_constraints(constraints, acquired, require_steady=False)
+        assert system  # checking (not repairing) non-steady constraints is fine
+
+
+class TestGroundConstraintApi:
+    def test_evaluate_and_violation_amount(self, acquired, constraints):
+        system = ground_constraints(constraints, acquired)
+        violated = [g for g in system if not g.holds(acquired)]
+        assert len(violated) == 2
+        for ground in violated:
+            assert ground.violation_amount(acquired) == 30.0
+
+    def test_str_is_readable(self, acquired, constraints):
+        system = ground_constraints(constraints, acquired)
+        rendered = str(system[0])
+        assert "CashBudget[" in rendered
+        assert "=" in rendered
+
+    def test_deduplication(self, acquired, constraints):
+        with_dupes = ground_constraints(
+            constraints + constraints, acquired, deduplicate=True
+        )
+        without = ground_constraints(constraints, acquired)
+        assert len(with_dupes) == len(without)

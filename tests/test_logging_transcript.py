@@ -1,0 +1,60 @@
+"""Tests for logging instrumentation and the validation transcript."""
+
+import logging
+
+import pytest
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.datasets import generate_cash_budget
+from repro.repair import OracleOperator, RepairEngine, ValidationLoop
+
+
+class TestLogging:
+    def test_engine_logs_solves(self, acquired, constraints, caplog):
+        engine = RepairEngine(acquired, constraints)
+        with caplog.at_level(logging.DEBUG, logger="repro.repair.engine"):
+            engine.find_card_minimal_repair()
+        messages = " | ".join(record.message for record in caplog.records)
+        assert "solving S*(AC)" in messages
+        assert "card-minimal repair found" in messages
+
+    def test_validation_logs_iterations(self, acquired, ground_truth, constraints, caplog):
+        engine = RepairEngine(acquired, constraints)
+        operator = OracleOperator(ground_truth, acquired=acquired)
+        with caplog.at_level(logging.DEBUG, logger="repro.repair.interactive"):
+            ValidationLoop(engine, operator).run()
+        messages = " | ".join(record.message for record in caplog.records)
+        assert "validation iteration" in messages
+        assert "repair accepted" in messages
+
+    def test_quiet_by_default(self, acquired, constraints, capsys):
+        # Library code must not print; logging stays silent unless
+        # the application configures handlers.
+        engine = RepairEngine(acquired, constraints)
+        engine.find_card_minimal_repair()
+        captured = capsys.readouterr()
+        assert captured.out == ""
+
+
+class TestTranscript:
+    def test_single_round_transcript(self, acquired, ground_truth, constraints):
+        engine = RepairEngine(acquired, constraints)
+        operator = OracleOperator(ground_truth, acquired=acquired)
+        session = ValidationLoop(engine, operator).run()
+        transcript = session.render_transcript()
+        assert "iteration 1" in transcript
+        assert "ACCEPTED" in transcript
+        assert "accepted after 1 iteration(s)" in transcript
+
+    def test_rejection_appears_with_source_value(self):
+        workload = generate_cash_budget(n_years=2, seed=3)
+        corrupted, injected = inject_value_errors(workload.ground_truth, 2, seed=5)
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            pytest.skip("errors cancelled")
+        operator = OracleOperator(workload.ground_truth, acquired=corrupted)
+        session = ValidationLoop(engine, operator).run()
+        transcript = session.render_transcript()
+        if session.iterations > 1:
+            assert "REJECTED, source value is" in transcript
+        assert f"{session.values_inspected} value(s) inspected" in transcript

@@ -1,0 +1,129 @@
+"""Unit tests for similarity, msi and t-norms (repro.wrapping.matching).
+
+Pins the paper's Example 13: "bgnning cesh" against the Subsection
+dictionary binds to "beginning cash" with a ~90% score, while exact
+items score 100%.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wrapping.matching import TNorm, levenshtein, most_similar_item, similarity
+
+SUBSECTIONS = [
+    "beginning cash",
+    "cash sales",
+    "receivables",
+    "total cash receipts",
+    "payment of accounts",
+    "capital expenditure",
+    "long-term financing",
+    "total disbursements",
+    "net cash inflow",
+    "ending cash balance",
+]
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("abc", "abc", 0),
+            ("bgnning cesh", "beginning cash", 3),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_symmetry(self):
+        assert levenshtein("abcd", "ba") == levenshtein("ba", "abcd")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=12), st.text(max_size=12), st.text(max_size=12))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestSimilarity:
+    def test_exact_match_is_one(self):
+        assert similarity("cash sales", "cash sales") == 1.0
+
+    def test_case_insensitive_by_default(self):
+        assert similarity("Cash Sales", "cash sales") == 1.0
+        assert similarity("Cash", "cash", case_sensitive=True) < 1.0
+
+    def test_example13_score_is_about_ninety_percent(self):
+        score = similarity("bgnning cesh", "beginning cash")
+        # distance 3 over combined length 26 -> ~0.885, displayed as 90%
+        # in the paper's Figure 7(b).
+        assert score == pytest.approx(1 - 3 / 26)
+        assert 0.85 <= score <= 0.92
+
+    def test_empty_strings(self):
+        assert similarity("", "") == 1.0
+        assert similarity("a", "") == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=15), st.text(max_size=15))
+    def test_bounded(self, a, b):
+        assert 0.0 <= similarity(a, b) <= 1.0
+
+
+class TestMostSimilarItem:
+    def test_binds_example13_to_beginning_cash(self):
+        item, score = most_similar_item("bgnning cesh", SUBSECTIONS)
+        assert item == "beginning cash"
+        assert score == pytest.approx(1 - 3 / 26)
+
+    def test_exact_item_wins(self):
+        item, score = most_similar_item("receivables", SUBSECTIONS)
+        assert item == "receivables"
+        assert score == 1.0
+
+    def test_minimum_score_gate(self):
+        item, score = most_similar_item("zzzzzz", SUBSECTIONS, minimum_score=0.9)
+        assert item is None
+        assert score < 0.9
+
+    def test_deterministic_tie_break(self):
+        item, _ = most_similar_item("x", ["b", "a"])
+        assert item == "a"
+
+
+class TestTNorms:
+    def test_product(self):
+        assert TNorm.PRODUCT.combine([0.5, 0.5]) == 0.25
+
+    def test_minimum(self):
+        assert TNorm.MINIMUM.combine([0.9, 0.5, 0.7]) == 0.5
+
+    def test_lukasiewicz(self):
+        assert TNorm.LUKASIEWICZ.combine([0.9, 0.8]) == pytest.approx(0.7)
+        assert TNorm.LUKASIEWICZ.combine([0.4, 0.4]) == 0.0
+
+    def test_empty_input_is_one(self):
+        for norm in TNorm:
+            assert norm.combine([]) == 1.0
+
+    def test_identity_element(self):
+        for norm in TNorm:
+            assert norm.combine([1.0, 0.6]) == pytest.approx(0.6)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TNorm.PRODUCT.combine([1.5])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=5))
+    def test_tnorm_ordering(self, scores):
+        """Łukasiewicz <= product <= min (the classical ordering)."""
+        luka = TNorm.LUKASIEWICZ.combine(scores)
+        product = TNorm.PRODUCT.combine(scores)
+        minimum = TNorm.MINIMUM.combine(scores)
+        assert luka <= product + 1e-9
+        assert product <= minimum + 1e-9

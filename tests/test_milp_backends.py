@@ -1,0 +1,146 @@
+"""Cross-checks between all MILP backends, including random models.
+
+The two from-scratch backends ("bnb", "bnb-simplex") and the HiGHS
+backend ("scipy") must agree on status and optimal objective on every
+solvable model -- deterministic cases plus a hypothesis-driven family
+of random bounded integer programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.milp import MILPModel, SolveStatus, VarType, available_backends, solve
+
+BACKENDS = ("scipy", "bnb", "bnb-simplex")
+
+
+def build_ilp(costs, rows, rhs, lower=0, upper=10):
+    """min costs.x s.t. rows.x <= rhs, lower <= x <= upper, x integer."""
+    model = MILPModel("random")
+    xs = [
+        model.add_variable(f"x{i}", VarType.INTEGER, lower=lower, upper=upper)
+        for i in range(len(costs))
+    ]
+    for row, bound in zip(rows, rhs):
+        expr = sum((c * x for c, x in zip(row, xs)), start=0)
+        model.add_constraint(expr <= bound)
+    model.set_objective(sum((c * x for c, x in zip(costs, xs)), start=0))
+    return model
+
+
+class TestBackendRegistry:
+    def test_available_backends(self):
+        assert set(available_backends()) == set(BACKENDS)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            solve(MILPModel("m"), backend="cplex")
+
+
+class TestDeterministicAgreement:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_small_ilp(self, backend):
+        model = build_ilp([1, 1], [[-1, -2], [-3, -1]], [-3, -4])
+        solution = solve(model, backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_knapsack(self, backend):
+        model = MILPModel("knapsack")
+        weights_profits = [(6, 5), (5, 4), (4, 3), (3, 2)]
+        xs = [model.add_variable(f"b{i}", VarType.BINARY) for i in range(4)]
+        model.add_constraint(
+            sum((w * x for (w, _), x in zip(weights_profits, xs)), start=0) <= 9
+        )
+        model.set_objective(
+            sum((-p * x for (_, p), x in zip(weights_profits, xs)), start=0)
+        )
+        solution = solve(model, backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-7.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_infeasible(self, backend):
+        model = MILPModel("inf")
+        x = model.add_variable("x", VarType.INTEGER, lower=0, upper=1)
+        model.add_constraint(x >= 2)
+        model.set_objective(x)
+        assert solve(model, backend=backend).status is SolveStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fractional_lp_relaxation_forces_branching(self, backend):
+        # LP optimum is x = 2.5; ILP optimum is 2 (x <= 2.5 rounded down).
+        model = MILPModel("frac")
+        x = model.add_variable("x", VarType.INTEGER, lower=0, upper=10)
+        model.add_constraint(2 * x <= 5)
+        model.set_objective(-x)
+        solution = solve(model, backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-2.0)
+        assert solution.values["x"] == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_integer_real(self, backend):
+        # min y s.t. y >= x - 2.5, y >= 2.5 - x, x integer in [0,5], y real:
+        # best integer x is 2 or 3, giving y = 0.5.
+        model = MILPModel("mixed")
+        x = model.add_variable("x", VarType.INTEGER, lower=0, upper=5)
+        y = model.add_variable("y", VarType.REAL, lower=0, upper=10)
+        model.add_constraint(y - x >= -2.5)
+        model.add_constraint(y + x >= 2.5)
+        model.set_objective(y)
+        solution = solve(model, backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_objective_constant_carried(self, backend):
+        model = MILPModel("const")
+        x = model.add_variable("x", VarType.INTEGER, lower=1, upper=3)
+        model.set_objective(x + 100)
+        solution = solve(model, backend=backend)
+        assert solution.objective == pytest.approx(101.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_solutions_verify_feasible(self, backend):
+        model = build_ilp([-2, -3, 1], [[1, 2, -1], [2, 1, 0]], [6, 7])
+        solution = solve(model, backend=backend)
+        assert solution.status is SolveStatus.OPTIMAL
+        assignment = [solution.values[v.name] for v in model.variables]
+        assert model.check_feasible(assignment)
+
+
+@st.composite
+def random_ilp(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=1, max_value=4))
+    costs = draw(
+        st.lists(st.integers(min_value=-5, max_value=5), min_size=n, max_size=n)
+    )
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(min_value=-4, max_value=4), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    rhs = draw(
+        st.lists(st.integers(min_value=-10, max_value=15), min_size=m, max_size=m)
+    )
+    return costs, rows, rhs
+
+
+class TestRandomAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(random_ilp())
+    def test_backends_agree_on_random_models(self, problem):
+        costs, rows, rhs = problem
+        reference = solve(build_ilp(costs, rows, rhs), backend="scipy")
+        for backend in ("bnb", "bnb-simplex"):
+            ours = solve(build_ilp(costs, rows, rhs), backend=backend)
+            assert ours.status == reference.status, backend
+            if reference.status is SolveStatus.OPTIMAL:
+                assert ours.objective == pytest.approx(
+                    reference.objective, abs=1e-6
+                ), backend

@@ -1,0 +1,142 @@
+"""Unit tests for MILP model objects (repro.milp.model)."""
+
+import math
+
+import pytest
+
+from repro.milp.model import (
+    Constraint,
+    LinExpr,
+    MILPModel,
+    ModelError,
+    Sense,
+    VarType,
+)
+
+
+@pytest.fixture
+def model():
+    return MILPModel("t")
+
+
+class TestVariables:
+    def test_types_and_bounds(self, model):
+        x = model.add_variable("x", VarType.REAL, lower=-1, upper=2)
+        assert x.lower == -1 and x.upper == 2
+        assert not x.var_type.is_integral
+
+    def test_binary_forces_unit_bounds(self, model):
+        b = model.add_variable("b", VarType.BINARY, lower=-5, upper=5)
+        assert (b.lower, b.upper) == (0.0, 1.0)
+        assert b.var_type.is_integral
+
+    def test_duplicate_name_rejected(self, model):
+        model.add_variable("x")
+        with pytest.raises(ModelError):
+            model.add_variable("x")
+
+    def test_crossed_bounds_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_variable("x", lower=2, upper=1)
+
+    def test_lookup(self, model):
+        x = model.add_variable("x")
+        assert model.variable("x") is x
+        with pytest.raises(ModelError):
+            model.variable("y")
+
+
+class TestExpressions:
+    def test_arithmetic_builds_linexpr(self, model):
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        expr = 2 * x - y + 3
+        assert expr.coefficients == {x.index: 2.0, y.index: -1.0}
+        assert expr.constant == 3.0
+
+    def test_negation_and_subtraction(self, model):
+        x = model.add_variable("x")
+        expr = 5 - x
+        assert expr.coefficients == {x.index: -1.0}
+        assert expr.constant == 5.0
+        assert (-x).coefficients == {x.index: -1.0}
+
+    def test_sum_builtin(self, model):
+        xs = [model.add_variable(f"x{i}") for i in range(3)]
+        expr = sum(xs, start=0)
+        assert set(expr.coefficients.values()) == {1.0}
+        assert len(expr.coefficients) == 3
+
+    def test_value_evaluation(self, model):
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        expr = 2 * x + y + 1
+        assert expr.value([3.0, 4.0]) == 11.0
+
+    def test_scalar_type_checked(self, model):
+        x = model.add_variable("x")
+        with pytest.raises(ModelError):
+            x * "a"  # type: ignore[operator]
+
+
+class TestConstraints:
+    def test_comparison_folds_constant(self, model):
+        x = model.add_variable("x")
+        constraint = (x + 3 <= 5)
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == 2.0
+        assert constraint.expr.constant == 0.0
+
+    def test_equality_builds_constraint(self, model):
+        x = model.add_variable("x")
+        y = model.add_variable("y")
+        constraint = (x == y + 1)
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is Sense.EQ
+        assert constraint.rhs == 1.0
+
+    def test_ge(self, model):
+        x = model.add_variable("x")
+        constraint = (x >= 4)
+        assert constraint.sense is Sense.GE
+        assert constraint.rhs == 4.0
+
+    def test_add_constraint_validates_type(self, model):
+        with pytest.raises(ModelError):
+            model.add_constraint("not a constraint")  # type: ignore[arg-type]
+
+    def test_satisfied_by(self, model):
+        x = model.add_variable("x")
+        constraint = model.add_constraint(2 * x <= 10)
+        assert constraint.satisfied_by([5.0])
+        assert not constraint.satisfied_by([6.0])
+
+
+class TestModelChecks:
+    def test_counts(self, model):
+        model.add_variable("x", VarType.REAL)
+        model.add_variable("n", VarType.INTEGER)
+        model.add_variable("b", VarType.BINARY)
+        assert model.n_variables == 3
+        assert model.n_integral == 2
+        assert model.n_binary == 1
+        assert not model.is_pure_lp()
+
+    def test_check_feasible_full(self, model):
+        x = model.add_variable("x", VarType.INTEGER, lower=0, upper=10)
+        model.add_constraint(x <= 5)
+        assert model.check_feasible([3.0])
+        assert not model.check_feasible([6.0])     # constraint
+        assert not model.check_feasible([3.5])     # integrality
+        assert not model.check_feasible([-1.0])    # bound
+        assert not model.check_feasible([1.0, 2.0])  # arity
+
+    def test_objective_evaluation(self, model):
+        x = model.add_variable("x")
+        model.set_objective(3 * x + 2)
+        assert model.evaluate_objective([4.0]) == 14.0
+
+    def test_solution_values_maps_names(self, model):
+        model.add_variable("x")
+        model.add_variable("y")
+        assert model.solution_values([1.0, 2.0]) == {"x": 1.0, "y": 2.0}

@@ -1,0 +1,152 @@
+"""Tests for MPS reading/writing (repro.milp.mps)."""
+
+import pytest
+
+from repro.datasets import cash_budget_constraints, paper_acquired_instance
+from repro.milp import MILPModel, SolveStatus, VarType, solve
+from repro.milp.mps import MpsError, read_mps, write_mps
+from repro.repair import translate
+
+
+def small_model():
+    model = MILPModel("small")
+    x = model.add_variable("x", VarType.INTEGER, lower=0, upper=10)
+    y = model.add_variable("y", VarType.REAL, lower=-2, upper=8)
+    b = model.add_variable("b", VarType.BINARY)
+    model.add_constraint(x + 2 * y <= 14, name="cap")
+    model.add_constraint(x - y >= -1, name="floor")
+    model.add_constraint(x + 5 * b == 7, name="tie")
+    model.set_objective(-3 * x - 2 * y + b)
+    return model
+
+
+class TestWrite:
+    def test_sections_present(self):
+        text = write_mps(small_model())
+        for section in ("NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA"):
+            assert section in text
+
+    def test_integrality_markers(self):
+        text = write_mps(small_model())
+        assert "'INTORG'" in text
+        assert "'INTEND'" in text
+
+    def test_binary_bound(self):
+        assert " BV bnd b" in write_mps(small_model())
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "m.mps"
+        write_mps(small_model(), path)
+        assert path.exists()
+
+
+class TestRoundTrip:
+    def assert_equivalent(self, original: MILPModel, reparsed: MILPModel):
+        solution_a = solve(original)
+        solution_b = solve(reparsed)
+        assert solution_a.status == solution_b.status
+        if solution_a.status is SolveStatus.OPTIMAL:
+            assert solution_a.objective == pytest.approx(
+                solution_b.objective, abs=1e-6
+            )
+
+    def test_small_model(self):
+        original = small_model()
+        reparsed = read_mps(write_mps(original), is_text=True)
+        assert reparsed.n_variables == original.n_variables
+        assert reparsed.n_constraints == original.n_constraints
+        assert reparsed.n_binary == original.n_binary
+        self.assert_equivalent(original, reparsed)
+
+    def test_repair_instance_roundtrip(self):
+        translation = translate(
+            paper_acquired_instance(), cash_budget_constraints()
+        )
+        original = translation.model
+        reparsed = read_mps(write_mps(original), is_text=True)
+        solution = solve(reparsed)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(1.0)
+        assert solution.values["z4"] == pytest.approx(220.0)
+
+    def test_variable_bounds_survive(self):
+        original = small_model()
+        reparsed = read_mps(write_mps(original), is_text=True)
+        y = reparsed.variable("y")
+        assert (y.lower, y.upper) == (-2.0, 8.0)
+        x = reparsed.variable("x")
+        assert x.var_type is VarType.INTEGER
+        assert (x.lower, x.upper) == (0.0, 10.0)
+
+    def test_free_variable(self):
+        model = MILPModel("free")
+        f = model.add_variable("f", VarType.REAL)
+        model.add_constraint(f >= -100, name="g")
+        model.set_objective(f)
+        reparsed = read_mps(write_mps(model), is_text=True)
+        variable = reparsed.variable("f")
+        assert variable.lower == float("-inf")
+        assert variable.upper == float("inf")
+
+
+class TestRead:
+    def test_handcrafted_mps(self):
+        text = """
+NAME tiny
+ROWS
+ N obj
+ L c1
+ G c2
+COLUMNS
+ x obj -1 c1 1
+ x c2 1
+ y obj -1 c1 1
+RHS
+ rhs c1 10 c2 2
+BOUNDS
+ UP bnd x 6
+ENDATA
+"""
+        model = read_mps(text, is_text=True)
+        solution = solve(model)
+        # max x + y s.t. x + y <= 10, x >= 2, x <= 6: objective -10.
+        assert solution.objective == pytest.approx(-10.0)
+
+    def test_ranges_two_sided(self):
+        text = """
+NAME ranged
+ROWS
+ N obj
+ G r1
+COLUMNS
+ x obj 1 r1 1
+RHS
+ rhs r1 5
+RANGES
+ rng r1 3
+ENDATA
+"""
+        model = read_mps(text, is_text=True)
+        # G with range 3: 5 <= x <= 8; minimise x -> 5.
+        assert solve(model).objective == pytest.approx(5.0)
+        # maximise: flip objective.
+        model2 = read_mps(text, is_text=True)
+        model2.set_objective(-1 * model2.variable("x"))
+        assert solve(model2).objective == pytest.approx(-8.0)
+
+    def test_bad_section_data(self):
+        with pytest.raises(MpsError):
+            read_mps("garbage before sections\n", is_text=True)
+
+    def test_bad_rows_entry(self):
+        with pytest.raises(MpsError):
+            read_mps("NAME x\nROWS\n N\nENDATA\n", is_text=True)
+
+    def test_unknown_row_type(self):
+        with pytest.raises(MpsError):
+            read_mps("NAME x\nROWS\n Q c1\nENDATA\n", is_text=True)
+
+    def test_comments_ignored(self):
+        text = "* header comment\nNAME c\nROWS\n N obj\nCOLUMNS\n x obj 1\nENDATA\n"
+        model = read_mps(text, is_text=True)
+        assert model.n_variables == 1

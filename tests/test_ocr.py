@@ -1,0 +1,139 @@
+"""Unit tests for the OCR error channel (repro.acquisition.ocr)."""
+
+import pytest
+
+from repro.acquisition.documents import Cell, Document, Row, Table
+from repro.acquisition.ocr import (
+    DIGIT_CONFUSIONS,
+    ErrorRecord,
+    OcrChannel,
+    inject_value_errors,
+)
+from repro.datasets import paper_ground_truth
+
+
+class TestNumberCorruption:
+    def test_always_changes_digits(self):
+        channel = OcrChannel(seed=1)
+        for value in ("220", "5", "1000", "42"):
+            corrupted = channel.corrupt_number(value)
+            assert corrupted != value
+
+    def test_output_stays_digit_like(self):
+        channel = OcrChannel(seed=2)
+        for trial in range(50):
+            corrupted = channel.corrupt_number("31415")
+            assert corrupted.isdigit()
+
+    def test_non_numeric_text_passthrough(self):
+        channel = OcrChannel(seed=3)
+        assert channel.corrupt_number("abc") == "abc"
+
+    def test_confusion_table_is_digit_to_digits(self):
+        for source, targets in DIGIT_CONFUSIONS.items():
+            assert source.isdigit()
+            assert targets.isdigit()
+            assert source not in targets
+
+
+class TestStringCorruption:
+    def test_changes_text(self):
+        channel = OcrChannel(seed=4)
+        corrupted = channel.corrupt_string("beginning cash")
+        assert corrupted != "beginning cash"
+
+    def test_deterministic_per_seed(self):
+        a = OcrChannel(seed=5).corrupt_string("beginning cash")
+        b = OcrChannel(seed=5).corrupt_string("beginning cash")
+        assert a == b
+
+    def test_different_seeds_differ_somewhere(self):
+        outputs = {
+            OcrChannel(seed=s).corrupt_string("payment of accounts")
+            for s in range(10)
+        }
+        assert len(outputs) > 1
+
+
+class TestDocumentCorruption:
+    def make_document(self):
+        table = Table(
+            [
+                Row([Cell("2003", rowspan=2), Cell("cash sales"), Cell("100")]),
+                Row([Cell("receivables"), Cell("120")]),
+            ]
+        )
+        return Document("d", [table])
+
+    def test_zero_rates_are_identity(self):
+        channel = OcrChannel(numeric_error_rate=0.0, string_error_rate=0.0, seed=1)
+        document = self.make_document()
+        corrupted, errors = channel.corrupt_document(document)
+        assert errors == []
+        assert corrupted.tables[0].logical_grid() == document.tables[0].logical_grid()
+
+    def test_full_rate_corrupts_every_cell(self):
+        channel = OcrChannel(numeric_error_rate=1.0, string_error_rate=1.0, seed=1)
+        corrupted, errors = channel.corrupt_document(self.make_document())
+        # 5 physical cells, all corruptible.
+        assert len(errors) == 5
+
+    def test_error_records_point_at_cells(self):
+        channel = OcrChannel(numeric_error_rate=1.0, string_error_rate=0.0, seed=2)
+        document = self.make_document()
+        corrupted, errors = channel.corrupt_document(document)
+        assert all(isinstance(e, ErrorRecord) for e in errors)
+        for error in errors:
+            original_cell = document.tables[error.table_index].rows[
+                error.row_index
+            ].cells[error.cell_index]
+            assert original_cell.text == error.original
+            assert error.kind == "numeric"
+
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            OcrChannel(numeric_error_rate=1.5)
+        with pytest.raises(ValueError):
+            OcrChannel(string_error_rate=-0.1)
+
+    def test_spans_preserved_through_corruption(self):
+        channel = OcrChannel(numeric_error_rate=1.0, string_error_rate=1.0, seed=7)
+        corrupted, _ = channel.corrupt_document(self.make_document())
+        assert corrupted.tables[0].rows[0].cells[0].rowspan == 2
+
+
+class TestInjectValueErrors:
+    def test_exact_error_count(self, ground_truth):
+        corrupted, injected = inject_value_errors(ground_truth, 3, seed=1)
+        assert len(injected) == 3
+        from repro.relational.database import diff_databases
+
+        assert len(diff_databases(ground_truth, corrupted)) == 3
+
+    def test_cells_are_distinct(self, ground_truth):
+        _, injected = inject_value_errors(ground_truth, 5, seed=2)
+        cells = [cell for cell, _, _ in injected]
+        assert len(set(cells)) == 5
+
+    def test_new_values_differ(self, ground_truth):
+        _, injected = inject_value_errors(ground_truth, 5, seed=3)
+        assert all(old != new for _, old, new in injected)
+
+    def test_original_untouched(self, ground_truth):
+        before = ground_truth.copy()
+        inject_value_errors(ground_truth, 3, seed=4)
+        assert ground_truth == before
+
+    def test_too_many_errors_rejected(self, ground_truth):
+        with pytest.raises(ValueError):
+            inject_value_errors(ground_truth, 21, seed=1)
+
+    def test_deterministic(self, ground_truth):
+        a = inject_value_errors(ground_truth, 3, seed=9)[1]
+        b = inject_value_errors(ground_truth, 3, seed=9)[1]
+        assert a == b
+
+    def test_cell_subset_respected(self, ground_truth):
+        cells = [("CashBudget", 0, "Value"), ("CashBudget", 1, "Value")]
+        _, injected = inject_value_errors(ground_truth, 2, seed=5, cells=cells)
+        assert {c for c, _, _ in injected} == set(cells)

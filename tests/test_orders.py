@@ -1,0 +1,128 @@
+"""Tests for the multi-relation orders workload.
+
+This is where the machinery beyond the single-relation running example
+earns its keep: cross-relation aggregation, a joined constraint body
+with a non-empty (but steady) J(kappa), measures in two relations, and
+inequality constraints alongside equalities.
+"""
+
+import pytest
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.constraints.grounding import check_consistency
+from repro.datasets import generate_orders
+from repro.datasets.orders import orders_constraints, orders_schema
+from repro.repair import (
+    OracleOperator,
+    RepairEngine,
+    ValidationLoop,
+    brute_force_card_minimal,
+)
+
+
+class TestWorkload:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_generated_instances_consistent(self, seed):
+        workload = generate_orders(seed=seed)
+        assert check_consistency(workload.ground_truth, workload.constraints) == []
+
+    def test_shape(self):
+        workload = generate_orders(n_customers=3, n_orders=5, lines_per_order=3)
+        assert len(workload.ground_truth.relation("Orders")) == 5
+        assert len(workload.ground_truth.relation("OrderLines")) == 15
+        assert len(workload.ground_truth.relation("Customers")) == 3
+
+    def test_measures_span_two_relations(self):
+        schema = orders_schema()
+        assert schema.measure_attributes == {
+            ("Orders", "Total"),
+            ("OrderLines", "Amount"),
+        }
+        # Reference data is not a measure: repairs cannot touch limits.
+        assert not schema.is_measure("Customers", "CreditLimit")
+
+
+class TestSteadiness:
+    def test_joined_body_constraint_is_steady(self):
+        schema = orders_schema()
+        constraints = orders_constraints()
+        within_credit = next(c for c in constraints if c.name == "within_credit")
+        j_kappa = within_credit.j_kappa(schema)
+        # The join variable c touches Orders.Customer and Customers.Name.
+        assert ("Orders", "Customer") in j_kappa
+        assert ("Customers", "Name") in j_kappa
+        assert within_credit.is_steady(schema)
+
+    def test_lines_match_total_sets(self):
+        schema = orders_schema()
+        constraints = orders_constraints()
+        lines = next(c for c in constraints if c.name == "lines_match_total")
+        assert lines.j_kappa(schema) == set()
+        a_kappa = lines.a_kappa(schema)
+        assert ("OrderLines", "OrderId") in a_kappa
+        assert ("Orders", "OrderId") in a_kappa
+
+
+class TestRepair:
+    def test_line_error_repaired(self):
+        workload = generate_orders(seed=3)
+        line_cells = [
+            ("OrderLines", t.tuple_id, "Amount")
+            for t in workload.ground_truth.relation("OrderLines")
+        ]
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 1, seed=5, cells=line_cells
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        assert not engine.is_consistent()
+        outcome = engine.find_card_minimal_repair()
+        assert outcome.cardinality == 1
+        assert engine.is_repair(outcome.repair)
+
+    def test_total_error_repaired(self):
+        workload = generate_orders(seed=3)
+        total_cells = [
+            ("Orders", t.tuple_id, "Total")
+            for t in workload.ground_truth.relation("Orders")
+        ]
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 1, seed=7, cells=total_cells
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            pytest.skip("corruption stayed within the credit slack")
+        outcome = engine.find_card_minimal_repair()
+        assert engine.is_repair(outcome.repair)
+        oracle = brute_force_card_minimal(
+            corrupted, workload.constraints, max_cardinality=2
+        )
+        assert oracle is not None
+        assert oracle.cardinality == outcome.cardinality
+
+    def test_validation_loop_recovers_truth(self):
+        workload = generate_orders(seed=9)
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 2, seed=11
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            pytest.skip("errors cancelled / stayed within slack")
+        operator = OracleOperator(workload.ground_truth, acquired=corrupted)
+        session = ValidationLoop(engine, operator).run()
+        assert session.converged
+        assert session.repaired_database == workload.ground_truth
+
+    def test_inequality_constraint_can_force_downward_repairs(self):
+        workload = generate_orders(n_customers=1, n_orders=2, seed=1)
+        corrupted = workload.ground_truth.copy()
+        # Blow an order total past the credit limit AND its line sum.
+        limit = next(iter(corrupted.relation("Customers")))["CreditLimit"]
+        order = next(iter(corrupted.relation("Orders")))
+        corrupted.set_value("Orders", order.tuple_id, "Total", limit * 2)
+        engine = RepairEngine(corrupted, workload.constraints)
+        assert not engine.is_consistent()
+        outcome = engine.find_card_minimal_repair()
+        repaired = engine.apply(outcome.repair)
+        # The repaired totals respect the credit limit again.
+        total_volume = sum(t["Total"] for t in repaired.relation("Orders"))
+        assert total_volume <= limit

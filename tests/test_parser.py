@@ -1,0 +1,166 @@
+"""Unit tests for the constraint DSL parser."""
+
+import pytest
+
+from repro.constraints.parser import ConstraintParseError, parse_constraints
+from repro.datasets import CASH_BUDGET_CONSTRAINT_DSL
+from repro.relational.predicates import Const, Var
+
+
+class TestRunningExampleDSL:
+    def test_parses_functions_and_constraints(self):
+        functions, constraints = parse_constraints(CASH_BUDGET_CONSTRAINT_DSL)
+        assert set(functions) == {"chi1", "chi2"}
+        assert [c.name for c in constraints] == [
+            "detail_vs_aggregate",
+            "net_cash_inflow",
+            "ending_cash_balance",
+        ]
+
+    def test_function_shapes(self):
+        functions, _ = parse_constraints(CASH_BUDGET_CONSTRAINT_DSL)
+        chi1 = functions["chi1"]
+        assert chi1.relation == "CashBudget"
+        assert chi1.parameters == ("x", "y", "z")
+        assert chi1.where_attributes() == {"Section", "Year", "Type"}
+
+    def test_constraint_shapes(self):
+        _, constraints = parse_constraints(CASH_BUDGET_CONSTRAINT_DSL)
+        detail = constraints[0]
+        assert detail.relop == "="
+        assert detail.rhs == 0
+        assert len(detail.body) == 1
+        assert len(detail.terms) == 2
+        assert detail.terms[0].coefficient == 1.0
+        assert detail.terms[1].coefficient == -1.0
+
+    def test_anonymous_variables_are_fresh(self):
+        _, constraints = parse_constraints(CASH_BUDGET_CONSTRAINT_DSL)
+        atom = constraints[0].body[0]
+        anonymous = [t for t in atom.terms if isinstance(t, Var) and t.name.startswith("_anon")]
+        assert len(anonymous) == 3
+        assert len({t.name for t in anonymous}) == 3
+
+    def test_string_arguments(self):
+        _, constraints = parse_constraints(CASH_BUDGET_CONSTRAINT_DSL)
+        args = constraints[0].terms[0].arguments
+        assert args[-1] == Const("det")
+
+
+class TestSyntax:
+    def test_coefficients(self):
+        text = """
+        function f(x) = sum(Value) from R where Year = $x
+        constraint c: R(x, _) => 2 * f(x) - 3 * f(x) <= 10
+        """
+        _, constraints = parse_constraints(text)
+        assert [t.coefficient for t in constraints[0].terms] == [2.0, -3.0]
+
+    def test_leading_minus(self):
+        text = """
+        function f(x) = sum(Value) from R where Year = $x
+        constraint c: R(x, _) => - f(x) >= -5
+        """
+        _, constraints = parse_constraints(text)
+        assert constraints[0].terms[0].coefficient == -1.0
+        assert constraints[0].rhs == -5
+
+    def test_expression_arithmetic(self):
+        text = """
+        function f(x) = sum(2 * Value - Cost + 1) from R where Year = $x
+        constraint c: R(x, _) => f(x) <= 0
+        """
+        functions, _ = parse_constraints(text)
+        linear = functions["f"].expression.linearize()
+        assert linear.as_dict() == {"Value": 2.0, "Cost": -1.0}
+        assert linear.constant == 1.0
+
+    def test_condition_connectives(self):
+        text = """
+        function f(x) = sum(Value) from R
+            where (Year = $x or Year = 2004) and not Kind = 'x'
+        constraint c: R(x, _) => f(x) <= 0
+        """
+        functions, _ = parse_constraints(text)
+        assert functions["f"].where_attributes() == {"Year", "Kind"}
+
+    def test_where_clause_optional(self):
+        text = """
+        function total() = sum(Value) from R
+        constraint c: R(_, _) => total() <= 100
+        """
+        functions, _ = parse_constraints(text)
+        assert functions["total"].arity == 0
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # header comment
+        function f(x) = sum(Value) from R where Year = $x  # trailing
+
+        constraint c: R(x, _) => f(x) = 0
+        """
+        _, constraints = parse_constraints(text)
+        assert len(constraints) == 1
+
+    def test_multiple_body_atoms(self):
+        text = """
+        function f(x) = sum(Value) from R where Year = $x
+        constraint c: R(x, _), S(x, y) => f(y) = 0
+        """
+        _, constraints = parse_constraints(text)
+        assert [a.relation for a in constraints[0].body] == ["R", "S"]
+
+    def test_real_rhs(self):
+        text = """
+        function f(x) = sum(Value) from R where Year = $x
+        constraint c: R(x, _) => f(x) <= 10.5
+        """
+        _, constraints = parse_constraints(text)
+        assert constraints[0].rhs == 10.5
+
+
+class TestErrors:
+    def test_unknown_function(self):
+        with pytest.raises(ConstraintParseError):
+            parse_constraints("constraint c: R(x) => nope(x) = 0")
+
+    def test_duplicate_function(self):
+        text = """
+        function f(x) = sum(V) from R where A = $x
+        function f(x) = sum(V) from R where A = $x
+        """
+        with pytest.raises(ConstraintParseError):
+            parse_constraints(text)
+
+    def test_where_variable_not_parameter(self):
+        with pytest.raises(ConstraintParseError):
+            parse_constraints("function f(x) = sum(V) from R where A = $q")
+
+    def test_strict_inequality_rejected(self):
+        text = """
+        function f(x) = sum(V) from R where A = $x
+        constraint c: R(x) => f(x) < 10
+        """
+        with pytest.raises(ConstraintParseError):
+            parse_constraints(text)
+
+    def test_garbage_rejected_with_line_number(self):
+        with pytest.raises(ConstraintParseError) as info:
+            parse_constraints("function f(x) = sum(V) from R where A = $x\n???")
+        assert "2" in str(info.value)
+
+    def test_loose_aggregation_variable(self):
+        text = """
+        function f(x) = sum(V) from R where A = $x
+        constraint c: R(x) => f(q) = 0
+        """
+        with pytest.raises(ConstraintParseError):
+            parse_constraints(text)
+
+    def test_unterminated_constraint(self):
+        text = """
+        function f(x) = sum(V) from R where A = $x
+        constraint c: R(x) => f(x)
+        """
+        with pytest.raises(ConstraintParseError):
+            parse_constraints(text)

@@ -1,0 +1,133 @@
+"""Unit tests for the WHERE-clause condition language."""
+
+import pytest
+
+from repro.relational.domains import Domain
+from repro.relational.predicates import (
+    And,
+    Comparison,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    UnboundVariableError,
+    attr,
+    conjunction,
+    const,
+    equals,
+    var,
+)
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import Tuple
+
+
+@pytest.fixture
+def row():
+    schema = RelationSchema.build(
+        "R",
+        [("Year", Domain.INTEGER), ("Section", Domain.STRING), ("Value", Domain.INTEGER)],
+    )
+    return Tuple(schema, [2003, "Receipts", 100])
+
+
+class TestTerms:
+    def test_const_evaluates_to_itself(self, row):
+        assert const(5).evaluate(row, {}) == 5
+
+    def test_attr_reads_tuple(self, row):
+        assert attr("Year").evaluate(row, {}) == 2003
+
+    def test_var_reads_binding(self, row):
+        assert var("x").evaluate(row, {"x": 7}) == 7
+
+    def test_unbound_var_raises(self, row):
+        with pytest.raises(UnboundVariableError):
+            var("x").evaluate(row, {})
+
+    def test_var_substitute(self):
+        substituted = var("x").substitute({"x": 3})
+        assert substituted == const(3)
+        assert var("x").substitute({"y": 3}) == var("x")
+
+    def test_attribute_and_variable_sets(self):
+        comparison = Comparison(attr("Year"), "=", var("y"))
+        assert comparison.attributes() == {"Year"}
+        assert comparison.variables() == {"y"}
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, True),
+            ("=", 1, 2, False),
+            ("!=", 1, 2, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 2, 3, False),
+        ],
+    )
+    def test_operators(self, row, op, left, right, expected):
+        assert Comparison(const(left), op, const(right)).holds(row) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(const(1), "~", const(2))
+
+    def test_attribute_vs_binding(self, row):
+        condition = Comparison(attr("Section"), "=", var("s"))
+        assert condition.holds(row, {"s": "Receipts"})
+        assert not condition.holds(row, {"s": "Balance"})
+
+    def test_equals_shorthand(self, row):
+        assert equals("Year", 2003).holds(row)
+        assert equals("Year", var("y")).holds(row, {"y": 2003})
+
+
+class TestConnectives:
+    def test_true_false(self, row):
+        assert TRUE.holds(row)
+        assert not FALSE.holds(row)
+
+    def test_and(self, row):
+        condition = equals("Year", 2003) & equals("Section", "Receipts")
+        assert condition.holds(row)
+        assert not (equals("Year", 2004) & TRUE).holds(row)
+
+    def test_or(self, row):
+        assert (equals("Year", 2004) | equals("Year", 2003)).holds(row)
+        assert not (FALSE | FALSE).holds(row)
+
+    def test_not(self, row):
+        assert (~equals("Year", 2004)).holds(row)
+
+    def test_empty_and_is_true(self, row):
+        assert And(()).holds(row)
+
+    def test_empty_or_is_false(self, row):
+        assert not Or(()).holds(row)
+
+    def test_nested_sets(self):
+        condition = (equals("A", var("x")) & equals("B", 1)) | ~equals("C", var("y"))
+        assert condition.attributes() == {"A", "B", "C"}
+        assert condition.variables() == {"x", "y"}
+
+    def test_substitute_traverses(self, row):
+        condition = equals("Year", var("y")) & ~equals("Section", var("s"))
+        grounded = condition.substitute({"y": 2003, "s": "Balance"})
+        assert grounded.variables() == set()
+        assert grounded.holds(row)
+
+    def test_conjunction_flattens(self):
+        inner = And((TRUE, equals("A", 1)))
+        merged = conjunction([inner, equals("B", 2)])
+        assert isinstance(merged, And)
+        assert len(merged.parts) == 2  # TRUE dropped, And flattened
+
+    def test_conjunction_simplifies_singleton(self):
+        single = conjunction([equals("A", 1)])
+        assert isinstance(single, Comparison)
+
+    def test_conjunction_of_nothing_is_true(self):
+        assert conjunction([]) is TRUE

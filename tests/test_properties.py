@@ -1,0 +1,133 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+The invariants the whole system hangs on:
+
+1. whatever the corruption, the engine's output *is a repair*
+   (Definition 4): applying it satisfies every constraint;
+2. the repair is never larger than the injected error set (restoring
+   the corrupted cells is always an available repair);
+3. MILP cardinality equals brute-force cardinality (card-minimality,
+   Definition 5) on small instances;
+4. the validation loop with a truthful oracle always terminates with
+   the ground truth;
+5. repair application is idempotent on the repaired instance (a
+   repaired database needs an empty repair).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.datasets import generate_cash_budget, generate_catalog
+from repro.repair.bruteforce import brute_force_card_minimal
+from repro.repair.engine import RepairEngine
+from repro.repair.interactive import OracleOperator, ValidationLoop
+
+COMMON_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def corrupted_cash_budget(draw):
+    workload_seed = draw(st.integers(min_value=0, max_value=50))
+    error_seed = draw(st.integers(min_value=0, max_value=50))
+    n_errors = draw(st.integers(min_value=1, max_value=4))
+    n_years = draw(st.integers(min_value=1, max_value=2))
+    workload = generate_cash_budget(n_years=n_years, seed=workload_seed)
+    corrupted, injected = inject_value_errors(
+        workload.ground_truth, n_errors, seed=error_seed
+    )
+    return workload, corrupted, injected
+
+
+class TestRepairInvariants:
+    @settings(**COMMON_SETTINGS)
+    @given(corrupted_cash_budget())
+    def test_output_is_always_a_repair(self, case):
+        workload, corrupted, injected = case
+        engine = RepairEngine(corrupted, workload.constraints)
+        outcome = engine.find_card_minimal_repair()
+        assert engine.is_repair(outcome.repair)
+
+    @settings(**COMMON_SETTINGS)
+    @given(corrupted_cash_budget())
+    def test_cardinality_bounded_by_injected_errors(self, case):
+        workload, corrupted, injected = case
+        engine = RepairEngine(corrupted, workload.constraints)
+        outcome = engine.find_card_minimal_repair()
+        assert outcome.cardinality <= len(injected)
+
+    @settings(**COMMON_SETTINGS)
+    @given(corrupted_cash_budget())
+    def test_objective_equals_cardinality(self, case):
+        workload, corrupted, injected = case
+        engine = RepairEngine(corrupted, workload.constraints)
+        outcome = engine.find_card_minimal_repair()
+        assert round(outcome.objective) == outcome.cardinality
+
+    @settings(**COMMON_SETTINGS)
+    @given(corrupted_cash_budget())
+    def test_repaired_instance_needs_empty_repair(self, case):
+        workload, corrupted, injected = case
+        engine = RepairEngine(corrupted, workload.constraints)
+        repaired = engine.apply(engine.find_card_minimal_repair().repair)
+        second_engine = RepairEngine(repaired, workload.constraints)
+        assert second_engine.find_card_minimal_repair().cardinality == 0
+
+
+class TestCardMinimality:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_milp_matches_bruteforce(self, workload_seed, error_seed, n_errors):
+        workload = generate_cash_budget(n_years=1, seed=workload_seed)
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, n_errors, seed=error_seed
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        milp = engine.find_card_minimal_repair()
+        oracle = brute_force_card_minimal(
+            corrupted, workload.constraints, max_cardinality=n_errors
+        )
+        assert oracle is not None
+        assert milp.cardinality == oracle.cardinality
+
+
+class TestValidationLoopConvergence:
+    @settings(**COMMON_SETTINGS)
+    @given(corrupted_cash_budget())
+    def test_oracle_loop_recovers_truth(self, case):
+        workload, corrupted, injected = case
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            return  # errors may cancel out
+        operator = OracleOperator(workload.ground_truth, acquired=corrupted)
+        session = ValidationLoop(engine, operator).run()
+        assert session.converged
+        assert session.repaired_database == workload.ground_truth
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_catalog_loop_recovers_truth(self, seed, n_errors):
+        workload = generate_catalog(
+            n_categories=2, products_per_category=3, seed=seed
+        )
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, n_errors, seed=seed
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            return
+        operator = OracleOperator(workload.ground_truth, acquired=corrupted)
+        session = ValidationLoop(engine, operator).run()
+        assert session.converged
+        assert session.repaired_database == workload.ground_truth

@@ -1,0 +1,164 @@
+"""Extended property-based tests: bounds, orders, balance sheets, CQA.
+
+Complements test_properties.py with invariants of the extension
+modules:
+
+1. with declared bounds, no repair value ever leaves them;
+2. the multi-relation orders workload obeys the same repair soundness
+   invariants as the single-relation ones;
+3. the CQA range always contains the value the query takes in the
+   engine's own card-minimal repair (the repair is one of the repairs
+   the range quantifies over);
+4. every enumerated repair is card-minimal and supports are distinct;
+5. card-minimal repairs are always set-minimal (the semantics
+   hierarchy of the Related Work section).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.constraints.parser import parse_constraints
+from repro.datasets import (
+    generate_balance_sheet,
+    generate_catalog,
+    generate_cash_budget,
+    generate_orders,
+)
+from repro.repair import (
+    RepairEngine,
+    consistent_aggregate_answer,
+    enumerate_card_minimal_repairs,
+    is_set_minimal,
+)
+
+COMMON = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestBoundsInvariant:
+    @settings(**COMMON)
+    @given(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_repairs_respect_declared_bounds(self, seed, n_errors):
+        workload = generate_catalog(
+            n_categories=2, products_per_category=3, seed=seed,
+            with_price_bounds=True,
+        )
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, n_errors, seed=seed + 99
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            return
+        outcome = engine.find_card_minimal_repair()
+        for update in outcome.repair:
+            assert update.new_value >= 0
+        assert engine.is_repair(outcome.repair)
+
+
+class TestOrdersInvariants:
+    @settings(**COMMON)
+    @given(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_repair_soundness(self, seed, n_errors):
+        workload = generate_orders(
+            n_customers=2, n_orders=3, lines_per_order=2, seed=seed
+        )
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, n_errors, seed=seed + 17
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            return
+        outcome = engine.find_card_minimal_repair()
+        assert engine.is_repair(outcome.repair)
+        assert outcome.cardinality <= n_errors
+
+
+class TestBalanceSheetInvariants:
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=2),
+        st.integers(min_value=2, max_value=3),
+    )
+    def test_repair_soundness_across_shapes(self, seed, n_errors, depth, branching):
+        workload = generate_balance_sheet(
+            depth=depth, branching=branching, seed=seed
+        )
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, n_errors, seed=seed + 5
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            return
+        outcome = engine.find_card_minimal_repair()
+        assert engine.is_repair(outcome.repair)
+        assert outcome.cardinality <= n_errors
+
+
+class TestCqaInvariants:
+    @settings(**COMMON)
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_range_contains_engines_own_repair_value(self, seed, n_errors):
+        workload = generate_cash_budget(n_years=1, seed=seed)
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, n_errors, seed=seed + 31
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        functions, _ = parse_constraints(
+            """
+            function val(y, s) = sum(Value) from CashBudget
+                where Year = $y and Subsection = $s
+            constraint dummy: CashBudget(y, _, _, _, _) => val(y, 'x') <= 1000000000
+            """
+        )
+        outcome = engine.find_card_minimal_repair()
+        repaired = engine.apply(outcome.repair)
+        year = workload.years[0]
+        for subsection in ("total cash receipts", "net cash inflow"):
+            answer = consistent_aggregate_answer(
+                engine, functions["val"], [year, subsection]
+            )
+            repaired_value = functions["val"].evaluate(
+                repaired, [year, subsection]
+            )
+            assert answer.glb - 1e-6 <= repaired_value <= answer.lub + 1e-6
+
+
+class TestEnumerationInvariants:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=30))
+    def test_enumerated_repairs_all_optimal_distinct_setminimal(self, seed):
+        workload = generate_catalog(
+            n_categories=2, products_per_category=2, seed=seed
+        )
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 1, seed=seed + 7
+        )
+        engine = RepairEngine(corrupted, workload.constraints)
+        repairs = enumerate_card_minimal_repairs(engine, limit=12)
+        optimum = repairs[0].cardinality
+        supports = set()
+        for repair in repairs:
+            assert repair.cardinality == optimum
+            assert engine.is_repair(repair)
+            support = tuple(repair.cells())
+            assert support not in supports
+            supports.add(support)
+            if optimum > 0:
+                assert is_set_minimal(corrupted, workload.constraints, repair)

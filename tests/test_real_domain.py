@@ -1,0 +1,120 @@
+"""Repairs over REAL measure attributes (the MILP, not ILP, case).
+
+Section 5: "if the domain of numerical attributes is restricted to Z
+then it can be formulated as an ILP problem"; with R-typed measures
+the z/y variables are continuous and S*(AC) is a genuine MILP (only
+the deltas are integral).  None of the headline workloads exercises
+this, so these tests pin it down with a weights-and-totals sheet
+holding fractional values.
+"""
+
+import pytest
+
+from repro.constraints.parser import parse_constraints
+from repro.milp import VarType
+from repro.relational.database import Database
+from repro.relational.domains import Domain
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.repair import RepairEngine, translate
+
+DSL = """
+function kind_sum(k) = sum(Weight) from Shipment where Kind = $k
+
+constraint parts_sum_to_total:
+    Shipment(_, _, _) => kind_sum('part') - kind_sum('total') = 0
+"""
+
+
+@pytest.fixture
+def schema():
+    relation = RelationSchema.build(
+        "Shipment",
+        [("Item", Domain.STRING), ("Kind", Domain.STRING), ("Weight", Domain.REAL)],
+        key=("Item",),
+    )
+    return DatabaseSchema([relation], measure_attributes=[("Shipment", "Weight")])
+
+
+@pytest.fixture
+def constraints():
+    _, parsed = parse_constraints(DSL)
+    return parsed
+
+
+def build_database(schema, total):
+    database = Database(schema)
+    database.insert("Shipment", ["crate", "part", 12.5])
+    database.insert("Shipment", ["barrel", "part", 7.25])
+    database.insert("Shipment", ["pallet", "part", 30.0])
+    database.insert("Shipment", ["TOTAL", "total", total])
+    return database
+
+
+class TestRealTranslation:
+    def test_z_and_y_variables_are_continuous(self, schema, constraints):
+        database = build_database(schema, 49.75)
+        translation = translate(database, constraints)
+        model = translation.model
+        for i in range(translation.n):
+            assert model.variable(f"z{i + 1}").var_type is VarType.REAL
+            assert model.variable(f"y{i + 1}").var_type is VarType.REAL
+        # Only the deltas are integral: a true mixed problem.
+        assert model.n_integral == model.n_binary == translation.n
+
+    def test_figure4_format_mentions_real_domain(self, schema, constraints):
+        database = build_database(schema, 49.75)
+        rendered = translate(database, constraints).format_like_figure4()
+        assert "Z or R" in rendered
+
+
+class TestRealRepair:
+    def test_consistent_fractional_instance(self, schema, constraints):
+        database = build_database(schema, 49.75)
+        engine = RepairEngine(database, constraints)
+        assert engine.is_consistent()
+
+    def test_fractional_error_repaired_fractionally(self, schema, constraints):
+        # The total misread as 49.75 -> 44.75 (a '9' -> '4' confusion).
+        database = build_database(schema, 44.75)
+        engine = RepairEngine(database, constraints)
+        assert not engine.is_consistent()
+        outcome = engine.find_card_minimal_repair()
+        assert outcome.cardinality == 1
+        update = outcome.repair.updates[0]
+        # The repair may fix the total (to 49.75) or one part; either
+        # way the repaired value is fractional-capable and verified.
+        assert engine.is_repair(outcome.repair)
+        repaired = engine.apply(outcome.repair)
+        parts = sum(
+            t["Weight"] for t in repaired.relation("Shipment") if t["Kind"] == "part"
+        )
+        total = next(
+            t["Weight"] for t in repaired.relation("Shipment") if t["Kind"] == "total"
+        )
+        assert parts == pytest.approx(total)
+
+    def test_pinning_total_forces_fractional_part_change(self, schema, constraints):
+        database = build_database(schema, 44.75)
+        engine = RepairEngine(database, constraints)
+        outcome = engine.find_card_minimal_repair(
+            pins={("Shipment", 3, "Weight"): 44.75}
+        )
+        assert outcome.cardinality == 1
+        update = outcome.repair.updates[0]
+        assert update.cell[1] in (0, 1, 2)  # a part row
+        # The delta is exactly -5.0 on whatever part absorbed it.
+        assert update.delta == pytest.approx(-5.0)
+
+    def test_values_not_artificially_rounded(self, schema, constraints):
+        # Force a repair whose exact value is non-integral: pin two
+        # parts and the total such that the third part must be 4.105.
+        database = build_database(schema, 44.75)
+        pins = {
+            ("Shipment", 0, "Weight"): 12.5,
+            ("Shipment", 1, "Weight"): 7.25,
+            ("Shipment", 3, "Weight"): 23.855,
+        }
+        engine = RepairEngine(database, constraints)
+        outcome = engine.find_card_minimal_repair(pins=pins)
+        repaired = engine.apply(outcome.repair)
+        assert repaired.get_value("Shipment", 2, "Weight") == pytest.approx(4.105)

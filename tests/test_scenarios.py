@@ -1,0 +1,81 @@
+"""Unit tests for scenario bundles (repro.core.scenarios)."""
+
+import pytest
+
+from repro.acquisition.documents import SourceFormat
+from repro.core.scenarios import (
+    balance_sheet_scenario,
+    cash_budget_document,
+    cash_budget_metadata,
+    cash_budget_scenario,
+    catalog_scenario,
+)
+from repro.datasets import (
+    generate_balance_sheet,
+    generate_cash_budget,
+    generate_catalog,
+    paper_rows,
+)
+
+
+class TestCashBudgetDocument:
+    def test_one_table_per_year(self):
+        document = cash_budget_document(paper_rows())
+        assert len(document.tables) == 2
+        assert document.tables[0].caption == "Cash budget 2003"
+
+    def test_year_cell_spans_all_rows(self):
+        document = cash_budget_document(paper_rows())
+        first_cell = document.tables[0].rows[0].cells[0]
+        assert first_cell.text == "2003"
+        assert first_cell.rowspan == 10
+
+    def test_section_cells_span_their_runs(self):
+        document = cash_budget_document(paper_rows())
+        receipts_cell = document.tables[0].rows[0].cells[1]
+        assert receipts_cell.text == "Receipts"
+        assert receipts_cell.rowspan == 4
+        disbursements_cell = document.tables[0].rows[4].cells[0]
+        assert disbursements_cell.text == "Disbursements"
+        assert disbursements_cell.rowspan == 4
+
+    def test_logical_grid_is_rectangular(self):
+        document = cash_budget_document(paper_rows())
+        for table in document.tables:
+            grid = table.logical_grid()
+            assert len(grid) == 10
+            assert all(len(row) == 4 for row in grid)
+            assert all(all(cell is not None for cell in row) for row in grid)
+
+    def test_default_source_is_paper(self):
+        assert cash_budget_document(paper_rows()).source_format is SourceFormat.PAPER
+
+
+class TestMetadataBundles:
+    def test_cash_budget_scenario_contents(self):
+        workload = generate_cash_budget(seed=0)
+        scenario = cash_budget_scenario(workload)
+        assert scenario.name == "cash_budget"
+        assert len(scenario.constraints) == 3
+        assert scenario.ground_truth.total_tuples() == 20
+
+    def test_balance_scenario_document_shape(self):
+        workload = generate_balance_sheet(depth=1, branching=2, seed=0)
+        scenario = balance_sheet_scenario(workload)
+        table = scenario.document.tables[0]
+        grid = table.logical_grid()
+        assert len(grid) == 9  # 3 roots * (1 + 2 children)
+        assert all(len(row) == 6 for row in grid)
+        # company cell propagated everywhere
+        assert {row[0] for row in grid} == {"ACME-0"}
+
+    def test_catalog_scenario_document_shape(self):
+        workload = generate_catalog(n_categories=2, products_per_category=2, seed=0)
+        scenario = catalog_scenario(workload)
+        grid = scenario.document.tables[0].logical_grid()
+        assert len(grid) == 7  # 2*2 products + 2 subtotals + grand total
+        assert all(len(row) == 4 for row in grid)
+
+    def test_metadata_extra_subsections(self):
+        metadata = cash_budget_metadata(extra_subsections=["extraordinary items"])
+        assert "extraordinary items" in metadata.domains["Subsection"].items

@@ -1,0 +1,111 @@
+"""Unit tests for relation/database schemas (repro.relational.schema)."""
+
+import pytest
+
+from repro.relational.domains import Domain
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    SchemaError,
+)
+
+
+def simple_relation(name="R"):
+    return RelationSchema.build(
+        name,
+        [("A", Domain.STRING), ("B", Domain.INTEGER), ("C", Domain.REAL)],
+    )
+
+
+class TestAttribute:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", Domain.INTEGER)
+        with pytest.raises(SchemaError):
+            Attribute("   ", Domain.INTEGER)
+
+    def test_str(self):
+        assert str(Attribute("Value", Domain.INTEGER)) == "Value:Z"
+
+
+class TestRelationSchema:
+    def test_arity_and_names(self):
+        schema = simple_relation()
+        assert schema.arity == 3
+        assert schema.attribute_names == ("A", "B", "C")
+
+    def test_positions(self):
+        schema = simple_relation()
+        assert schema.position_of("A") == 0
+        assert schema.position_of("C") == 2
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            simple_relation().position_of("Z")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.build("R", [("A", Domain.INTEGER), ("A", Domain.REAL)])
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.build("", [("A", Domain.INTEGER)])
+
+    def test_numerical_attributes(self):
+        assert simple_relation().numerical_attributes() == ["B", "C"]
+
+    def test_key_validation(self):
+        schema = RelationSchema.build(
+            "R", [("A", Domain.STRING), ("B", Domain.INTEGER)], key=("A",)
+        )
+        assert schema.key == ("A",)
+        with pytest.raises(SchemaError):
+            RelationSchema.build("R", [("A", Domain.STRING)], key=("Z",))
+
+    def test_equality_by_structure(self):
+        assert simple_relation() == simple_relation()
+        assert simple_relation("R") != simple_relation("S")
+
+
+class TestDatabaseSchema:
+    def test_measure_declaration(self):
+        db = DatabaseSchema([simple_relation()], measure_attributes=[("R", "B")])
+        assert db.is_measure("R", "B")
+        assert not db.is_measure("R", "C")
+        assert db.measures_of("R") == ["B"]
+
+    def test_measure_must_be_numerical(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([simple_relation()], measure_attributes=[("R", "A")])
+
+    def test_measure_on_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([simple_relation()], measure_attributes=[("X", "B")])
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([simple_relation(), simple_relation()])
+
+    def test_relation_lookup(self):
+        db = DatabaseSchema([simple_relation()])
+        assert db.relation("R").name == "R"
+        assert db.has_relation("R")
+        assert not db.has_relation("S")
+        with pytest.raises(SchemaError):
+            db.relation("S")
+
+    def test_iteration_order(self):
+        db = DatabaseSchema([simple_relation("R1"), simple_relation("R2")])
+        assert [r.name for r in db] == ["R1", "R2"]
+        assert db.relation_names == ("R1", "R2")
+
+    def test_paper_schema_measures(self):
+        from repro.datasets import cash_budget_schema
+
+        schema = cash_budget_schema()
+        assert schema.measure_attributes == {("CashBudget", "Value")}

@@ -1,0 +1,100 @@
+"""Unit tests for the text schema format (repro.relational.schematext)."""
+
+import pytest
+
+from repro.datasets import cash_budget_schema
+from repro.relational.domains import Domain
+from repro.relational.schematext import (
+    SchemaTextError,
+    dump_schema,
+    load_schema,
+    parse_schema,
+)
+
+EXAMPLE = """
+# the running example's schema
+relation CashBudget(Year: int, Section: str, Subsection: str,
+                    Type: str, Value: int) key (Year, Subsection)
+measure CashBudget.Value
+"""
+
+
+class TestParse:
+    def test_running_example(self):
+        schema = parse_schema(EXAMPLE)
+        relation = schema.relation("CashBudget")
+        assert relation.arity == 5
+        assert relation.domain_of("Year") is Domain.INTEGER
+        assert relation.domain_of("Section") is Domain.STRING
+        assert relation.key == ("Year", "Subsection")
+        assert schema.measure_attributes == {("CashBudget", "Value")}
+
+    def test_matches_programmatic_schema(self):
+        parsed = parse_schema(EXAMPLE)
+        programmatic = cash_budget_schema()
+        assert parsed.relation("CashBudget") == programmatic.relation("CashBudget")
+        assert parsed.measure_attributes == programmatic.measure_attributes
+
+    def test_multiple_relations(self):
+        schema = parse_schema(
+            "relation A(X: int)\nrelation B(Y: real, Z: str)\nmeasure A.X\n"
+        )
+        assert schema.relation_names == ("A", "B")
+        assert schema.relation("B").domain_of("Y") is Domain.REAL
+
+    def test_paper_sort_names_accepted(self):
+        schema = parse_schema("relation R(A: Z, B: R, C: S)\n")
+        relation = schema.relation("R")
+        assert relation.domain_of("A") is Domain.INTEGER
+        assert relation.domain_of("B") is Domain.REAL
+        assert relation.domain_of("C") is Domain.STRING
+
+    def test_comments_and_blanks_ignored(self):
+        schema = parse_schema("# hi\n\nrelation R(A: int)  # inline\n")
+        assert schema.has_relation("R")
+
+    def test_continuation_lines(self):
+        schema = parse_schema("relation R(A: int,\n    B: str)\n")
+        assert schema.relation("R").arity == 2
+
+
+class TestErrors:
+    def test_unknown_domain(self):
+        with pytest.raises(SchemaTextError):
+            parse_schema("relation R(A: decimal)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(SchemaTextError) as info:
+            parse_schema("relation R(A: int)\nwhatever\n")
+        assert "2" in str(info.value)
+
+    def test_measure_must_be_numerical(self):
+        with pytest.raises(SchemaTextError):
+            parse_schema("relation R(A: str)\nmeasure R.A\n")
+
+    def test_empty_schema(self):
+        with pytest.raises(SchemaTextError):
+            parse_schema("# nothing here\n")
+
+    def test_missing_colon(self):
+        with pytest.raises(SchemaTextError):
+            parse_schema("relation R(A int)\n")
+
+    def test_bad_key_attribute(self):
+        with pytest.raises(SchemaTextError):
+            parse_schema("relation R(A: int) key (B)\n")
+
+
+class TestRoundTrip:
+    def test_dump_then_parse(self):
+        original = cash_budget_schema()
+        text = dump_schema(original)
+        reparsed = parse_schema(text)
+        assert reparsed.relation("CashBudget") == original.relation("CashBudget")
+        assert reparsed.measure_attributes == original.measure_attributes
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "schema.txt"
+        path.write_text(EXAMPLE, encoding="utf-8")
+        schema = load_schema(path)
+        assert schema.has_relation("CashBudget")

@@ -1,0 +1,198 @@
+"""Property-based fuzzing of the steadiness machinery.
+
+Random Definition-1 constraints are generated over a two-relation
+schema and the invariants of Section 4 are checked:
+
+1. A(kappa) and J(kappa) only contain attributes of the schema;
+2. J(kappa) is empty whenever no variable occurs twice;
+3. steadiness is exactly ``(A | J) disjoint from M_D``;
+4. grounding a steady constraint never touches measure values when
+   computing T_chi: corrupting measure cells must not change the
+   substitution set or the involved-tuple sets (the semantic property
+   Definition 6's syntactic test guarantees);
+5. non-steady constraints can violate (4) -- witnessed, not asserted
+   universally.
+"""
+
+import random as stdlib_random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.constraints.aggregates import AggregationFunction
+from repro.constraints.constraint import AggregateConstraint, BodyAtom, ConstraintTerm
+from repro.constraints.expressions import attr_expr
+from repro.constraints.grounding import enumerate_substitutions
+from repro.relational.database import Database
+from repro.relational.domains import Domain
+from repro.relational.predicates import Comparison, Const, Var, attr, conjunction, var
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def make_schema() -> DatabaseSchema:
+    r1 = RelationSchema.build(
+        "R1",
+        [("K", Domain.STRING), ("G", Domain.STRING), ("V", Domain.INTEGER)],
+    )
+    r2 = RelationSchema.build(
+        "R2",
+        [("K", Domain.STRING), ("W", Domain.INTEGER)],
+    )
+    return DatabaseSchema(
+        [r1, r2], measure_attributes=[("R1", "V"), ("R2", "W")]
+    )
+
+
+def make_database(seed: int) -> Database:
+    rng = stdlib_random.Random(seed)
+    database = Database(make_schema())
+    keys = ["a", "b", "c"]
+    groups = ["g1", "g2"]
+    for key in keys:
+        for group in groups:
+            database.insert("R1", [key, group, rng.randrange(0, 50)])
+        database.insert("R2", [key, rng.randrange(0, 50)])
+    return database
+
+
+@st.composite
+def random_constraint(draw):
+    """A random constraint over the fixed two-relation schema."""
+    schema = make_schema()
+    # Body: one or two atoms with variables drawn from a small pool
+    # (reuse of a name across positions creates joins).
+    pool = ["x", "y", "z"]
+    n_atoms = draw(st.integers(min_value=1, max_value=2))
+    atoms = []
+    for atom_index in range(n_atoms):
+        relation = draw(st.sampled_from(["R1", "R2"]))
+        arity = schema.relation(relation).arity
+        terms = [
+            Var(draw(st.sampled_from(pool)) + (f"_{atom_index}_{i}" if draw(st.booleans()) else ""))
+            for i in range(arity)
+        ]
+        atoms.append(BodyAtom(relation, terms))
+    body_variables = sorted({v for atom in atoms for v in atom.variables()})
+
+    # Aggregation function: sum over a measure attribute, WHERE on a
+    # randomly chosen attribute (possibly a measure -> non-steady).
+    function_relation = draw(st.sampled_from(["R1", "R2"]))
+    relation_schema = schema.relation(function_relation)
+    where_attribute = draw(st.sampled_from(list(relation_schema.attribute_names)))
+    measure_name = "V" if function_relation == "R1" else "W"
+    use_parameter = draw(st.booleans())
+    if use_parameter:
+        condition = Comparison(attr(where_attribute), "=", var("p"))
+        function = AggregationFunction(
+            "chi", function_relation, ["p"], attr_expr(measure_name), condition
+        )
+        argument = Var(draw(st.sampled_from(body_variables)))
+        terms = [ConstraintTerm(1.0, function, [argument])]
+    else:
+        constant = draw(st.sampled_from(["a", "g1", 10]))
+        condition = Comparison(attr(where_attribute), "=", Const(constant))
+        function = AggregationFunction(
+            "chi", function_relation, [], attr_expr(measure_name), condition
+        )
+        terms = [ConstraintTerm(1.0, function, [])]
+    return AggregateConstraint("fuzz", atoms, terms, "<=", draw(
+        st.integers(min_value=-50, max_value=200)
+    ))
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(random_constraint())
+    def test_a_and_j_are_schema_attributes(self, constraint):
+        schema = make_schema()
+        valid = {
+            (relation.name, attribute.name)
+            for relation in schema
+            for attribute in relation.attributes
+        }
+        assert constraint.a_kappa(schema) <= valid
+        assert constraint.j_kappa(schema) <= valid
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(random_constraint())
+    def test_j_empty_without_repeats(self, constraint):
+        schema = make_schema()
+        occurrences = {}
+        for atom in constraint.body:
+            for variable, positions in atom.variable_positions().items():
+                occurrences[variable] = occurrences.get(variable, 0) + len(positions)
+        if all(count == 1 for count in occurrences.values()):
+            assert constraint.j_kappa(schema) == set()
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(random_constraint())
+    def test_steadiness_definition(self, constraint):
+        schema = make_schema()
+        touched = constraint.a_kappa(schema) | constraint.j_kappa(schema)
+        expected = not (touched & schema.measure_attributes)
+        assert constraint.is_steady(schema) == expected
+        assert bool(constraint.steadiness_witness(schema)) != expected
+
+
+class TestSemanticGuarantee:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(random_constraint(), st.integers(min_value=0, max_value=20))
+    def test_steady_grounding_ignores_measure_values(self, constraint, seed):
+        """The semantic content of Definition 6: for steady constraints,
+        which tuples are involved never depends on measure values."""
+        schema = make_schema()
+        if not constraint.is_steady(schema):
+            return
+        database = make_database(seed)
+        substitutions = [
+            tuple(sorted(s.items()))
+            for s in enumerate_substitutions(constraint, database)
+        ]
+        t_chis = [
+            [t.tuple_id for t in constraint.terms[0].function.involved_tuples(
+                database, constraint.terms[0].ground_arguments(dict(s))
+            )]
+            for s in (dict(items) for items in substitutions)
+        ]
+        # Scramble every measure value.
+        scrambled = database.copy()
+        rng = stdlib_random.Random(seed + 1)
+        for cell in scrambled.measure_cells():
+            scrambled.set_value(*cell, rng.randrange(1000, 2000))
+        substitutions_after = [
+            tuple(sorted(s.items()))
+            for s in enumerate_substitutions(constraint, scrambled)
+        ]
+        assert substitutions == substitutions_after
+        t_chis_after = [
+            [t.tuple_id for t in constraint.terms[0].function.involved_tuples(
+                scrambled, constraint.terms[0].ground_arguments(dict(s))
+            )]
+            for s in (dict(items) for items in substitutions_after)
+        ]
+        assert t_chis == t_chis_after
+
+    def test_non_steady_witness(self):
+        """A non-steady constraint whose T_chi genuinely shifts when a
+        measure value changes -- the behaviour Definition 6 excludes."""
+        schema = make_schema()
+        condition = Comparison(attr("V"), "=", Const(10))
+        function = AggregationFunction("chi", "R1", [], attr_expr("V"), condition)
+        constraint = AggregateConstraint(
+            "bad",
+            [BodyAtom("R1", [Var("a"), Var("b"), Var("c")])],
+            [ConstraintTerm(1.0, function, [])],
+            "<=",
+            100,
+        )
+        assert not constraint.is_steady(schema)
+        database = Database(schema)
+        database.insert("R1", ["a", "g1", 10])
+        before = function.involved_tuples(database, [])
+        database.set_value("R1", 0, "V", 11)
+        after = function.involved_tuples(database, [])
+        assert len(before) == 1 and len(after) == 0

@@ -1,0 +1,176 @@
+"""Unit tests for the MILP construction S(AC) -> S*(AC) (Section 5).
+
+Includes the paper's Example 11 checks: the instance built from the
+Figure 3 database has N = 20, its optimum objective is 1 with only
+delta_4 = 1 and y_4 = -30, and the theoretical Big-M constant is
+20 * (28 * 250)^57.
+"""
+
+import pytest
+
+from repro.milp import SolveStatus, solve
+from repro.repair.translation import (
+    BigMStrategy,
+    TranslationError,
+    practical_big_m,
+    theoretical_big_m,
+    translate,
+)
+
+
+@pytest.fixture
+def translation(acquired, constraints):
+    return translate(acquired, constraints)
+
+
+class TestStructure:
+    def test_n_is_20(self, translation):
+        assert translation.n == 20
+
+    def test_cells_in_tuple_order(self, translation):
+        assert translation.cells[0] == ("CashBudget", 0, "Value")
+        assert translation.cells[19] == ("CashBudget", 19, "Value")
+
+    def test_values_match_figure3(self, translation):
+        assert translation.values[0] == 20.0     # beginning cash 2003
+        assert translation.values[3] == 250.0    # the corrupted aggregate
+        assert translation.values[19] == 90.0    # ending balance 2004
+
+    def test_variable_counts(self, translation):
+        model = translation.model
+        # 20 z, 20 y, 20 delta.
+        assert model.n_variables == 60
+        assert model.n_binary == 20
+        # z and y are integer for the Z-typed Value attribute.
+        assert model.n_integral == 60
+
+    def test_constraint_counts(self, translation):
+        # 8 ground equalities + 20 y-definitions + 40 big-M rows.
+        assert translation.model.n_constraints == 68
+
+
+class TestSolve:
+    def test_example11_optimum(self, translation):
+        solution = solve(translation.model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(1.0)
+
+    def test_example11_unique_change_is_y4(self, translation):
+        solution = solve(translation.model)
+        assert solution.values["y4"] == pytest.approx(-30.0)
+        for i in range(1, 21):
+            if i != 4:
+                assert solution.values[f"y{i}"] == pytest.approx(0.0)
+
+    def test_extract_repair_reads_example6(self, translation):
+        solution = solve(translation.model)
+        repair = translation.extract_repair(solution)
+        assert repair.cardinality == 1
+        update = repair.updates[0]
+        assert update.cell == ("CashBudget", 3, "Value")
+        assert update.new_value == 220
+
+    def test_extract_from_failed_solve_rejected(self, translation):
+        from repro.milp.model import Solution
+
+        with pytest.raises(TranslationError):
+            translation.extract_repair(Solution(SolveStatus.INFEASIBLE))
+
+
+class TestPins:
+    def test_pin_forces_value(self, acquired, constraints):
+        # Pin the corrupted aggregate to its (wrong) acquired value: the
+        # optimum must now change at least two other values.
+        pinned = translate(
+            acquired, constraints, pins={("CashBudget", 3, "Value"): 250.0}
+        )
+        solution = solve(pinned.model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective >= 2.0
+
+    def test_pin_to_truth_keeps_optimum(self, acquired, constraints):
+        pinned = translate(
+            acquired, constraints, pins={("CashBudget", 3, "Value"): 220.0}
+        )
+        solution = solve(pinned.model)
+        assert solution.objective == pytest.approx(1.0)
+
+    def test_pins_render_in_figure4_format(self, acquired, constraints):
+        pinned = translate(
+            acquired, constraints, pins={("CashBudget", 3, "Value"): 220.0}
+        )
+        assert "operator pin" in pinned.format_like_figure4()
+
+
+class TestBigM:
+    def test_theoretical_matches_example11(self):
+        # M = 20 * (28 * 250)^57: n = 2N + r = 48? The paper states m = 28
+        # (20 y-definitions + 8 ground rows) and takes n from the z side.
+        value = theoretical_big_m(20, 28, 250)
+        assert value == 20 * (28 * 250) ** (2 * 28 + 1)
+
+    def test_theoretical_is_astronomical(self):
+        # Documents why it cannot be used numerically (footnote 3 gives
+        # its *size* as polynomial -- the value itself is huge).
+        value = theoretical_big_m(20, 28, 250)
+        assert value > 10 ** 200
+
+    def test_theoretical_strategy_refuses_overflow(self, acquired, constraints):
+        with pytest.raises(TranslationError):
+            translate(acquired, constraints, strategy=BigMStrategy.THEORETICAL)
+
+    def test_practical_bound_dominates_data(self, translation):
+        # Every |v_i| must be well below M.
+        assert all(abs(v) < translation.big_m for v in translation.values)
+
+    def test_practical_bound_floor(self):
+        assert practical_big_m([], []) == 1000.0
+
+    def test_fixed_strategy_requires_value(self, acquired, constraints):
+        with pytest.raises(TranslationError):
+            translate(acquired, constraints, strategy=BigMStrategy.FIXED)
+
+    def test_fixed_strategy_uses_value(self, acquired, constraints):
+        fixed = translate(
+            acquired, constraints, strategy=BigMStrategy.FIXED, big_m=5000.0
+        )
+        assert fixed.big_m == 5000.0
+
+    def test_invalid_theoretical_inputs(self):
+        with pytest.raises(TranslationError):
+            theoretical_big_m(0, 1, 1)
+
+
+class TestFigure4Format:
+    def test_layout(self, translation):
+        rendered = translation.format_like_figure4()
+        assert rendered.startswith("min (d1 + d2 +")
+        assert "z2 + z3 - z4 = 0" in rendered
+        assert "y4 = z4 - 250" in rendered
+        assert "y4 - M*d4 <= 0" in rendered
+        assert "-y4 - M*d4 <= 0" in rendered
+        assert "d_i in {0,1}" in rendered
+
+    def test_ground_rows_match_example10(self, translation):
+        rendered = translation.format_like_figure4()
+        for row in (
+            "z2 + z3 - z4 = 0",
+            "z5 + z6 + z7 - z8 = 0",
+            "z12 + z13 - z14 = 0",
+            "z15 + z16 + z17 - z18 = 0",
+        ):
+            assert row in rendered
+
+
+class TestEdgeCases:
+    def test_no_cells_rejected(self, ground_truth):
+        with pytest.raises(TranslationError):
+            translate(ground_truth, [])
+
+    def test_consistent_instance_translates_and_solves_to_zero(
+        self, ground_truth, constraints
+    ):
+        translation = translate(ground_truth, constraints)
+        solution = solve(translation.model)
+        assert solution.objective == pytest.approx(0.0)
+        assert translation.extract_repair(solution).cardinality == 0

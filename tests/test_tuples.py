@@ -1,0 +1,107 @@
+"""Unit tests for tuples as ground atoms (repro.relational.tuples)."""
+
+import pytest
+
+from repro.relational.domains import Domain, DomainError
+from repro.relational.schema import RelationSchema, SchemaError
+from repro.relational.tuples import Tuple
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema.build(
+        "CashBudget",
+        [
+            ("Year", Domain.INTEGER),
+            ("Subsection", Domain.STRING),
+            ("Value", Domain.INTEGER),
+        ],
+        key=("Year", "Subsection"),
+    )
+
+
+class TestConstruction:
+    def test_attribute_access(self, schema):
+        t = Tuple(schema, [2003, "cash sales", 100])
+        assert t["Year"] == 2003
+        assert t["Subsection"] == "cash sales"
+        assert t["Value"] == 100
+
+    def test_values_are_coerced(self, schema):
+        t = Tuple(schema, ["2003", "cash sales", "100"])
+        assert t["Year"] == 2003
+        assert isinstance(t["Value"], int)
+
+    def test_wrong_arity(self, schema):
+        with pytest.raises(SchemaError):
+            Tuple(schema, [2003, "x"])
+
+    def test_wrong_domain(self, schema):
+        with pytest.raises(DomainError):
+            Tuple(schema, [2003, "x", "not-a-number"])
+
+    def test_immutability(self, schema):
+        t = Tuple(schema, [2003, "x", 1])
+        with pytest.raises(AttributeError):
+            t.values = (1, 2, 3)
+
+    def test_get_with_default(self, schema):
+        t = Tuple(schema, [2003, "x", 1])
+        assert t.get("Year") == 2003
+        assert t.get("Missing", "d") == "d"
+
+
+class TestReplacing:
+    def test_replacing_builds_updated_copy(self, schema):
+        t = Tuple(schema, [2003, "total", 250], tuple_id=3)
+        u = t.replacing("Value", 220)
+        assert u["Value"] == 220
+        assert u.tuple_id == 3
+        assert t["Value"] == 250  # original untouched
+
+    def test_replacing_coerces(self, schema):
+        t = Tuple(schema, [2003, "total", 250])
+        with pytest.raises(DomainError):
+            t.replacing("Value", 2.5)
+
+
+class TestIdentity:
+    def test_identity_prefers_tuple_id(self, schema):
+        t = Tuple(schema, [2003, "x", 1], tuple_id=7)
+        assert t.identity() == ("CashBudget", "#", 7)
+
+    def test_identity_falls_back_to_key(self, schema):
+        t = Tuple(schema, [2003, "x", 1])
+        assert t.identity() == ("CashBudget", "k", (2003, "x"))
+
+    def test_identity_survives_value_update(self, schema):
+        t = Tuple(schema, [2003, "x", 1], tuple_id=7)
+        assert t.replacing("Value", 2).identity() == t.identity()
+
+    def test_key_values(self, schema):
+        t = Tuple(schema, [2003, "x", 1])
+        assert t.key_values() == (2003, "x")
+
+
+class TestDunder:
+    def test_equality(self, schema):
+        assert Tuple(schema, [2003, "x", 1]) == Tuple(schema, [2003, "x", 1])
+        assert Tuple(schema, [2003, "x", 1]) != Tuple(schema, [2003, "x", 2])
+        assert Tuple(schema, [2003, "x", 1], tuple_id=0) != Tuple(
+            schema, [2003, "x", 1], tuple_id=1
+        )
+
+    def test_hashable(self, schema):
+        assert len({Tuple(schema, [2003, "x", 1]), Tuple(schema, [2003, "x", 1])}) == 1
+
+    def test_iteration_and_len(self, schema):
+        t = Tuple(schema, [2003, "x", 1])
+        assert list(t) == [2003, "x", 1]
+        assert len(t) == 3
+
+    def test_as_dict(self, schema):
+        t = Tuple(schema, [2003, "x", 1])
+        assert t.as_dict() == {"Year": 2003, "Subsection": "x", "Value": 1}
+
+    def test_repr_mentions_relation(self, schema):
+        assert "CashBudget" in repr(Tuple(schema, [2003, "x", 1]))

@@ -1,0 +1,131 @@
+"""Advanced wrapper behaviour: table selection and multi-pattern sets."""
+
+import dataclasses
+
+import pytest
+
+from repro.acquisition.conversion import to_html
+from repro.acquisition.documents import Cell, Document, Row, Table
+from repro.core.scenarios import cash_budget_document, cash_budget_metadata
+from repro.datasets import paper_rows
+from repro.wrapping import (
+    DatabaseGenerator,
+    LexicalCell,
+    RowPattern,
+    StandardCell,
+    StandardDomain,
+    TableSelector,
+    Wrapper,
+)
+from repro.wrapping.metadata import MetadataError
+
+
+def with_selector(metadata, selector):
+    return dataclasses.replace(metadata, table_selector=selector)
+
+
+def document_with_noise_table():
+    """The Figure 1 document with a legend table prepended."""
+    legend = Table(
+        [
+            Row([Cell("det"), Cell("detail item")]),
+            Row([Cell("aggr"), Cell("aggregate item")]),
+        ],
+        caption="Legend",
+    )
+    base = cash_budget_document(paper_rows())
+    return base.with_tables([legend, *base.tables])
+
+
+class TestTableSelector:
+    def test_selector_validation(self):
+        with pytest.raises(MetadataError):
+            TableSelector()
+        with pytest.raises(MetadataError):
+            TableSelector(caption_pattern="[unclosed")
+
+    def test_select_by_index(self):
+        selector = TableSelector(indices=[1, 2])
+        assert not selector.selects(0, "Legend")
+        assert selector.selects(1, None)
+
+    def test_select_by_caption(self):
+        selector = TableSelector(caption_pattern=r"Cash budget \d{4}")
+        assert selector.selects(5, "Cash budget 2003")
+        assert not selector.selects(5, "Legend")
+        assert not selector.selects(5, None)
+
+    def test_wrapper_skips_unselected_tables(self):
+        metadata = with_selector(
+            cash_budget_metadata(),
+            TableSelector(caption_pattern=r"Cash budget"),
+        )
+        wrapper = Wrapper(metadata)
+        report = wrapper.wrap_html(to_html(document_with_noise_table()))
+        # The legend's rows never even reach matching.
+        assert len(report.instances) == 20
+        assert all(i.table_index != 0 for i in report.instances)
+        assert all(u.table_index != 0 for u in report.unmatched)
+
+    def test_without_selector_noise_rows_reach_matching(self):
+        wrapper = Wrapper(cash_budget_metadata())
+        report = wrapper.wrap_html(to_html(document_with_noise_table()))
+        # Legend rows have arity 2: no pattern matches, so they land in
+        # unmatched -- extraction still works, just noisier.
+        assert len(report.instances) == 20
+        assert any(u.table_index == 0 for u in report.unmatched)
+
+
+class TestMultiplePatterns:
+    def mixed_metadata(self):
+        """Cash-budget metadata extended with a 2-cell 'note row'
+        pattern whose instances are not mapped to the relation (they
+        match, but the generator ignores their pattern)."""
+        metadata = cash_budget_metadata()
+        note_pattern = RowPattern(
+            "note_row",
+            [
+                LexicalCell("Section", headline="NoteSection"),
+                StandardCell(StandardDomain.STRING, headline="NoteText"),
+            ],
+        )
+        return dataclasses.replace(
+            metadata, row_patterns=[*metadata.row_patterns, note_pattern]
+        )
+
+    def mixed_document(self):
+        base = cash_budget_document(paper_rows())
+        notes = Table(
+            [
+                Row([Cell("Receipts"), Cell("includes Q4 estimate")]),
+                Row([Cell("Balance"), Cell("audited")]),
+            ],
+            caption="Notes",
+        )
+        return base.with_tables([*base.tables, notes])
+
+    def test_each_row_matches_its_arity_pattern(self):
+        wrapper = Wrapper(self.mixed_metadata())
+        report = wrapper.wrap_html(to_html(self.mixed_document()))
+        by_pattern = {}
+        for instance in report.instances:
+            by_pattern.setdefault(instance.pattern.name, []).append(instance)
+        assert len(by_pattern["cash_budget_row"]) == 20
+        assert len(by_pattern["note_row"]) == 2
+        assert report.unmatched == []
+
+    def test_note_instances_bind_their_headlines(self):
+        wrapper = Wrapper(self.mixed_metadata())
+        report = wrapper.wrap_html(to_html(self.mixed_document()))
+        notes = [i for i in report.instances if i.pattern.name == "note_row"]
+        assert notes[0].value("NoteSection") == "Receipts"
+        assert notes[0].value("NoteText") == "includes Q4 estimate"
+
+    def test_generator_can_filter_by_pattern(self):
+        wrapper = Wrapper(self.mixed_metadata())
+        report = wrapper.wrap_html(to_html(self.mixed_document()))
+        budget_rows = [
+            i for i in report.instances if i.pattern.name == "cash_budget_row"
+        ]
+        generated = DatabaseGenerator(cash_budget_metadata()).generate(budget_rows)
+        assert generated.inserted == 20
