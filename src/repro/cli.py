@@ -15,6 +15,12 @@ Commands:
 - ``repair <dir>``  -- compute a card-minimal repair, print the
   suggested updates (in the validation interface's involvement order),
   optionally write the repaired instance with ``--output``;
+- ``batch <dir> [<dir> ...]`` -- repair many project directories as
+  one batch: ``--workers`` fans them out over a process pool,
+  ``--timeout`` bounds each solve (with automatic fallback to the
+  alternate MILP backend), ``--cache`` sizes the LRU solve cache, and
+  the run ends with the batch report (solves, cache hits, nodes,
+  pivots, wall time);
 - ``answers <dir> --function f --args a,b`` -- consistent query
   answering: the glb/lub of an aggregation function over all
   card-minimal repairs;
@@ -31,8 +37,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.constraints.parser import parse_constraints
+from repro.milp.cache import DEFAULT_CACHE_SIZE
+from repro.milp.solver import DEFAULT_BACKEND, available_backends
 from repro.relational.csvio import dump_database, load_database
 from repro.relational.schematext import dump_schema, load_schema
+from repro.repair.batch import RepairTask, repair_batch
 from repro.repair.cqa import consistent_aggregate_answer
 from repro.repair.engine import RepairEngine, UnrepairableError
 from repro.repair.interactive import involvement_order
@@ -83,7 +92,9 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_repair(args: argparse.Namespace) -> int:
     _, _, constraints, database = _load_project(args.directory)
     objective = RepairObjective(args.objective)
-    engine = RepairEngine(database, constraints, objective=objective)
+    engine = RepairEngine(
+        database, constraints, objective=objective, backend=args.backend
+    )
     if engine.is_consistent():
         print("already consistent; nothing to repair")
         return 0
@@ -109,7 +120,56 @@ def cmd_repair(args: argparse.Namespace) -> int:
         written = dump_database(repaired, args.output)
         print(f"repaired instance written to {args.output} "
               f"({len(written)} file(s))")
+    if args.stats:
+        print("\nsolve statistics:")
+        for record in engine.solve_stats:
+            print(f"  {record}")
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    tasks = []
+    for directory in args.directories:
+        _, _, constraints, database = _load_project(directory)
+        tasks.append(
+            RepairTask(
+                database=database,
+                constraints=constraints,
+                name=str(directory),
+                objective=RepairObjective(args.objective),
+            )
+        )
+    report = repair_batch(
+        tasks,
+        workers=args.workers,
+        timeout=args.timeout,
+        cache_size=args.cache,
+        backend=args.backend,
+    )
+    for result in report.results:
+        line = f"{result.name}: {result.status}"
+        if result.status == "repaired":
+            line += f" ({result.cardinality} value(s) changed)"
+        if result.fallback_taken:
+            line += f" [fell back to {result.backend_used}]"
+        if result.error and not result.ok:
+            line += f" -- {result.error}"
+        print(line)
+        if args.stats:
+            for record in result.stats:
+                print(f"    {record}")
+    if args.output_dir:
+        out_root = Path(args.output_dir)
+        for task, result in zip(tasks, report.results):
+            if result.repair is None:
+                continue
+            from repro.repair.updates import apply_repair
+
+            target = out_root / Path(task.name).name
+            dump_database(apply_repair(task.database, result.repair), target)
+        print(f"repaired instances written under {out_root}")
+    print(report.summary())
+    return 0 if report.n_failed == 0 else 1
 
 
 def cmd_answers(args: argparse.Namespace) -> int:
@@ -212,7 +272,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--export-mps",
         help="write the MILP instance to this path as free-form MPS",
     )
+    p_repair.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="MILP backend (default: %(default)s)",
+    )
+    p_repair.add_argument(
+        "--stats", action="store_true",
+        help="print per-solve statistics (wall time, nodes, pivots)",
+    )
     p_repair.set_defaults(func=cmd_repair)
+
+    p_batch = subparsers.add_parser(
+        "batch", help="repair many project directories as one parallel batch"
+    )
+    p_batch.add_argument("directories", nargs="+")
+    p_batch.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: run sequentially in-process)",
+    )
+    p_batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task solve deadline in seconds; a timed-out task is "
+             "retried once on the alternate MILP backend",
+    )
+    p_batch.add_argument(
+        "--cache", type=int, default=DEFAULT_CACHE_SIZE,
+        help="LRU solve-cache size per worker, 0 disables "
+             "(default: %(default)s)",
+    )
+    p_batch.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="primary MILP backend (default: %(default)s)",
+    )
+    p_batch.add_argument(
+        "--objective",
+        choices=[o.value for o in RepairObjective],
+        default=RepairObjective.CARDINALITY.value,
+        help="minimality semantics (default: the paper's card-minimality)",
+    )
+    p_batch.add_argument(
+        "--stats", action="store_true",
+        help="print per-solve statistics for every document",
+    )
+    p_batch.add_argument(
+        "--output-dir",
+        help="directory to write each repaired instance into "
+             "(one subdirectory per project)",
+    )
+    p_batch.set_defaults(func=cmd_batch)
 
     p_answers = subparsers.add_parser(
         "answers", help="consistent query answering over card-minimal repairs"

@@ -76,28 +76,54 @@ class CorpusResult:
         )
 
 
+def _corpus_job(payload) -> AcquisitionSession:
+    """Top-level (picklable) worker: run one document's full pipeline."""
+    scenario, channel, interactive, system_options = payload
+    system = DartSystem(scenario, ocr_channel=channel, **system_options)
+    return system.process(interactive=interactive)
+
+
 def run_corpus(
     scenarios: Sequence[Scenario],
     *,
     channel_factory: Optional[Callable[[int], OcrChannel]] = None,
     interactive: bool = True,
+    workers: Optional[int] = None,
+    chunksize: int = 1,
     **system_options,
 ) -> CorpusResult:
     """Process every scenario and aggregate the outcomes.
 
     ``channel_factory(index)`` builds the OCR channel per document (so
     each document gets independent noise); omit it for noiseless runs.
-    Extra keyword options go to :class:`DartSystem` (backend, t-norm,
+    With ``workers >= 1`` documents are processed on a process pool
+    (the factory itself runs in the parent, so it need not be
+    picklable -- the built channels must be); results and aggregates
+    are identical to the sequential run, in the same order.  Extra
+    keyword options go to :class:`DartSystem` (backend, t-norm,
     confidence weighting, ...).
     """
-    sessions: List[AcquisitionSession] = []
-    recovered: List[bool] = []
     noiseless = OcrChannel(numeric_error_rate=0.0, string_error_rate=0.0)
-    for index, scenario in enumerate(scenarios):
-        channel = channel_factory(index) if channel_factory else noiseless
-        system = DartSystem(scenario, ocr_channel=channel, **system_options)
-        session = system.process(interactive=interactive)
-        sessions.append(session)
+    channels = [
+        channel_factory(index) if channel_factory else noiseless
+        for index in range(len(scenarios))
+    ]
+    if workers and workers >= 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (scenario, channel, interactive, system_options)
+            for scenario, channel in zip(scenarios, channels)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            sessions = list(pool.map(_corpus_job, payloads, chunksize=chunksize))
+    else:
+        sessions = [
+            _corpus_job((scenario, channel, interactive, system_options))
+            for scenario, channel in zip(scenarios, channels)
+        ]
+    recovered: List[bool] = []
+    for index, (scenario, session) in enumerate(zip(scenarios, sessions)):
         recovered.append(session.final_database == scenario.ground_truth)
         logger.debug(
             "corpus document %d/%d: %s",

@@ -30,7 +30,8 @@ from repro.acquisition.ocr import OcrChannel
 from repro.constraints.constraint import AggregateConstraint
 from repro.constraints.grounding import Violation
 from repro.core.scenarios import Scenario
-from repro.milp.solver import DEFAULT_BACKEND
+from repro.milp.cache import SolveCache
+from repro.milp.solver import DEFAULT_BACKEND, SolveStats
 from repro.relational.database import Database
 from repro.repair.engine import RepairEngine, RepairOutcome
 from repro.repair.translation import RepairObjective
@@ -65,6 +66,8 @@ class AcquisitionSession:
     #: the final database (validated repair applied when available,
     #: else the first proposal, else D itself)
     final_database: Database
+    #: one record per MILP solve the repairing module issued
+    solve_stats: List[SolveStats] = field(default_factory=list)
 
     @property
     def acquired_database(self) -> Database:
@@ -127,6 +130,7 @@ class DartSystem:
         t_norm: TNorm = TNorm.PRODUCT,
         backend: str = DEFAULT_BACKEND,
         use_confidence_weights: bool = False,
+        solve_cache: Optional[SolveCache] = None,
     ) -> None:
         """With ``use_confidence_weights`` the repairing module runs the
         weighted-cardinality objective, weighting each measure cell by
@@ -140,6 +144,7 @@ class DartSystem:
         self.generator = DatabaseGenerator(scenario.metadata)
         self.backend = backend
         self.use_confidence_weights = use_confidence_weights
+        self.solve_cache = solve_cache
 
     def _confidence_weights(self, wrapping, generation):
         """Per-cell repair weights from the wrapper's matching scores.
@@ -203,6 +208,7 @@ class DartSystem:
             database,
             self.scenario.constraints,
             backend=self.backend,
+            solve_cache=self.solve_cache,
             **engine_options,
         )
         violations = engine.violations()
@@ -215,6 +221,7 @@ class DartSystem:
                 proposed_repair=None,
                 validation=None,
                 final_database=database,
+                solve_stats=engine.solve_stats,
             )
 
         outcome = engine.find_card_minimal_repair()
@@ -227,6 +234,7 @@ class DartSystem:
                 proposed_repair=outcome.repair,
                 validation=None,
                 final_database=engine.apply(outcome.repair),
+                solve_stats=engine.solve_stats,
             )
 
         reviewer = operator or OracleOperator(
@@ -242,4 +250,41 @@ class DartSystem:
             proposed_repair=outcome.repair,
             validation=validation,
             final_database=validation.repaired_database,
+            solve_stats=engine.solve_stats,
         )
+
+    def process_many(
+        self,
+        documents: Sequence[Document],
+        *,
+        interactive: bool = True,
+        workers: Optional[int] = None,
+        chunksize: int = 1,
+    ) -> List[AcquisitionSession]:
+        """Process a batch of documents of this scenario class.
+
+        With ``workers >= 1`` the documents fan out over a process
+        pool (the whole pipeline -- acquisition, wrapping, repair,
+        validation -- runs in the worker); results always come back in
+        document order.  ``workers=None`` processes sequentially.
+        """
+        if not workers or workers < 1:
+            return [
+                self.process(document, interactive=interactive)
+                for document in documents
+            ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (self, document, interactive) for document in documents
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(_process_document_job, payloads, chunksize=chunksize)
+            )
+
+
+def _process_document_job(payload) -> AcquisitionSession:
+    """Top-level (picklable) worker for :meth:`DartSystem.process_many`."""
+    system, document, interactive = payload
+    return system.process(document, interactive=interactive)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple as PyTuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
 #: One experiment run returns a flat mapping of measurement name -> number.
 Measurements = Mapping[str, float]
@@ -41,20 +41,53 @@ class SweepCell:
         return self.mean(name)
 
 
+def _sweep_job(payload) -> Dict[str, float]:
+    run, parameter, seed = payload
+    return {k: float(v) for k, v in dict(run(parameter, seed)).items()}
+
+
 def sweep(
     parameters: Sequence[Any],
     seeds: Iterable[int],
     run: Callable[[Any, int], Measurements],
+    *,
+    workers: Optional[int] = None,
+    chunksize: int = 1,
 ) -> List[SweepCell]:
-    """Run ``run(parameter, seed)`` over the full grid."""
+    """Run ``run(parameter, seed)`` over the full grid.
+
+    With ``workers >= 1`` the grid points fan out over a process pool
+    -- *run* must then be a picklable top-level function.  Results are
+    folded back into cells in grid order, so aggregates are identical
+    to the sequential run; per-cell ``elapsed_seconds`` then reports
+    the cell's share of the parallel wall clock, not solver time.
+    """
     seed_list = list(seeds)
     cells: List[SweepCell] = []
+    if workers and workers >= 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (run, parameter, seed)
+            for parameter in parameters
+            for seed in seed_list
+        ]
+        started = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_sweep_job, payloads, chunksize=chunksize))
+        elapsed = time.perf_counter() - started
+        per_cell = elapsed / len(parameters) if parameters else 0.0
+        for i, parameter in enumerate(parameters):
+            cell = SweepCell(parameter=parameter)
+            cell.runs = results[i * len(seed_list) : (i + 1) * len(seed_list)]
+            cell.elapsed_seconds = per_cell
+            cells.append(cell)
+        return cells
     for parameter in parameters:
         cell = SweepCell(parameter=parameter)
         started = time.perf_counter()
         for seed in seed_list:
-            measurements = dict(run(parameter, seed))
-            cell.runs.append({k: float(v) for k, v in measurements.items()})
+            cell.runs.append(_sweep_job((run, parameter, seed)))
         cell.elapsed_seconds = time.perf_counter() - started
         cells.append(cell)
     return cells

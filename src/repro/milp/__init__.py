@@ -13,7 +13,11 @@ provides the solver substrate from scratch:
 - :mod:`repro.milp.scipy_backend` -- a thin adapter over
   ``scipy.optimize.milp`` (HiGHS);
 - :mod:`repro.milp.solver` -- the ``solve()`` facade selecting a
-  backend.
+  backend, plus the instrumented ``solve_with_stats()`` emitting
+  :class:`~repro.milp.solver.SolveStats`;
+- :mod:`repro.milp.fingerprint` -- canonical model hashing;
+- :mod:`repro.milp.cache` -- the LRU solve cache keyed by canonical
+  fingerprints (identical grounded MILPs skip the solver).
 
 The two independent backends ("bnb" and "scipy") are cross-checked in
 the test suite: for every solvable model they must agree on the
@@ -31,10 +35,24 @@ from repro.milp.model import (
     Variable,
     VarType,
 )
+from repro.milp.cache import CacheInfo, SolveCache
+from repro.milp.fingerprint import canonical_fingerprint
 from repro.milp.mps import MpsError, read_mps, write_mps
-from repro.milp.solver import available_backends, solve
+from repro.milp.solver import (
+    FALLBACK_BACKEND,
+    SolveStats,
+    available_backends,
+    solve,
+    solve_with_stats,
+)
 
 __all__ = [
+    "SolveCache",
+    "CacheInfo",
+    "SolveStats",
+    "solve_with_stats",
+    "canonical_fingerprint",
+    "FALLBACK_BACKEND",
     "VarType",
     "Variable",
     "LinExpr",

@@ -1,0 +1,119 @@
+"""An LRU cache of MILP solutions keyed by canonical model fingerprints.
+
+DART batches routinely contain documents whose acquired tables are
+byte-identical (re-issued balance sheets, duplicated submissions, the
+same price list scraped twice).  Their grounded MILPs are identical
+too, so solving them again is pure waste.  :class:`SolveCache` memoises
+``(backend, options, fingerprint) -> Solution`` with LRU eviction.
+
+The cache is *correct by construction*: the key covers everything that
+can influence the solution (the full canonical model, the backend name
+and the backend options), so a hit can be returned verbatim.  Cached
+:class:`~repro.milp.model.Solution` objects are treated as immutable
+by every consumer in this repository; ``get`` hands back the stored
+object without copying.
+
+Thread-safety: a single lock guards the underlying ``OrderedDict``, so
+one cache instance may be shared by concurrent threads.  Across
+*processes* each worker holds its own instance (see
+:mod:`repro.repair.batch`); fingerprints make the per-process caches
+equivalent, they just warm up independently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.milp.fingerprint import canonical_fingerprint
+from repro.milp.model import MILPModel, Solution
+
+#: Default number of solutions retained.
+DEFAULT_CACHE_SIZE = 256
+
+CacheKey = Tuple[str, str, str]
+
+
+@dataclass
+class CacheInfo:
+    """Hit/miss accounting, in the style of ``functools.lru_cache``."""
+
+    hits: int = 0
+    misses: int = 0
+    maxsize: int = DEFAULT_CACHE_SIZE
+    currsize: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SolveCache:
+    """LRU memo of solved models.
+
+    ``maxsize <= 0`` disables storage entirely (every lookup misses),
+    which lets callers thread one object through unconditionally.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        self.maxsize = int(maxsize)
+        self._store: "OrderedDict[CacheKey, Solution]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def key_for(
+        model: MILPModel, backend: str, options: Optional[Mapping[str, Any]] = None
+    ) -> CacheKey:
+        """The cache key: backend, canonical options, model fingerprint."""
+        rendered_options = repr(sorted((options or {}).items()))
+        return (backend, rendered_options, canonical_fingerprint(model))
+
+    def get(self, key: CacheKey) -> Optional[Solution]:
+        with self._lock:
+            solution = self._store.get(key)
+            if solution is None:
+                self._misses += 1
+                return None
+            self._store.move_to_end(key)
+            self._hits += 1
+            return solution
+
+    def put(self, key: CacheKey, solution: Solution) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._store[key] = solution
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                maxsize=self.maxsize,
+                currsize=len(self._store),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __repr__(self) -> str:
+        info = self.info()
+        return (
+            f"SolveCache(size={info.currsize}/{info.maxsize}, "
+            f"hits={info.hits}, misses={info.misses})"
+        )

@@ -1,0 +1,56 @@
+"""Canonical fingerprinting of MILP models for the solve cache.
+
+Two models that describe the same mathematical program -- same
+variables (types and bounds), same constraint rows, same objective --
+must hash to the same key, so a table re-acquired across documents
+skips the solver entirely.  The fingerprint is a SHA-256 digest over a
+canonical byte serialisation:
+
+- variables in index order as ``(type, lower, upper)`` (names are
+  excluded: ``z1``/``y1``/``d1`` labels carry no mathematical content
+  and the DART translation names variables by position anyway);
+- constraints as ``(sense, rhs, sorted coefficient items)``, in model
+  order;
+- the objective as its sorted coefficient items plus the constant.
+
+Floats are serialised via ``repr`` so that ``1.0`` and ``1`` collide
+(both become ``1.0``) while genuinely different values never do.
+Constraint *order* is part of the key: the DART translation emits rows
+in a deterministic order, so identical inputs produce identical keys,
+and keeping order avoids a sort over every row on the hot path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Tuple
+
+from repro.milp.model import MILPModel
+
+
+def _emit_float(value: float) -> str:
+    return repr(float(value))
+
+
+def _emit_items(items: Iterable[Tuple[int, float]]) -> str:
+    return ",".join(f"{i}:{_emit_float(c)}" for i, c in sorted(items))
+
+
+def canonical_fingerprint(model: MILPModel) -> str:
+    """A stable hex digest identifying *model* up to renaming."""
+    h = hashlib.sha256()
+    for variable in model.variables:
+        h.update(
+            f"v|{variable.var_type.value}|{_emit_float(variable.lower)}"
+            f"|{_emit_float(variable.upper)}\n".encode()
+        )
+    for constraint in model.constraints:
+        h.update(
+            f"c|{constraint.sense.value}|{_emit_float(constraint.rhs)}"
+            f"|{_emit_items(constraint.expr.coefficients.items())}\n".encode()
+        )
+    h.update(
+        f"o|{_emit_float(model.objective.constant)}"
+        f"|{_emit_items(model.objective.coefficients.items())}\n".encode()
+    )
+    return h.hexdigest()

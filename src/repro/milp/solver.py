@@ -11,13 +11,21 @@ Backends:
 All backends receive the same :class:`~repro.milp.model.MILPModel` and
 return the same :class:`~repro.milp.model.Solution` shape, so they are
 interchangeable; the repair engine exposes the choice to callers.
+
+:func:`solve_with_stats` is the instrumented variant used by the batch
+engine: it times the call, consults an optional
+:class:`~repro.milp.cache.SolveCache`, and returns a
+:class:`SolveStats` record alongside the solution.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.milp.branch_and_bound import solve_branch_and_bound
+from repro.milp.cache import SolveCache
 from repro.milp.model import MILPModel, Solution
 from repro.milp.scipy_backend import solve_scipy
 
@@ -30,6 +38,67 @@ _BACKENDS: Dict[str, Callable[..., Solution]] = {
 }
 
 DEFAULT_BACKEND = "scipy"
+
+#: The backend the batch engine retries with when the primary one
+#: times out or errors.  Chosen to maximise independence: the scipy
+#: backends fall back to our own search and vice versa.
+FALLBACK_BACKEND: Dict[str, str] = {
+    "scipy": "bnb",
+    "bnb": "scipy",
+    "bnb-simplex": "scipy",
+}
+
+
+@dataclass
+class SolveStats:
+    """Structured diagnostics for one :func:`solve_with_stats` call.
+
+    One record per solver invocation (the repair engine's Big-M
+    escalation loop may emit several per repair).  ``nodes`` counts
+    branch-and-bound nodes explored, ``simplex_pivots`` LP pivot /
+    simplex iterations (HiGHS does not report pivots through scipy, so
+    it is 0 for the ``scipy`` backend).  ``cache_hit`` solves carry the
+    *original* solve's node/pivot counts but their own (near-zero)
+    ``wall_time``.  ``fallback`` is stamped by the batch engine when
+    the record came from a retry on the alternate backend.
+    """
+
+    backend: str
+    status: str
+    wall_time: float
+    nodes: int = 0
+    simplex_pivots: int = 0
+    cache_hit: bool = False
+    fallback: bool = False
+    n_variables: int = 0
+    n_constraints: int = 0
+    objective: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "status": self.status,
+            "wall_time": self.wall_time,
+            "nodes": self.nodes,
+            "simplex_pivots": self.simplex_pivots,
+            "cache_hit": self.cache_hit,
+            "fallback": self.fallback,
+            "n_variables": self.n_variables,
+            "n_constraints": self.n_constraints,
+            "objective": self.objective,
+        }
+
+    def __str__(self) -> str:
+        flags = []
+        if self.cache_hit:
+            flags.append("cache-hit")
+        if self.fallback:
+            flags.append("fallback")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"{self.backend}: {self.status} in {self.wall_time * 1000:.2f} ms, "
+            f"{self.nodes} node(s), {self.simplex_pivots} pivot(s){suffix}"
+        )
 
 
 def available_backends() -> List[str]:
@@ -51,3 +120,53 @@ def solve(model: MILPModel, backend: str = DEFAULT_BACKEND, **options) -> Soluti
             f"unknown MILP backend {backend!r}; choose from {available_backends()}"
         ) from None
     return runner(model, **options)
+
+
+def _stats_from_solution(
+    model: MILPModel,
+    backend: str,
+    solution: Solution,
+    wall_time: float,
+    cache_hit: bool,
+) -> SolveStats:
+    return SolveStats(
+        backend=backend,
+        status=solution.status.value,
+        wall_time=wall_time,
+        nodes=int(solution.stats.get("nodes", 0)),
+        simplex_pivots=int(solution.stats.get("lp_iterations", 0)),
+        cache_hit=cache_hit,
+        n_variables=model.n_variables,
+        n_constraints=model.n_constraints,
+        objective=solution.objective,
+    )
+
+
+def solve_with_stats(
+    model: MILPModel,
+    backend: str = DEFAULT_BACKEND,
+    *,
+    cache: Optional[SolveCache] = None,
+    **options,
+) -> Tuple[Solution, SolveStats]:
+    """Solve *model*, returning ``(solution, stats)``.
+
+    With a *cache*, the canonical fingerprint of the model is looked up
+    first; a hit skips the backend entirely and is flagged in the
+    returned :class:`SolveStats`.
+    """
+    started = time.perf_counter()
+    if cache is not None:
+        key = SolveCache.key_for(model, backend, options)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit, _stats_from_solution(
+                model, backend, hit, time.perf_counter() - started, True
+            )
+        solution = solve(model, backend=backend, **options)
+        cache.put(key, solution)
+    else:
+        solution = solve(model, backend=backend, **options)
+    return solution, _stats_from_solution(
+        model, backend, solution, time.perf_counter() - started, False
+    )

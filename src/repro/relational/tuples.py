@@ -44,6 +44,12 @@ class Tuple:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Tuple is immutable")
 
+    def __reduce__(self):
+        # Immutable + __slots__ defeats pickle's default setattr-based
+        # state restore; rebuild through the constructor instead (the
+        # batch engine ships databases to worker processes).
+        return (Tuple, (self.schema, list(self.values), self.tuple_id))
+
     def __getitem__(self, attribute: str) -> Any:
         """``t[A]``: the value of attribute *attribute* in this tuple."""
         return self.values[self.schema.position_of(attribute)]

@@ -7,6 +7,9 @@
   including both the theoretical and the practical Big-M bound;
 - :mod:`repro.repair.engine` -- :class:`RepairEngine`, the public
   entry point computing card-minimal repairs;
+- :mod:`repro.repair.batch` -- the parallel batch-repair engine
+  (process pool, per-task timeout, backend fallback, LRU solve cache,
+  per-solve :class:`~repro.milp.solver.SolveStats`);
 - :mod:`repro.repair.bruteforce` -- an exponential oracle used to
   validate optimality on small instances;
 - :mod:`repro.repair.interactive` -- the supervised validation loop of
@@ -41,6 +44,15 @@ from repro.repair.setminimal import (
     is_set_minimal,
 )
 from repro.repair.engine import RepairEngine, RepairOutcome, UnrepairableError
+from repro.repair.batch import (
+    BatchItemResult,
+    BatchReport,
+    RepairTask,
+    SolveTimeout,
+    execute_task,
+    repair_batch,
+    tasks_from_databases,
+)
 from repro.repair.bruteforce import brute_force_card_minimal
 from repro.repair.interactive import (
     FallibleOperator,
@@ -70,6 +82,13 @@ __all__ = [
     "RepairObjective",
     "RepairOutcome",
     "UnrepairableError",
+    "RepairTask",
+    "BatchItemResult",
+    "BatchReport",
+    "SolveTimeout",
+    "repair_batch",
+    "execute_task",
+    "tasks_from_databases",
     "ConsistentAnswer",
     "consistent_aggregate_answer",
     "enumerate_card_minimal_repairs",

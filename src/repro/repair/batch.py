@@ -1,0 +1,457 @@
+"""Parallel batch repair: many documents, many cores, one report.
+
+DART's operational setting is a data-entry shop repairing whole
+batches of acquired documents.  Each document's card-minimal repair is
+one MILP -- independent of every other document's -- so the corpus is
+embarrassingly parallel (HoloClean exploits the same structure by
+partitioning repair into independent subproblems).  This module fans a
+list of :class:`RepairTask` out over a
+``concurrent.futures.ProcessPoolExecutor``:
+
+- **configurable workers** -- ``workers=None``/``0`` runs sequentially
+  in-process (no pickling, one shared cache); ``workers >= 1`` uses a
+  process pool;
+- **chunked scheduling** -- tasks are shipped to workers in chunks to
+  amortise pickling overhead (``chunksize`` defaults to roughly four
+  chunks per worker);
+- **deterministic ordering** -- results are reassembled by task index,
+  so the report is byte-identical to the sequential run regardless of
+  completion order;
+- **per-task timeout + fallback** -- each task is guarded by a
+  ``SIGALRM``-based deadline inside its worker; on timeout, solver
+  error or an unrepairable verdict the task is retried once on the
+  alternate MILP backend (:data:`~repro.milp.solver.FALLBACK_BACKEND`),
+  and the retry is stamped in its stats;
+- **LRU solve cache** -- every engine in a worker shares that worker's
+  :class:`~repro.milp.cache.SolveCache`, keyed by the canonical
+  fingerprint of the grounded MILP: identical tables re-acquired
+  across documents skip the solver entirely.  Caches are per-process
+  (fork-safe, no shared memory); the sequential path shares a single
+  cache across the whole corpus.
+
+Every solve emits a :class:`~repro.milp.solver.SolveStats` record;
+:class:`BatchReport` aggregates them (wall time, nodes, pivots, cache
+hits, fallbacks) into the batch-level accounting the benches print.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.constraints.constraint import AggregateConstraint
+from repro.constraints.grounding import Cell
+from repro.milp.cache import DEFAULT_CACHE_SIZE, SolveCache
+from repro.milp.solver import DEFAULT_BACKEND, FALLBACK_BACKEND, SolveStats
+from repro.relational.database import Database
+from repro.repair.engine import RepairEngine, UnrepairableError
+from repro.repair.translation import RepairObjective
+from repro.repair.updates import Repair
+
+
+class SolveTimeout(RuntimeError):
+    """A per-task deadline expired inside a worker."""
+
+
+@dataclass
+class RepairTask:
+    """One unit of batch work: a (database, constraints) repair scenario."""
+
+    database: Database
+    constraints: Sequence[AggregateConstraint]
+    name: str = ""
+    backend: Optional[str] = None  # None = the batch-level default
+    objective: RepairObjective = RepairObjective.CARDINALITY
+    weights: Optional[Mapping[Cell, float]] = None
+    pins: Optional[Mapping[Cell, float]] = None
+
+
+@dataclass
+class BatchItemResult:
+    """Outcome of one task, in the input order of the batch."""
+
+    index: int
+    name: str
+    #: "repaired" | "consistent" | "unrepairable" | "timeout" | "error"
+    status: str
+    repair: Optional[Repair] = None
+    objective: Optional[float] = None
+    backend_used: str = DEFAULT_BACKEND
+    fallback_taken: bool = False
+    error: Optional[str] = None
+    wall_time: float = 0.0
+    stats: List[SolveStats] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("repaired", "consistent")
+
+    @property
+    def cardinality(self) -> int:
+        return self.repair.cardinality if self.repair is not None else 0
+
+
+@dataclass
+class BatchReport:
+    """All task results plus batch-level accounting."""
+
+    results: List[BatchItemResult]
+    wall_time: float
+    workers: int
+    cache_size: int
+    timeout: Optional[float] = None
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_repaired(self) -> int:
+        return sum(1 for r in self.results if r.status == "repaired")
+
+    @property
+    def n_consistent(self) -> int:
+        return sum(1 for r in self.results if r.status == "consistent")
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    @property
+    def n_fallbacks(self) -> int:
+        return sum(1 for r in self.results if r.fallback_taken)
+
+    @property
+    def all_stats(self) -> List[SolveStats]:
+        return [s for r in self.results for s in r.stats]
+
+    @property
+    def total_solves(self) -> int:
+        return len(self.all_stats)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.all_stats if s.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.total_solves - self.cache_hits
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(s.nodes for s in self.all_stats)
+
+    @property
+    def total_pivots(self) -> int:
+        return sum(s.simplex_pivots for s in self.all_stats)
+
+    @property
+    def solver_seconds(self) -> float:
+        """Summed per-solve wall time (CPU-side; > wall_time when parallel)."""
+        return sum(s.wall_time for s in self.all_stats)
+
+    def aggregate(self) -> Dict[str, float]:
+        """The flat numbers the benches tabulate."""
+        return {
+            "tasks": float(self.n_tasks),
+            "repaired": float(self.n_repaired),
+            "consistent": float(self.n_consistent),
+            "failed": float(self.n_failed),
+            "fallbacks": float(self.n_fallbacks),
+            "solves": float(self.total_solves),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "nodes": float(self.total_nodes),
+            "simplex_pivots": float(self.total_pivots),
+            "wall_time": self.wall_time,
+            "solver_seconds": self.solver_seconds,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_tasks} task(s) in {self.wall_time:.3f}s "
+            f"({self.workers or 'no'} worker(s)): "
+            f"{self.n_repaired} repaired, {self.n_consistent} consistent, "
+            f"{self.n_failed} failed, {self.n_fallbacks} fallback(s); "
+            f"{self.total_solves} solve(s), "
+            f"{self.cache_hits} cache hit(s) / {self.cache_misses} miss(es), "
+            f"{self.total_nodes} node(s), {self.total_pivots} pivot(s)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-task execution (runs inside a worker or in-process)
+# ---------------------------------------------------------------------------
+
+
+def _deadline_supported() -> bool:
+    return (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+class _Deadline:
+    """Context manager raising :class:`SolveTimeout` after *seconds*.
+
+    Implemented with ``SIGALRM`` so a stuck solver is interrupted
+    mid-solve; a no-op when *seconds* is falsy or we are not on the
+    main thread of the process (signals cannot be delivered there).
+    """
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self.seconds = seconds if seconds and _deadline_supported() else None
+        self._previous = None
+
+    def __enter__(self) -> "_Deadline":
+        if self.seconds:
+            def _expire(signum, frame):
+                raise SolveTimeout(f"solve exceeded {self.seconds:g}s")
+
+            self._previous = signal.signal(signal.SIGALRM, _expire)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.seconds:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+
+
+def _attempt(
+    task: RepairTask,
+    backend: str,
+    timeout: Optional[float],
+    cache: Optional[SolveCache],
+) -> Tuple[str, Optional[Repair], Optional[float], List[SolveStats]]:
+    """One engine run on one backend; may raise for the retry logic."""
+    engine = RepairEngine(
+        task.database,
+        task.constraints,
+        backend=backend,
+        objective=task.objective,
+        weights=task.weights,
+        solve_cache=cache,
+    )
+    with _Deadline(timeout):
+        if engine.is_consistent():
+            return "consistent", None, None, engine.solve_stats
+        outcome = engine.find_card_minimal_repair(pins=task.pins)
+    return "repaired", outcome.repair, outcome.objective, engine.solve_stats
+
+
+def execute_task(
+    task: RepairTask,
+    index: int,
+    *,
+    default_backend: str = DEFAULT_BACKEND,
+    timeout: Optional[float] = None,
+    retry_fallback: bool = True,
+    cache: Optional[SolveCache] = None,
+) -> BatchItemResult:
+    """Run one task with timeout + fallback-backend semantics.
+
+    The primary backend gets the full *timeout*; if it times out,
+    raises, or declares the instance unrepairable, the task is retried
+    once on :data:`~repro.milp.solver.FALLBACK_BACKEND` (fresh
+    deadline).  Only if both attempts fail does the result carry the
+    failure status -- with the *primary* attempt's error preserved when
+    the fallback confirms it.
+    """
+    started = time.perf_counter()
+    primary = task.backend or default_backend
+    try:
+        status, repair, objective, stats = _attempt(task, primary, timeout, cache)
+        return BatchItemResult(
+            index=index,
+            name=task.name,
+            status=status,
+            repair=repair,
+            objective=objective,
+            backend_used=primary,
+            wall_time=time.perf_counter() - started,
+            stats=stats,
+        )
+    except Exception as primary_error:
+        primary_status = _failure_status(primary_error)
+        fallback = FALLBACK_BACKEND.get(primary, None)
+        if not retry_fallback or fallback is None or fallback == primary:
+            return BatchItemResult(
+                index=index,
+                name=task.name,
+                status=primary_status,
+                backend_used=primary,
+                error=str(primary_error),
+                wall_time=time.perf_counter() - started,
+            )
+        try:
+            status, repair, objective, stats = _attempt(
+                task, fallback, timeout, cache
+            )
+            for record in stats:
+                record.fallback = True
+            return BatchItemResult(
+                index=index,
+                name=task.name,
+                status=status,
+                repair=repair,
+                objective=objective,
+                backend_used=fallback,
+                fallback_taken=True,
+                error=f"primary backend {primary!r} failed: {primary_error}",
+                wall_time=time.perf_counter() - started,
+                stats=stats,
+            )
+        except Exception as fallback_error:
+            return BatchItemResult(
+                index=index,
+                name=task.name,
+                status=_failure_status(fallback_error),
+                backend_used=fallback,
+                fallback_taken=True,
+                error=(
+                    f"primary {primary!r}: {primary_error}; "
+                    f"fallback {fallback!r}: {fallback_error}"
+                ),
+                wall_time=time.perf_counter() - started,
+            )
+
+
+def _failure_status(error: BaseException) -> str:
+    if isinstance(error, SolveTimeout):
+        return "timeout"
+    if isinstance(error, UnrepairableError):
+        return "unrepairable"
+    return "error"
+
+
+# ---------------------------------------------------------------------------
+# Worker plumbing
+# ---------------------------------------------------------------------------
+
+#: Per-process solve cache, created by the pool initializer.  Module
+#: level so forked/spawned workers reuse it across chunks.
+_WORKER_CACHE: Optional[SolveCache] = None
+
+
+def _init_worker(cache_size: int) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = SolveCache(cache_size) if cache_size > 0 else None
+
+
+def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
+    """Execute one chunk of (index, task) pairs inside a worker."""
+    chunk, default_backend, timeout, retry_fallback = payload
+    return [
+        execute_task(
+            task,
+            index,
+            default_backend=default_backend,
+            timeout=timeout,
+            retry_fallback=retry_fallback,
+            cache=_WORKER_CACHE,
+        )
+        for index, task in chunk
+    ]
+
+
+def _chunked(
+    items: Sequence[Tuple[int, RepairTask]], chunksize: int
+) -> List[List[Tuple[int, RepairTask]]]:
+    return [
+        list(items[start : start + chunksize])
+        for start in range(0, len(items), chunksize)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The public entry point
+# ---------------------------------------------------------------------------
+
+
+def repair_batch(
+    tasks: Sequence[RepairTask],
+    *,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    retry_fallback: bool = True,
+    chunksize: Optional[int] = None,
+    backend: str = DEFAULT_BACKEND,
+) -> BatchReport:
+    """Repair every task, in parallel when ``workers >= 1``.
+
+    Results come back in task order whatever the completion order.
+    ``workers=None`` (or 0) runs in-process with one cache shared by
+    the whole corpus; with a pool, each worker process holds its own
+    LRU cache of ``cache_size`` solutions (``cache_size=0`` disables
+    caching).  ``timeout`` is the per-task deadline in seconds, applied
+    independently to the primary attempt and to the fallback retry.
+    """
+    task_list = list(tasks)
+    indexed = list(enumerate(task_list))
+    started = time.perf_counter()
+
+    if not workers or workers < 1:
+        cache = SolveCache(cache_size) if cache_size > 0 else None
+        results = [
+            execute_task(
+                task,
+                index,
+                default_backend=backend,
+                timeout=timeout,
+                retry_fallback=retry_fallback,
+                cache=cache,
+            )
+            for index, task in indexed
+        ]
+        return BatchReport(
+            results=results,
+            wall_time=time.perf_counter() - started,
+            workers=0,
+            cache_size=cache_size,
+            timeout=timeout,
+        )
+
+    if chunksize is None:
+        chunksize = max(1, (len(indexed) + workers * 4 - 1) // (workers * 4))
+    chunks = _chunked(indexed, chunksize)
+    payloads = [(chunk, backend, timeout, retry_fallback) for chunk in chunks]
+    results: List[Optional[BatchItemResult]] = [None] * len(indexed)
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(cache_size,)
+    ) as pool:
+        for chunk_results in pool.map(_run_chunk, payloads):
+            for result in chunk_results:
+                results[result.index] = result
+    assert all(result is not None for result in results)
+    return BatchReport(
+        results=results,  # type: ignore[arg-type]
+        wall_time=time.perf_counter() - started,
+        workers=workers,
+        cache_size=cache_size,
+        timeout=timeout,
+    )
+
+
+def tasks_from_databases(
+    databases: Sequence[Database],
+    constraints: Sequence[AggregateConstraint],
+    *,
+    name_prefix: str = "doc",
+    **task_options,
+) -> List[RepairTask]:
+    """Convenience: one task per database, shared constraints."""
+    return [
+        RepairTask(
+            database=database,
+            constraints=constraints,
+            name=f"{name_prefix}{index}",
+            **task_options,
+        )
+        for index, database in enumerate(databases)
+    ]

@@ -34,8 +34,9 @@ from repro.constraints.grounding import (
     Violation,
     ground_constraints,
 )
+from repro.milp.cache import SolveCache
 from repro.milp.model import Solution, SolveStatus
-from repro.milp.solver import DEFAULT_BACKEND, solve
+from repro.milp.solver import DEFAULT_BACKEND, SolveStats, solve_with_stats
 from repro.relational.database import Database
 from repro.repair.translation import (
     BigMStrategy,
@@ -60,6 +61,9 @@ class RepairOutcome:
     translation: MILPTranslation
     solution: Solution
     escalations: int = 0
+    #: SolveStats for every solver call this repair needed (the Big-M
+    #: escalation loop may take several).
+    stats: List[SolveStats] = field(default_factory=list)
 
     @property
     def cardinality(self) -> int:
@@ -79,13 +83,20 @@ class RepairEngine:
         max_escalations: int = 3,
         objective: RepairObjective = RepairObjective.CARDINALITY,
         weights: Optional[Mapping[Cell, float]] = None,
+        solve_cache: Optional[SolveCache] = None,
     ) -> None:
         """``objective`` / ``weights`` select the minimality semantics
         (see :class:`~repro.repair.translation.RepairObjective`); the
-        default is the paper's card-minimality."""
+        default is the paper's card-minimality.  A shared ``solve_cache``
+        lets identical grounded MILPs (re-acquired tables) skip the
+        solver; every solve appends a
+        :class:`~repro.milp.solver.SolveStats` record to
+        :attr:`solve_stats`."""
         self.database = database
         self.constraints = list(constraints)
         self.backend = backend
+        self.solve_cache = solve_cache
+        self.solve_stats: List[SolveStats] = []
         self.big_m_strategy = big_m_strategy
         self.max_escalations = max_escalations
         self.objective = objective
@@ -141,6 +152,7 @@ class RepairEngine:
         """
         big_m_override: Optional[float] = None
         escalations = 0
+        stats_start = len(self.solve_stats)
         while True:
             translation = translate(
                 self.database,
@@ -160,7 +172,13 @@ class RepairEngine:
                 self.backend,
                 f", {len(translation.pins)} pin(s)" if translation.pins else "",
             )
-            solution = solve(translation.model, backend=self.backend, **solver_options)
+            solution, stats = solve_with_stats(
+                translation.model,
+                backend=self.backend,
+                cache=self.solve_cache,
+                **solver_options,
+            )
+            self.solve_stats.append(stats)
             if solution.status is SolveStatus.INFEASIBLE:
                 logger.info(
                     "MILP infeasible at M=%g (escalation %d/%d)",
@@ -209,6 +227,7 @@ class RepairEngine:
                 translation=translation,
                 solution=solution,
                 escalations=escalations,
+                stats=self.solve_stats[stats_start:],
             )
 
     # ------------------------------------------------------------------
