@@ -1,0 +1,199 @@
+"""The MILP hot-path benchmark: the tracked perf trajectory.
+
+Runs every scenario twice per branch-and-bound backend:
+
+- **legacy** -- the pre-overhaul solve path: no presolve, cold node
+  LPs, most-fractional branching, Bland pricing, no incumbent seed;
+- **current** -- the defaults after the overhaul: presolve, warm
+  starts (simplex backend), pseudo-cost branching, Dantzig pricing,
+  heuristic incumbent seeding.
+
+Both modes must produce the *same* objective on every scenario (the
+optimisations are performance-only); the speedup is the geometric mean
+of per-scenario wall-clock ratios.  Results land in ``BENCH_milp.json``
+at the repository root -- machine-readable, one entry per scenario with
+nodes / pivots / wall-clock -- so the trajectory is diffable from this
+PR onward.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_milp.py
+
+Exits non-zero if any objective diverges between modes.  The wall-clock
+numbers are whatever the host gives us; the node/pivot counts are
+deterministic and the real regression signal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.datasets import generate_cash_budget, generate_catalog
+from repro.repair.engine import RepairEngine
+from repro.repair.heuristic import greedy_repair
+from repro.repair.translation import translate
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_milp.json"
+
+#: Per-mode solver options.  "legacy" reproduces the pre-overhaul
+#: search exactly; "current" is what a caller gets by default.
+MODES = {
+    "legacy": dict(
+        presolve=False,
+        warm_start=False,
+        branching="most-fractional",
+        pricing="bland",
+        seed_incumbent=False,
+    ),
+    "current": dict(
+        presolve=True,
+        warm_start=True,
+        branching="pseudocost",
+        pricing="dantzig",
+        seed_incumbent=True,
+    ),
+}
+
+BACKENDS = ["bnb", "bnb-simplex"]
+
+#: How many timed repetitions per (scenario, backend, mode); the
+#: minimum wall time is recorded (robust to scheduler noise).
+REPEATS = 3
+
+
+def scenarios():
+    """(name, corrupted database, constraints) triples, small to large."""
+    cases = []
+    for n_years, n_errors, seed in [(1, 2, 11), (2, 3, 23), (3, 4, 37)]:
+        workload = generate_cash_budget(n_years=n_years, seed=seed)
+        corrupted, _ = inject_value_errors(
+            workload.ground_truth, n_errors, seed=seed + 1
+        )
+        cases.append(
+            (f"cash_budget_y{n_years}_e{n_errors}", corrupted, workload.constraints)
+        )
+    for n_categories, n_errors, seed in [(4, 2, 51), (8, 4, 67)]:
+        workload = generate_catalog(n_categories=n_categories, seed=seed)
+        corrupted, _ = inject_value_errors(
+            workload.ground_truth, n_errors, seed=seed + 1
+        )
+        cases.append(
+            (f"catalog_c{n_categories}_e{n_errors}", corrupted, workload.constraints)
+        )
+    return cases
+
+
+def run_one(
+    database, constraints, backend: str, mode: Dict
+) -> Dict[str, float]:
+    solver_options = {
+        "presolve": mode["presolve"],
+        "warm_start": mode["warm_start"],
+        "branching": mode["branching"],
+        "pricing": mode["pricing"],
+    }
+    best: Optional[Dict[str, float]] = None
+    for _ in range(REPEATS):
+        engine = RepairEngine(
+            database,
+            constraints,
+            backend=backend,
+            presolve=mode["presolve"],
+            seed_incumbent=mode["seed_incumbent"],
+        )
+        started = time.perf_counter()
+        outcome = engine.find_card_minimal_repair(**solver_options)
+        elapsed = time.perf_counter() - started
+        record = {
+            "wall_time": elapsed,
+            "nodes": sum(s.nodes for s in engine.solve_stats),
+            "pivots": sum(s.simplex_pivots for s in engine.solve_stats),
+            "objective": outcome.objective,
+            "cardinality": outcome.cardinality,
+        }
+        if best is None or record["wall_time"] < best["wall_time"]:
+            best = record
+    assert best is not None
+    return best
+
+
+def main() -> int:
+    results: List[Dict] = []
+    diverged = False
+    for name, database, constraints in scenarios():
+        entry: Dict = {"scenario": name, "backends": {}}
+        for backend in BACKENDS:
+            modes: Dict[str, Dict[str, float]] = {}
+            for mode_name, mode in MODES.items():
+                modes[mode_name] = run_one(database, constraints, backend, mode)
+            ratio = modes["legacy"]["wall_time"] / max(
+                modes["current"]["wall_time"], 1e-9
+            )
+            same = (
+                abs(modes["legacy"]["objective"] - modes["current"]["objective"])
+                <= 1e-9
+            )
+            if not same:
+                diverged = True
+                print(
+                    f"OBJECTIVE DIVERGENCE: {name}/{backend}: "
+                    f"legacy={modes['legacy']['objective']} "
+                    f"current={modes['current']['objective']}",
+                    file=sys.stderr,
+                )
+            entry["backends"][backend] = {
+                "legacy": modes["legacy"],
+                "current": modes["current"],
+                "speedup": ratio,
+                "objectives_match": same,
+            }
+            print(
+                f"{name:28s} {backend:12s} "
+                f"legacy {modes['legacy']['wall_time'] * 1000:8.2f} ms "
+                f"({modes['legacy']['nodes']:4d} nodes, "
+                f"{modes['legacy']['pivots']:6d} pivots)  "
+                f"current {modes['current']['wall_time'] * 1000:8.2f} ms "
+                f"({modes['current']['nodes']:4d} nodes, "
+                f"{modes['current']['pivots']:6d} pivots)  "
+                f"{ratio:5.2f}x"
+            )
+        results.append(entry)
+
+    summary = {}
+    for backend in BACKENDS:
+        ratios = [entry["backends"][backend]["speedup"] for entry in results]
+        summary[backend] = {
+            "geomean_speedup": math.exp(statistics.fmean(math.log(r) for r in ratios)),
+            "min_speedup": min(ratios),
+            "max_speedup": max(ratios),
+        }
+        print(
+            f"{backend}: geomean speedup "
+            f"{summary[backend]['geomean_speedup']:.2f}x "
+            f"(min {summary[backend]['min_speedup']:.2f}x, "
+            f"max {summary[backend]['max_speedup']:.2f}x)"
+        )
+
+    payload = {
+        "benchmark": "milp_hot_path",
+        "modes": {name: dict(mode) for name, mode in MODES.items()},
+        "repeats": REPEATS,
+        "scenarios": results,
+        "summary": summary,
+        "all_objectives_match": not diverged,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+    return 1 if diverged else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,7 @@ from repro.relational.csvio import dump_database, load_database
 from repro.relational.schematext import dump_schema, load_schema
 from repro.repair.batch import RepairTask, repair_batch
 from repro.repair.cqa import consistent_aggregate_answer
-from repro.repair.engine import RepairEngine, UnrepairableError
+from repro.repair.engine import HEURISTIC_BACKEND, RepairEngine, UnrepairableError
 from repro.repair.interactive import involvement_order
 from repro.repair.translation import RepairObjective
 
@@ -93,7 +93,11 @@ def cmd_repair(args: argparse.Namespace) -> int:
     _, _, constraints, database = _load_project(args.directory)
     objective = RepairObjective(args.objective)
     engine = RepairEngine(
-        database, constraints, objective=objective, backend=args.backend
+        database,
+        constraints,
+        objective=objective,
+        backend=args.backend,
+        presolve=not args.no_presolve,
     )
     if engine.is_consistent():
         print("already consistent; nothing to repair")
@@ -274,13 +278,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_repair.add_argument(
         "--backend",
-        choices=available_backends(),
+        choices=available_backends() + [HEURISTIC_BACKEND],
         default=DEFAULT_BACKEND,
-        help="MILP backend (default: %(default)s)",
+        help="MILP backend, or 'heuristic' for the greedy approximate "
+             "repair (verified but not necessarily minimal) "
+             "(default: %(default)s)",
+    )
+    p_repair.add_argument(
+        "--no-presolve", action="store_true",
+        help="disable the MILP presolve pass on the bnb backends "
+             "(escape hatch; never changes the repair's optimality)",
     )
     p_repair.add_argument(
         "--stats", action="store_true",
-        help="print per-solve statistics (wall time, nodes, pivots)",
+        help="print per-solve statistics (wall time, nodes, pivots, "
+             "presolve reductions, warm-start hits, heuristic seeding)",
     )
     p_repair.set_defaults(func=cmd_repair)
 

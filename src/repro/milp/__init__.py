@@ -6,10 +6,16 @@ provides the solver substrate from scratch:
 
 - :mod:`repro.milp.model` -- variables (real / integer / binary),
   linear expressions, constraints, and the model object;
-- :mod:`repro.milp.simplex` -- a dense primal simplex (Big-M phase
-  handling, Bland's anti-cycling rule) written against numpy only;
+- :mod:`repro.milp.simplex` -- a dense primal (and dual) simplex with
+  Dantzig pricing and Bland anti-cycling, written against numpy only;
+- :mod:`repro.milp.lowering` -- the shared dense-array form every
+  solver-side pass consumes;
+- :mod:`repro.milp.presolve` -- bound propagation, forced fixings and
+  big-M coefficient tightening ahead of the search;
+- :mod:`repro.milp.warmstart` -- parent-basis warm starts for the node
+  LPs of the simplex-backed search;
 - :mod:`repro.milp.branch_and_bound` -- best-first branch-and-bound
-  with a pluggable LP-relaxation backend;
+  with pseudo-cost branching and a pluggable LP-relaxation backend;
 - :mod:`repro.milp.scipy_backend` -- a thin adapter over
   ``scipy.optimize.milp`` (HiGHS);
 - :mod:`repro.milp.solver` -- the ``solve()`` facade selecting a
@@ -37,7 +43,10 @@ from repro.milp.model import (
 )
 from repro.milp.cache import CacheInfo, SolveCache
 from repro.milp.fingerprint import canonical_fingerprint
+from repro.milp.lowering import DenseArrays, lower_model
 from repro.milp.mps import MpsError, read_mps, write_mps
+from repro.milp.presolve import PresolveResult, PresolveStats, presolve_arrays
+from repro.milp.warmstart import WarmStartTree, WarmStartUnavailable
 from repro.milp.solver import (
     FALLBACK_BACKEND,
     SolveStats,
@@ -67,4 +76,11 @@ __all__ = [
     "read_mps",
     "write_mps",
     "MpsError",
+    "DenseArrays",
+    "lower_model",
+    "PresolveResult",
+    "PresolveStats",
+    "presolve_arrays",
+    "WarmStartTree",
+    "WarmStartUnavailable",
 ]

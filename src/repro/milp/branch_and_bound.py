@@ -1,17 +1,30 @@
 """Best-first branch-and-bound for MILP.
 
-The classic scheme:
+The classic scheme, with the hot-path machinery added by the solver
+overhaul:
 
-1. solve the LP relaxation of the node (integrality dropped, node
-   bounds applied);
-2. prune if infeasible or worse than the incumbent;
-3. if the relaxation is integral, it becomes the new incumbent;
-4. otherwise branch on the most fractional integral variable, adding
-   ``x <= floor(v)`` / ``x >= ceil(v)`` children.
+1. **presolve** the lowered arrays (bound propagation, big-M
+   tightening, forced fixings -- see :mod:`repro.milp.presolve`); the
+   search runs on the reduced problem and postsolves the answer;
+2. solve the LP relaxation of each node -- **warm-started** from the
+   parent basis when the ``simplex`` LP backend is active (one bound
+   changes per child, so a couple of dual pivots usually suffice; see
+   :mod:`repro.milp.warmstart`);
+3. prune if infeasible or worse than the incumbent -- an **incumbent
+   seed** (e.g. from the greedy repair heuristic) makes pruning start
+   at node 1, and when the objective is provably integral the node
+   bound is rounded up before comparing;
+4. if the relaxation is integral, it becomes the new incumbent;
+5. otherwise branch -- **pseudo-cost** scoring by default (estimated
+   objective degradation per unit of fraction, learned from observed
+   child bounds), ``"most-fractional"`` available for comparison.
 
 Nodes are explored best-first (lowest relaxation bound first), which
 makes the incumbent's optimality certificate immediate when the node
-queue empties or the best open bound meets the incumbent.
+queue empties or the best open bound meets the incumbent.  Per-node
+bounds are *not* stored as full arrays: each node keeps a delta chain
+(one ``(index, side, value)`` entry per ancestor) against the shared
+root arrays and materialises bounds only when a cold LP needs them.
 
 The LP relaxation backend is pluggable: ``"simplex"`` uses the
 from-scratch solver in :mod:`repro.milp.simplex`, ``"scipy"`` uses
@@ -28,8 +41,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.milp.model import MILPModel, Sense, Solution, SolveStatus, VarType
-from repro.milp.simplex import LPResult, solve_lp
+from repro.milp.lowering import DenseArrays, lower_model
+from repro.milp.model import MILPModel, Solution, SolveStatus
+from repro.milp.presolve import PresolveResult, presolve_arrays
+from repro.milp.simplex import LPResult, PRICING_DANTZIG, solve_lp
+from repro.milp.warmstart import TreeNodeState, WarmStartTree, WarmStartUnavailable
 
 INF = math.inf
 
@@ -37,64 +53,149 @@ INF = math.inf
 #: counts as integral.
 INT_TOL = 1e-6
 
+#: Branching rules accepted by :func:`solve_branch_and_bound`.
+BRANCHING_RULES = ("pseudocost", "most-fractional")
+
+# Backwards-compatible aliases: the lowered-array types moved to
+# :mod:`repro.milp.lowering` so presolve can share them.
+_Arrays = DenseArrays
+_lower_model = lower_model
+
 
 @dataclass
-class _Arrays:
-    """The model lowered to dense arrays, shared by all nodes."""
+class _BoundDelta:
+    """One branching decision, chained up to the root.
 
-    costs: np.ndarray
-    a_ub: np.ndarray
-    b_ub: np.ndarray
-    a_eq: np.ndarray
-    b_eq: np.ndarray
-    lower: np.ndarray
-    upper: np.ndarray
-    integral: List[int]
-    objective_constant: float
+    Nodes share the root bound arrays and record only their own change;
+    materialising a node's bounds walks the (depth-length) chain.  Order
+    of application is irrelevant because bounds only ever tighten along
+    a path (min/max absorbs ancestors).
+    """
+
+    parent: Optional["_BoundDelta"]
+    index: int
+    side: str  # "lower" | "upper"
+    value: float
 
 
-def _lower_model(model: MILPModel) -> _Arrays:
-    n = model.n_variables
-    costs = np.zeros(n)
-    for index, coefficient in model.objective.coefficients.items():
-        costs[index] = coefficient
-    ub_rows: List[np.ndarray] = []
-    ub_rhs: List[float] = []
-    eq_rows: List[np.ndarray] = []
-    eq_rhs: List[float] = []
-    for constraint in model.constraints:
-        row = np.zeros(n)
-        for index, coefficient in constraint.expr.coefficients.items():
-            row[index] = coefficient
-        if constraint.sense is Sense.LE:
-            ub_rows.append(row)
-            ub_rhs.append(constraint.rhs)
-        elif constraint.sense is Sense.GE:
-            ub_rows.append(-row)
-            ub_rhs.append(-constraint.rhs)
+def _materialise_bounds(
+    arrays: DenseArrays, delta: Optional[_BoundDelta]
+) -> Tuple[np.ndarray, np.ndarray]:
+    lower = arrays.lower.copy()
+    upper = arrays.upper.copy()
+    node = delta
+    while node is not None:
+        if node.side == "upper":
+            if node.value < upper[node.index]:
+                upper[node.index] = node.value
         else:
-            eq_rows.append(row)
-            eq_rhs.append(constraint.rhs)
-    lower = np.array([v.lower for v in model.variables])
-    upper = np.array([v.upper for v in model.variables])
-    integral = [v.index for v in model.variables if v.var_type.is_integral]
-    return _Arrays(
-        costs=costs,
-        a_ub=np.array(ub_rows) if ub_rows else np.zeros((0, n)),
-        b_ub=np.array(ub_rhs),
-        a_eq=np.array(eq_rows) if eq_rows else np.zeros((0, n)),
-        b_eq=np.array(eq_rhs),
-        lower=lower,
-        upper=upper,
-        integral=integral,
-        objective_constant=model.objective.constant,
-    )
+            if node.value > lower[node.index]:
+                lower[node.index] = node.value
+        node = node.parent
+    return lower, upper
 
 
-LPSolver = Callable[[_Arrays, np.ndarray, np.ndarray], LPResult]
+def _bounds_of_variable(
+    arrays: DenseArrays, delta: Optional[_BoundDelta], index: int
+) -> Tuple[float, float]:
+    low = float(arrays.lower[index])
+    high = float(arrays.upper[index])
+    node = delta
+    while node is not None:
+        if node.index == index:
+            if node.side == "upper":
+                high = min(high, node.value)
+            else:
+                low = max(low, node.value)
+        node = node.parent
+    return low, high
 
 
-def _lp_simplex(arrays: _Arrays, lower: np.ndarray, upper: np.ndarray) -> LPResult:
+class _PseudoCosts:
+    """Per-variable objective-degradation estimates for branching.
+
+    For each branch direction the observed ``(child bound - parent
+    bound) / fraction`` is averaged; unseen variables borrow the global
+    average, and with no history at all the score degrades to the
+    fraction itself (i.e. most-fractional).
+    """
+
+    def __init__(self) -> None:
+        self._down: Dict[int, Tuple[float, int]] = {}
+        self._up: Dict[int, Tuple[float, int]] = {}
+
+    def update(
+        self, index: int, direction: str, fraction: float, degradation: float
+    ) -> None:
+        table = self._down if direction == "down" else self._up
+        weight = fraction if direction == "down" else 1.0 - fraction
+        if weight <= INT_TOL:
+            return
+        per_unit = max(degradation, 0.0) / weight
+        total, count = table.get(index, (0.0, 0))
+        table[index] = (total + per_unit, count + 1)
+
+    def _estimate(self, table: Dict[int, Tuple[float, int]], index: int) -> Tuple[float, bool]:
+        entry = table.get(index)
+        if entry is not None and entry[1] > 0:
+            return entry[0] / entry[1], True
+        averages = [total / count for total, count in table.values() if count]
+        if averages:
+            return sum(averages) / len(averages), False
+        return 1.0, False
+
+    def score(self, index: int, fraction: float) -> Tuple[float, int]:
+        """(product score, how many directions have real history)."""
+        down, down_known = self._estimate(self._down, index)
+        up, up_known = self._estimate(self._up, index)
+        epsilon = 1e-6
+        product = max(down * fraction, epsilon) * max(up * (1.0 - fraction), epsilon)
+        return product, int(down_known) + int(up_known)
+
+
+def _select_branch_variable(
+    x: np.ndarray,
+    integral: Sequence[int],
+    branching: str,
+    pseudo: _PseudoCosts,
+) -> Tuple[int, float]:
+    """Pick the branching variable; returns ``(index, fraction)``.
+
+    ``index`` is -1 when the point is integral.  ``fraction`` is the
+    distance above ``floor(x)`` (used by pseudo-cost updates).
+    """
+    best_index = -1
+    best_key: Optional[Tuple] = None
+    best_fraction = 0.0
+    for index in integral:
+        value = x[index]
+        distance = abs(value - round(value))
+        if distance <= INT_TOL:
+            continue
+        fraction = value - math.floor(value)
+        if branching == "most-fractional":
+            key = (distance,)
+        else:
+            product, known = pseudo.score(index, fraction)
+            key = (product, known, distance)
+        if best_key is None or key > best_key:
+            best_key = key
+            best_index = index
+            best_fraction = fraction
+    return best_index, best_fraction
+
+
+@dataclass
+class _Node:
+    delta: Optional[_BoundDelta]
+    lp: LPResult
+    state: Optional[TreeNodeState]
+
+
+LPSolver = Callable[[DenseArrays, np.ndarray, np.ndarray], LPResult]
+
+
+def _lp_simplex(arrays: DenseArrays, lower: np.ndarray, upper: np.ndarray) -> LPResult:
     return solve_lp(
         arrays.costs,
         a_ub=arrays.a_ub,
@@ -106,7 +207,7 @@ def _lp_simplex(arrays: _Arrays, lower: np.ndarray, upper: np.ndarray) -> LPResu
     )
 
 
-def _lp_scipy(arrays: _Arrays, lower: np.ndarray, upper: np.ndarray) -> LPResult:
+def _lp_scipy(arrays: DenseArrays, lower: np.ndarray, upper: np.ndarray) -> LPResult:
     from scipy.optimize import linprog
 
     result = linprog(
@@ -144,94 +245,258 @@ def solve_branch_and_bound(
     lp_backend: str = "scipy",
     max_nodes: int = 100_000,
     gap_tolerance: float = 1e-9,
+    presolve: bool = True,
+    warm_start: bool = True,
+    branching: str = "pseudocost",
+    pricing: str = PRICING_DANTZIG,
+    incumbent: Optional[Sequence[float]] = None,
 ) -> Solution:
-    """Solve *model* to optimality by branch-and-bound."""
+    """Solve *model* to optimality by branch-and-bound.
+
+    Performance options (none of them changes the optimal objective):
+
+    - ``presolve`` -- run :func:`repro.milp.presolve.presolve_arrays`
+      first and search the reduced problem;
+    - ``warm_start`` -- with ``lp_backend="simplex"``, re-solve child
+      nodes from the parent basis by dual simplex instead of cold
+      two-phase solves;
+    - ``branching`` -- ``"pseudocost"`` (default) or
+      ``"most-fractional"`` (the pre-overhaul rule);
+    - ``pricing`` -- entering-column rule for cold simplex solves
+      (``"dantzig"`` default, ``"bland"`` for the pre-overhaul rule);
+    - ``incumbent`` -- a full-space feasible point (e.g. from the
+      repair heuristic) used as the initial upper bound so pruning
+      starts at node 1.  Infeasible seeds are silently ignored.
+    """
     if lp_backend not in _LP_BACKENDS:
         raise ValueError(
             f"unknown LP backend {lp_backend!r}; choose from "
             f"{sorted(_LP_BACKENDS)}"
         )
-    relax = _LP_BACKENDS[lp_backend]
-    arrays = _lower_model(model)
+    if branching not in BRANCHING_RULES:
+        raise ValueError(
+            f"unknown branching rule {branching!r}; choose from "
+            f"{list(BRANCHING_RULES)}"
+        )
+    if lp_backend == "simplex":
+        def relax(arrays: DenseArrays, lower: np.ndarray, upper: np.ndarray) -> LPResult:
+            return solve_lp(
+                arrays.costs,
+                a_ub=arrays.a_ub,
+                b_ub=arrays.b_ub,
+                a_eq=arrays.a_eq,
+                b_eq=arrays.b_eq,
+                lower=lower,
+                upper=upper,
+                pricing=pricing,
+            )
+    else:
+        relax = _LP_BACKENDS[lp_backend]
 
-    counter = itertools.count()
-    root = relax(arrays, arrays.lower, arrays.upper)
-    nodes_explored = 1
-    lp_iterations = root.iterations
-    if root.status == "infeasible":
-        return Solution(SolveStatus.INFEASIBLE, stats={"nodes": 1})
-    if root.status == "unbounded":
-        return Solution(SolveStatus.UNBOUNDED, stats={"nodes": 1})
-    if root.status != "optimal":
-        return Solution(SolveStatus.ERROR, stats={"nodes": 1})
+    arrays = lower_model(model)
+    stats: Dict[str, float] = {}
 
+    reduction: Optional[PresolveResult] = None
+    work = arrays
+    if presolve:
+        reduction = presolve_arrays(arrays)
+        stats.update(reduction.stats.as_solution_stats())
+        if reduction.status == "infeasible":
+            stats.update({"nodes": 0.0, "lp_iterations": 0.0})
+            return Solution(SolveStatus.INFEASIBLE, stats=stats)
+        if reduction.status == "solved":
+            x_full = reduction.restore()
+            if model.check_feasible(x_full):
+                stats.update(
+                    {"nodes": 0.0, "lp_iterations": 0.0, "presolve_solved": 1.0}
+                )
+                return Solution(
+                    SolveStatus.OPTIMAL,
+                    objective=float(arrays.costs @ x_full) + arrays.objective_constant,
+                    values=model.solution_values(x_full),
+                    stats=stats,
+                )
+            # Paranoia: the presolve point failed the model's own check
+            # (tolerance interplay); fall back to the full search.
+            return solve_branch_and_bound(
+                model,
+                lp_backend=lp_backend,
+                max_nodes=max_nodes,
+                gap_tolerance=gap_tolerance,
+                presolve=False,
+                warm_start=warm_start,
+                branching=branching,
+                pricing=pricing,
+                incumbent=incumbent,
+            )
+        work = reduction.arrays
+
+    # Seed the incumbent from a caller-supplied feasible point.
     incumbent_x: Optional[np.ndarray] = None
     incumbent_objective = INF
+    if incumbent is not None:
+        point = np.asarray(incumbent, dtype=float)
+        if point.shape[0] == model.n_variables and model.check_feasible(point):
+            reduced_point = (
+                reduction.reduce_point(point) if reduction is not None else point.copy()
+            )
+            if reduced_point is not None:
+                incumbent_x = reduced_point
+                incumbent_objective = float(work.costs @ reduced_point)
+                stats["incumbent_seeded"] = 1.0
 
-    # Heap of (bound, tiebreak, lower, upper, lp_result)
-    heap: List[Tuple[float, int, np.ndarray, np.ndarray, LPResult]] = []
+    # When the objective's support is integral with integer coefficients
+    # every attainable objective is an integer: node bounds can be
+    # rounded up before pruning comparisons.
+    integral_set = set(work.integral)
+    objective_is_integral = all(
+        coefficient == 0.0
+        or (index in integral_set and float(coefficient).is_integer())
+        for index, coefficient in enumerate(work.costs)
+    )
+
+    def pruning_bound(bound: float) -> float:
+        if objective_is_integral:
+            return math.ceil(bound - 1e-6)
+        return bound
+
+    tree: Optional[WarmStartTree] = None
+    if warm_start and lp_backend == "simplex":
+        try:
+            tree = WarmStartTree(work)
+        except WarmStartUnavailable:
+            tree = None
+
+    counter = itertools.count()
+    root_state: Optional[TreeNodeState] = None
+    if tree is not None:
+        root, root_state = tree.solve_root()
+        if root.status == "iteration_limit" and root_state is None:
+            tree = None
+            root = relax(work, work.lower, work.upper)
+    else:
+        root = relax(work, work.lower, work.upper)
+    nodes_explored = 1
+    lp_iterations = root.iterations
+    warm_hits = 0
+    warm_fallbacks = 0
+    pruned_by_incumbent = 0
+
+    def finish(status: SolveStatus) -> Solution:
+        stats.update(
+            {
+                "nodes": float(nodes_explored),
+                "lp_iterations": float(lp_iterations),
+                "warm_start_hits": float(warm_hits),
+                "warm_start_fallbacks": float(warm_fallbacks),
+                "pruned_by_incumbent": float(pruned_by_incumbent),
+            }
+        )
+        if status is not SolveStatus.OPTIMAL:
+            return Solution(status, stats=stats)
+        assert incumbent_x is not None
+        x_full = (
+            reduction.restore(incumbent_x) if reduction is not None else incumbent_x
+        )
+        return Solution(
+            SolveStatus.OPTIMAL,
+            objective=incumbent_objective + work.objective_constant,
+            values=model.solution_values(x_full),
+            stats=stats,
+        )
+
+    if root.status == "infeasible":
+        # A feasible seed contradicts an infeasible relaxation only
+        # through numerics; trust the relaxation as before.
+        return finish(SolveStatus.INFEASIBLE)
+    if root.status == "unbounded":
+        return finish(SolveStatus.UNBOUNDED)
+    if root.status != "optimal":
+        return finish(SolveStatus.ERROR)
+
+    pseudo = _PseudoCosts()
+
+    # Heap of (bound, tiebreak, node)
+    heap: List[Tuple[float, int, _Node]] = []
     heapq.heappush(
-        heap, (root.objective, next(counter), arrays.lower, arrays.upper, root)
+        heap, (root.objective, next(counter), _Node(None, root, root_state))
     )
 
     while heap:
-        bound, _, lower, upper, lp = heapq.heappop(heap)
-        if bound >= incumbent_objective - gap_tolerance:
+        bound, _, node = heapq.heappop(heap)
+        if pruning_bound(bound) >= incumbent_objective - gap_tolerance:
             break  # best-first: every open node is at least this bad
+        lp = node.lp
         assert lp.x is not None
-        fractional_index = -1
-        worst_fraction = INT_TOL
-        for index in arrays.integral:
-            value = lp.x[index]
-            fraction = abs(value - round(value))
-            if fraction > worst_fraction:
-                worst_fraction = fraction
-                fractional_index = index
-        if fractional_index < 0:
+        branch_index, branch_fraction = _select_branch_variable(
+            lp.x, work.integral, branching, pseudo
+        )
+        if branch_index < 0:
             # Integral: candidate incumbent (round away LP noise).
             candidate = lp.x.copy()
-            for index in arrays.integral:
+            for index in work.integral:
                 candidate[index] = round(candidate[index])
-            objective = float(arrays.costs @ candidate)
+            objective = float(work.costs @ candidate)
             if objective < incumbent_objective - gap_tolerance:
                 incumbent_objective = objective
                 incumbent_x = candidate
             continue
         if nodes_explored >= max_nodes:
             break
-        value = lp.x[fractional_index]
+        value = lp.x[branch_index]
+        node_low, node_high = _bounds_of_variable(work, node.delta, branch_index)
+        parent_objective = lp.objective if lp.objective is not None else bound
         for direction in ("down", "up"):
-            child_lower = lower
-            child_upper = upper
             if direction == "down":
-                child_upper = upper.copy()
-                child_upper[fractional_index] = math.floor(value)
+                side, branch_bound = "upper", float(math.floor(value))
+                if branch_bound < node_low:
+                    continue
             else:
-                child_lower = lower.copy()
-                child_lower[fractional_index] = math.ceil(value)
-            if child_lower[fractional_index] > child_upper[fractional_index]:
-                continue
-            child = relax(arrays, child_lower, child_upper)
+                side, branch_bound = "lower", float(math.ceil(value))
+                if branch_bound > node_high:
+                    continue
+            child_delta = _BoundDelta(node.delta, branch_index, side, branch_bound)
+            child_state: Optional[TreeNodeState] = None
+            if tree is not None and node.state is not None:
+                child, child_state = tree.solve_child(
+                    node.state, branch_index, side, branch_bound
+                )
+                if child.status == "iteration_limit" and child_state is None:
+                    # Warm path capped out; cold-solve this node.
+                    warm_fallbacks += 1
+                    lp_iterations += child.iterations
+                    child_lower, child_upper = _materialise_bounds(work, child_delta)
+                    child = relax(work, child_lower, child_upper)
+                else:
+                    warm_hits += 1
+            else:
+                child_lower, child_upper = _materialise_bounds(work, child_delta)
+                child = relax(work, child_lower, child_upper)
             nodes_explored += 1
             lp_iterations += child.iterations
             if child.status != "optimal":
                 continue
-            if child.objective is not None and (
-                child.objective < incumbent_objective - gap_tolerance
-            ):
-                heapq.heappush(
-                    heap,
-                    (child.objective, next(counter), child_lower, child_upper, child),
-                )
+            assert child.objective is not None
+            pseudo.update(
+                branch_index,
+                direction,
+                branch_fraction,
+                child.objective - parent_objective,
+            )
+            if pruning_bound(child.objective) >= incumbent_objective - gap_tolerance:
+                pruned_by_incumbent += 1
+                continue
+            heapq.heappush(
+                heap,
+                (
+                    child.objective,
+                    next(counter),
+                    _Node(child_delta, child, child_state),
+                ),
+            )
 
-    stats = {"nodes": float(nodes_explored), "lp_iterations": float(lp_iterations)}
     if incumbent_x is None:
         if nodes_explored >= max_nodes:
-            return Solution(SolveStatus.ITERATION_LIMIT, stats=stats)
-        return Solution(SolveStatus.INFEASIBLE, stats=stats)
-    return Solution(
-        SolveStatus.OPTIMAL,
-        objective=incumbent_objective + arrays.objective_constant,
-        values=model.solution_values(incumbent_x),
-        stats=stats,
-    )
+            return finish(SolveStatus.ITERATION_LIMIT)
+        return finish(SolveStatus.INFEASIBLE)
+    return finish(SolveStatus.OPTIMAL)

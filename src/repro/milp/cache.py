@@ -8,7 +8,9 @@ too, so solving them again is pure waste.  :class:`SolveCache` memoises
 
 The cache is *correct by construction*: the key covers everything that
 can influence the solution (the full canonical model, the backend name
-and the backend options), so a hit can be returned verbatim.  Cached
+and the backend options -- minus :data:`PERFORMANCE_OPTIONS`, which
+steer the search but never the answer), so a hit can be returned
+verbatim.  Cached
 :class:`~repro.milp.model.Solution` objects are treated as immutable
 by every consumer in this repository; ``get`` hands back the stored
 object without copying.
@@ -34,6 +36,14 @@ from repro.milp.model import MILPModel, Solution
 DEFAULT_CACHE_SIZE = 256
 
 CacheKey = Tuple[str, str, str]
+
+#: Backend options that tune *how* the search runs but cannot change
+#: the optimal solution (incumbent seeds, presolve/warm-start toggles,
+#: branching and pricing rules).  Excluded from cache keys so a seeded
+#: solve and a plain solve of the same model share one entry.
+PERFORMANCE_OPTIONS = frozenset(
+    {"incumbent", "presolve", "warm_start", "branching", "pricing"}
+)
 
 
 @dataclass
@@ -70,7 +80,13 @@ class SolveCache:
         model: MILPModel, backend: str, options: Optional[Mapping[str, Any]] = None
     ) -> CacheKey:
         """The cache key: backend, canonical options, model fingerprint."""
-        rendered_options = repr(sorted((options or {}).items()))
+        rendered_options = repr(
+            sorted(
+                (name, value)
+                for name, value in (options or {}).items()
+                if name not in PERFORMANCE_OPTIONS
+            )
+        )
         return (backend, rendered_options, canonical_fingerprint(model))
 
     def get(self, key: CacheKey) -> Optional[Solution]:

@@ -1,0 +1,84 @@
+"""Lowering a :class:`~repro.milp.model.MILPModel` to dense arrays.
+
+Both the branch-and-bound search and the presolve pass work on the
+same dense representation::
+
+    min  costs . x  (+ objective_constant)
+    s.t. a_ub x <= b_ub
+         a_eq x  = b_eq
+         lower <= x <= upper
+         x_j integral  for j in integral
+
+``>=`` rows are negated into ``<=`` rows during lowering, so consumers
+only ever see the two row families above.  The arrays are lowered
+*once* per solve and shared by every node of the search tree; nodes
+describe themselves as bound deltas against these shared arrays (see
+:mod:`repro.milp.branch_and_bound`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.milp.model import MILPModel, Sense
+
+
+@dataclass
+class DenseArrays:
+    """The model lowered to dense arrays, shared by all nodes."""
+
+    costs: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integral: List[int]
+    objective_constant: float
+
+    @property
+    def n(self) -> int:
+        return self.costs.shape[0]
+
+
+def lower_model(model: MILPModel) -> DenseArrays:
+    """Densify *model* into a :class:`DenseArrays` instance."""
+    n = model.n_variables
+    costs = np.zeros(n)
+    for index, coefficient in model.objective.coefficients.items():
+        costs[index] = coefficient
+    ub_rows: List[np.ndarray] = []
+    ub_rhs: List[float] = []
+    eq_rows: List[np.ndarray] = []
+    eq_rhs: List[float] = []
+    for constraint in model.constraints:
+        row = np.zeros(n)
+        for index, coefficient in constraint.expr.coefficients.items():
+            row[index] = coefficient
+        if constraint.sense is Sense.LE:
+            ub_rows.append(row)
+            ub_rhs.append(constraint.rhs)
+        elif constraint.sense is Sense.GE:
+            ub_rows.append(-row)
+            ub_rhs.append(-constraint.rhs)
+        else:
+            eq_rows.append(row)
+            eq_rhs.append(constraint.rhs)
+    lower = np.array([v.lower for v in model.variables])
+    upper = np.array([v.upper for v in model.variables])
+    integral = [v.index for v in model.variables if v.var_type.is_integral]
+    return DenseArrays(
+        costs=costs,
+        a_ub=np.array(ub_rows) if ub_rows else np.zeros((0, n)),
+        b_ub=np.array(ub_rhs),
+        a_eq=np.array(eq_rows) if eq_rows else np.zeros((0, n)),
+        b_eq=np.array(eq_rhs),
+        lower=lower,
+        upper=upper,
+        integral=integral,
+        objective_constant=model.objective.constant,
+    )

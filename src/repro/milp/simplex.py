@@ -3,9 +3,10 @@
 This is the LP core under the "bnb" MILP backend.  It is written
 against numpy only and trades speed for transparency: a full tableau,
 two phases (artificial variables first, real objective second), and
-Bland's anti-cycling pivot rule.  Problem sizes produced by the DART
-translation are modest (one row per ground constraint, a handful of
-variables per row), so a dense tableau is entirely adequate; the
+Dantzig pricing with a Bland's-rule fallback that engages when a long
+degenerate pivot run suggests cycling.  Problem sizes produced by the
+DART translation are modest (one row per ground constraint, a handful
+of variables per row), so a dense tableau is entirely adequate; the
 scipy/HiGHS backend exists for larger sweeps and for cross-checking.
 
 The entry point :func:`solve_lp` accepts the problem in the general
@@ -38,6 +39,10 @@ COST_TOL = 1e-9
 #: Feasibility tolerance on phase-1 objective.
 FEAS_TOL = 1e-7
 
+#: Pricing rules accepted by :func:`solve_lp`.
+PRICING_DANTZIG = "dantzig"
+PRICING_BLAND = "bland"
+
 
 @dataclass
 class LPResult:
@@ -47,6 +52,12 @@ class LPResult:
     x: Optional[np.ndarray] = None
     objective: Optional[float] = None
     iterations: int = 0
+    #: Largest RHS infeasibility drift observed during pivoting that
+    #: exceeded ``FEAS_TOL`` (0.0 when the solve stayed numerically
+    #: clean).  Values within ``FEAS_TOL`` of zero are clamped as
+    #: harmless elimination noise; anything larger is surfaced here
+    #: instead of being silently masked.
+    rhs_violation: float = 0.0
 
     @property
     def is_optimal(self) -> bool:
@@ -61,20 +72,28 @@ class _Tableau:
         self.rhs = rhs  # m
         self.basis = basis  # m basis column indices
         self.iterations = 0
+        self.rhs_violation = 0.0
 
-    def pivot(self, row: int, column: int) -> None:
+    def pivot(self, row: int, column: int, clamp: bool = True) -> None:
         pivot_value = self.matrix[row, column]
         self.matrix[row] /= pivot_value
         self.rhs[row] /= pivot_value
-        for other in range(self.matrix.shape[0]):
-            if other == row:
-                continue
-            factor = self.matrix[other, column]
-            if abs(factor) > PIVOT_TOL:
-                self.matrix[other] -= factor * self.matrix[row]
-                self.rhs[other] -= factor * self.rhs[row]
-        # Clamp tiny negative RHS noise introduced by elimination.
-        np.clip(self.rhs, 0.0, None, out=self.rhs)
+        column_values = self.matrix[:, column].copy()
+        column_values[row] = 0.0
+        mask = np.abs(column_values) > PIVOT_TOL
+        if mask.any():
+            self.matrix[mask] -= np.outer(column_values[mask], self.matrix[row])
+            self.rhs[mask] -= column_values[mask] * self.rhs[row]
+        if clamp:
+            # Clamp only noise-sized negatives; a larger negative RHS is
+            # genuine infeasibility drift and must stay visible (it is
+            # surfaced through LPResult.rhs_violation).
+            noise = (self.rhs < 0.0) & (self.rhs > -FEAS_TOL)
+            if noise.any():
+                self.rhs[noise] = 0.0
+            worst = float(self.rhs.min()) if self.rhs.size else 0.0
+            if worst < -FEAS_TOL:
+                self.rhs_violation = max(self.rhs_violation, -worst)
         self.basis[row] = column
         self.iterations += 1
 
@@ -84,43 +103,87 @@ def _run_simplex(
     costs: np.ndarray,
     allowed: np.ndarray,
     max_iterations: int,
+    pricing: str = PRICING_DANTZIG,
 ) -> str:
     """Pivot until optimal / unbounded / iteration limit.
 
     *allowed* masks columns permitted to enter the basis (phase 2 bars
-    the artificial columns).  Uses Bland's rule throughout, which
-    guarantees termination in exact arithmetic.
+    the artificial columns).  Dantzig pricing (most negative reduced
+    cost) by default; a run of degenerate pivots longer than the cycle
+    threshold switches to Bland's rule, which guarantees termination in
+    exact arithmetic.  ``pricing="bland"`` uses Bland's rule throughout.
     """
     m, n = tableau.matrix.shape
+    use_bland = pricing == PRICING_BLAND
+    cycle_threshold = 50 + 2 * (m + n)
+    degenerate_run = 0
     while tableau.iterations < max_iterations:
         basis_costs = costs[tableau.basis]
         # Reduced costs r_j = c_j - cB . T[:, j] for all columns at once.
         reduced = costs - basis_costs @ tableau.matrix
-        entering = -1
-        for column in range(n):
-            if allowed[column] and reduced[column] < -COST_TOL:
-                entering = column  # Bland: smallest eligible index
-                break
-        if entering < 0:
+        eligible = allowed & (reduced < -COST_TOL)
+        if not eligible.any():
             return "optimal"
+        if use_bland:
+            entering = int(np.argmax(eligible))  # smallest eligible index
+        else:
+            entering = int(np.argmin(np.where(eligible, reduced, 0.0)))
         pivot_column = tableau.matrix[:, entering]
-        best_ratio = INF
-        leaving_row = -1
-        leaving_basis = -1
-        for row in range(m):
-            if pivot_column[row] > PIVOT_TOL:
-                ratio = tableau.rhs[row] / pivot_column[row]
-                basis_var = tableau.basis[row]
-                if ratio < best_ratio - PIVOT_TOL or (
-                    ratio < best_ratio + PIVOT_TOL
-                    and (leaving_basis < 0 or basis_var < leaving_basis)
-                ):
-                    best_ratio = ratio
-                    leaving_row = row
-                    leaving_basis = basis_var
-        if leaving_row < 0:
+        positive = pivot_column > PIVOT_TOL
+        if not positive.any():
             return "unbounded"
+        ratios = np.full(m, INF)
+        ratios[positive] = tableau.rhs[positive] / pivot_column[positive]
+        best_ratio = float(ratios.min())
+        # Break ratio ties on the smallest basis variable (the
+        # Bland-style tie-break) so degenerate ties cannot ping-pong.
+        tied = np.flatnonzero(ratios <= best_ratio + PIVOT_TOL)
+        leaving_row = int(min(tied, key=lambda r: tableau.basis[r]))
+        objective_before = float(basis_costs @ tableau.rhs)
         tableau.pivot(leaving_row, entering)
+        if not use_bland:
+            objective_after = float(costs[tableau.basis] @ tableau.rhs)
+            if objective_after >= objective_before - 1e-12:
+                degenerate_run += 1
+                if degenerate_run > cycle_threshold:
+                    use_bland = True  # probable cycling: go anti-cycling
+            else:
+                degenerate_run = 0
+    return "iteration_limit"
+
+
+def _run_dual_simplex(
+    tableau: _Tableau,
+    costs: np.ndarray,
+    allowed: np.ndarray,
+    max_iterations: int,
+) -> str:
+    """Dual simplex: restore primal feasibility from a dual-feasible basis.
+
+    Precondition: the reduced costs of *allowed* columns are (near)
+    nonnegative -- e.g. the tableau is a previously optimal basis whose
+    RHS was perturbed by a bound change.  Used by the warm-start path in
+    :mod:`repro.milp.warmstart`.  Pivots never clamp the RHS: negative
+    entries are exactly the infeasibilities being repaired.
+    """
+    n = tableau.matrix.shape[1]
+    while tableau.iterations < max_iterations:
+        leaving_row = int(np.argmin(tableau.rhs))
+        if tableau.rhs[leaving_row] >= -FEAS_TOL:
+            return "optimal"
+        row = tableau.matrix[leaving_row]
+        candidates = np.flatnonzero(allowed & (row < -PIVOT_TOL))
+        if candidates.size == 0:
+            # The row reads  (nonnegative terms) = negative  -- primal
+            # infeasible for every completion.
+            return "infeasible"
+        basis_costs = costs[tableau.basis]
+        reduced = costs - basis_costs @ tableau.matrix
+        ratios = np.maximum(reduced[candidates], 0.0) / -row[candidates]
+        best = float(ratios.min())
+        tied = candidates[ratios <= best + PIVOT_TOL]
+        entering = int(tied.min())  # Bland-style tie-break
+        tableau.pivot(leaving_row, entering, clamp=False)
     return "iteration_limit"
 
 
@@ -143,8 +206,19 @@ def solve_lp(
     lower: Optional[Sequence[float]] = None,
     upper: Optional[Sequence[float]] = None,
     max_iterations: int = 50_000,
+    pricing: str = PRICING_DANTZIG,
 ) -> LPResult:
-    """Solve the bounded-form LP described in the module docstring."""
+    """Solve the bounded-form LP described in the module docstring.
+
+    ``pricing`` selects the entering-column rule: ``"dantzig"`` (the
+    default; falls back to Bland's rule on suspected cycling) or
+    ``"bland"`` (anti-cycling throughout, the pre-overhaul behaviour).
+    """
+    if pricing not in (PRICING_DANTZIG, PRICING_BLAND):
+        raise ValueError(
+            f"unknown pricing rule {pricing!r}; choose "
+            f"{PRICING_DANTZIG!r} or {PRICING_BLAND!r}"
+        )
     c = np.asarray(costs, dtype=float)
     n_original = c.shape[0]
     a_ub = np.zeros((0, n_original)) if a_ub is None else np.asarray(a_ub, dtype=float)
@@ -290,13 +364,21 @@ def solve_lp(
         phase1_costs = np.zeros(n_total)
         phase1_costs[n_standard + n_slack:] = 1.0
         allowed = np.ones(n_total, dtype=bool)
-        status = _run_simplex(tableau, phase1_costs, allowed, max_iterations)
+        status = _run_simplex(tableau, phase1_costs, allowed, max_iterations, pricing)
         if status == "iteration_limit":
-            return LPResult(status="iteration_limit", iterations=tableau.iterations)
+            return LPResult(
+                status="iteration_limit",
+                iterations=tableau.iterations,
+                rhs_violation=tableau.rhs_violation,
+            )
         basis_costs = phase1_costs[tableau.basis]
         phase1_value = float(basis_costs @ tableau.rhs)
         if phase1_value > FEAS_TOL:
-            return LPResult(status="infeasible", iterations=tableau.iterations)
+            return LPResult(
+                status="infeasible",
+                iterations=tableau.iterations,
+                rhs_violation=tableau.rhs_violation,
+            )
         # Pivot any artificial still (degenerately) in the basis out.
         for row in range(m):
             if tableau.basis[row] >= n_standard + n_slack:
@@ -310,11 +392,19 @@ def solve_lp(
     phase2_costs[:n_standard] = std_costs
     allowed = np.ones(n_total, dtype=bool)
     allowed[n_standard + n_slack:] = False
-    status = _run_simplex(tableau, phase2_costs, allowed, max_iterations)
+    status = _run_simplex(tableau, phase2_costs, allowed, max_iterations, pricing)
     if status == "unbounded":
-        return LPResult(status="unbounded", iterations=tableau.iterations)
+        return LPResult(
+            status="unbounded",
+            iterations=tableau.iterations,
+            rhs_violation=tableau.rhs_violation,
+        )
     if status == "iteration_limit":
-        return LPResult(status="iteration_limit", iterations=tableau.iterations)
+        return LPResult(
+            status="iteration_limit",
+            iterations=tableau.iterations,
+            rhs_violation=tableau.rhs_violation,
+        )
 
     # Recover the standardised solution, then the original variables.
     std_solution = np.zeros(n_total)
@@ -330,5 +420,9 @@ def solve_lp(
             x[j] = std_solution[transform.primary] - std_solution[transform.secondary]
     objective = float(c @ x)
     return LPResult(
-        status="optimal", x=x, objective=objective, iterations=tableau.iterations
+        status="optimal",
+        x=x,
+        objective=objective,
+        iterations=tableau.iterations,
+        rhs_violation=tableau.rhs_violation,
     )

@@ -46,6 +46,9 @@ FALLBACK_BACKEND: Dict[str, str] = {
     "scipy": "bnb",
     "bnb": "scipy",
     "bnb-simplex": "scipy",
+    # The repair engine's approximate backend (not a milp backend --
+    # see repro.repair.heuristic); its fallback is the exact default.
+    "heuristic": "scipy",
 }
 
 
@@ -73,6 +76,17 @@ class SolveStats:
     n_variables: int = 0
     n_constraints: int = 0
     objective: Optional[float] = None
+    #: Presolve reductions (rows dropped + variables fixed + bounds /
+    #: coefficients tightened); 0 when presolve was off or trivial.
+    presolve_reductions: int = 0
+    #: Warm-started child LPs vs cold fallbacks (simplex-backed search).
+    warm_start_hits: int = 0
+    warm_start_fallbacks: int = 0
+    #: Whether a heuristic incumbent seeded the search, and how far the
+    #: seed's objective was from the proven optimum (None if unseeded
+    #: or the solve failed).
+    heuristic_seeded: bool = False
+    heuristic_gap: Optional[float] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -86,6 +100,11 @@ class SolveStats:
             "n_variables": self.n_variables,
             "n_constraints": self.n_constraints,
             "objective": self.objective,
+            "presolve_reductions": self.presolve_reductions,
+            "warm_start_hits": self.warm_start_hits,
+            "warm_start_fallbacks": self.warm_start_fallbacks,
+            "heuristic_seeded": self.heuristic_seeded,
+            "heuristic_gap": self.heuristic_gap,
         }
 
     def __str__(self) -> str:
@@ -94,6 +113,15 @@ class SolveStats:
             flags.append("cache-hit")
         if self.fallback:
             flags.append("fallback")
+        if self.presolve_reductions:
+            flags.append(f"presolve:{self.presolve_reductions}")
+        if self.warm_start_hits or self.warm_start_fallbacks:
+            flags.append(
+                f"warm:{self.warm_start_hits}/{self.warm_start_fallbacks}"
+            )
+        if self.heuristic_seeded:
+            gap = "?" if self.heuristic_gap is None else f"{self.heuristic_gap:g}"
+            flags.append(f"seeded(gap={gap})")
         suffix = f" [{', '.join(flags)}]" if flags else ""
         return (
             f"{self.backend}: {self.status} in {self.wall_time * 1000:.2f} ms, "
@@ -129,6 +157,15 @@ def _stats_from_solution(
     wall_time: float,
     cache_hit: bool,
 ) -> SolveStats:
+    reductions = sum(
+        int(solution.stats.get(key, 0))
+        for key in (
+            "presolve_rows_dropped",
+            "presolve_vars_fixed",
+            "presolve_bounds_tightened",
+            "presolve_coeffs_tightened",
+        )
+    )
     return SolveStats(
         backend=backend,
         status=solution.status.value,
@@ -139,6 +176,9 @@ def _stats_from_solution(
         n_variables=model.n_variables,
         n_constraints=model.n_constraints,
         objective=solution.objective,
+        presolve_reductions=reductions,
+        warm_start_hits=int(solution.stats.get("warm_start_hits", 0)),
+        warm_start_fallbacks=int(solution.stats.get("warm_start_fallbacks", 0)),
     )
 
 

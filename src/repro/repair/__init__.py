@@ -7,6 +7,9 @@
   including both the theoretical and the practical Big-M bound;
 - :mod:`repro.repair.engine` -- :class:`RepairEngine`, the public
   entry point computing card-minimal repairs;
+- :mod:`repro.repair.heuristic` -- the greedy primal repair over the
+  MILP translation: an approximate backend and the incumbent seed for
+  the branch-and-bound backends;
 - :mod:`repro.repair.batch` -- the parallel batch-repair engine
   (process pool, per-task timeout, backend fallback, LRU solve cache,
   per-solve :class:`~repro.milp.solver.SolveStats`);
@@ -43,7 +46,13 @@ from repro.repair.setminimal import (
     find_set_minimal_not_card_minimal,
     is_set_minimal,
 )
-from repro.repair.engine import RepairEngine, RepairOutcome, UnrepairableError
+from repro.repair.engine import (
+    HEURISTIC_BACKEND,
+    RepairEngine,
+    RepairOutcome,
+    UnrepairableError,
+)
+from repro.repair.heuristic import HeuristicResult, greedy_repair
 from repro.repair.batch import (
     BatchItemResult,
     BatchReport,
@@ -79,6 +88,9 @@ __all__ = [
     "theoretical_big_m",
     "practical_big_m",
     "RepairEngine",
+    "HEURISTIC_BACKEND",
+    "HeuristicResult",
+    "greedy_repair",
     "RepairObjective",
     "RepairOutcome",
     "UnrepairableError",

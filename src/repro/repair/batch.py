@@ -154,6 +154,22 @@ class BatchReport:
         """Summed per-solve wall time (CPU-side; > wall_time when parallel)."""
         return sum(s.wall_time for s in self.all_stats)
 
+    @property
+    def total_presolve_reductions(self) -> int:
+        return sum(s.presolve_reductions for s in self.all_stats)
+
+    @property
+    def total_warm_start_hits(self) -> int:
+        return sum(s.warm_start_hits for s in self.all_stats)
+
+    @property
+    def total_warm_start_fallbacks(self) -> int:
+        return sum(s.warm_start_fallbacks for s in self.all_stats)
+
+    @property
+    def n_seeded_solves(self) -> int:
+        return sum(1 for s in self.all_stats if s.heuristic_seeded)
+
     def aggregate(self) -> Dict[str, float]:
         """The flat numbers the benches tabulate."""
         return {
@@ -167,6 +183,10 @@ class BatchReport:
             "cache_misses": float(self.cache_misses),
             "nodes": float(self.total_nodes),
             "simplex_pivots": float(self.total_pivots),
+            "presolve_reductions": float(self.total_presolve_reductions),
+            "warm_start_hits": float(self.total_warm_start_hits),
+            "warm_start_fallbacks": float(self.total_warm_start_fallbacks),
+            "seeded_solves": float(self.n_seeded_solves),
             "wall_time": self.wall_time,
             "solver_seconds": self.solver_seconds,
         }

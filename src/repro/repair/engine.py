@@ -21,6 +21,7 @@ before concluding the instance is unrepairable.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -38,6 +39,7 @@ from repro.milp.cache import SolveCache
 from repro.milp.model import Solution, SolveStatus
 from repro.milp.solver import DEFAULT_BACKEND, SolveStats, solve_with_stats
 from repro.relational.database import Database
+from repro.repair.heuristic import greedy_repair
 from repro.repair.translation import (
     BigMStrategy,
     MILPTranslation,
@@ -46,6 +48,14 @@ from repro.repair.translation import (
     translate,
 )
 from repro.repair.updates import Repair, apply_repair
+
+#: The engine-level approximate backend: the greedy primal heuristic
+#: of :mod:`repro.repair.heuristic` instead of an exact MILP solve.
+#: Repairs it returns are verified but carry no minimality certificate.
+HEURISTIC_BACKEND = "heuristic"
+
+#: Exact backends whose search accepts an incumbent seed.
+_SEEDABLE_BACKENDS = frozenset({"bnb", "bnb-simplex"})
 
 
 class UnrepairableError(RuntimeError):
@@ -84,6 +94,8 @@ class RepairEngine:
         objective: RepairObjective = RepairObjective.CARDINALITY,
         weights: Optional[Mapping[Cell, float]] = None,
         solve_cache: Optional[SolveCache] = None,
+        presolve: bool = True,
+        seed_incumbent: bool = True,
     ) -> None:
         """``objective`` / ``weights`` select the minimality semantics
         (see :class:`~repro.repair.translation.RepairObjective`); the
@@ -91,10 +103,21 @@ class RepairEngine:
         lets identical grounded MILPs (re-acquired tables) skip the
         solver; every solve appends a
         :class:`~repro.milp.solver.SolveStats` record to
-        :attr:`solve_stats`."""
+        :attr:`solve_stats`.
+
+        ``backend`` additionally accepts ``"heuristic"``: the greedy
+        primal repair of :mod:`repro.repair.heuristic`, which returns a
+        verified but not necessarily card-minimal repair.  ``presolve``
+        and ``seed_incumbent`` steer the branch-and-bound backends
+        (``"bnb"`` / ``"bnb-simplex"``): the former toggles the MILP
+        presolve pass, the latter seeds the search with the heuristic's
+        repair as an initial incumbent.  Neither affects which repair
+        is optimal."""
         self.database = database
         self.constraints = list(constraints)
         self.backend = backend
+        self.presolve = presolve
+        self.seed_incumbent = seed_incumbent
         self.solve_cache = solve_cache
         self.solve_stats: List[SolveStats] = []
         self.big_m_strategy = big_m_strategy
@@ -172,12 +195,10 @@ class RepairEngine:
                 self.backend,
                 f", {len(translation.pins)} pin(s)" if translation.pins else "",
             )
-            solution, stats = solve_with_stats(
-                translation.model,
-                backend=self.backend,
-                cache=self.solve_cache,
-                **solver_options,
-            )
+            if self.backend == HEURISTIC_BACKEND:
+                solution, stats = self._solve_heuristic(translation)
+            else:
+                solution, stats = self._solve_exact(translation, solver_options)
             self.solve_stats.append(stats)
             if solution.status is SolveStatus.INFEASIBLE:
                 logger.info(
@@ -229,6 +250,70 @@ class RepairEngine:
                 escalations=escalations,
                 stats=self.solve_stats[stats_start:],
             )
+
+    def _solve_heuristic(self, translation: MILPTranslation):
+        """Run the greedy primal heuristic as the solve step.
+
+        The returned solution is stamped OPTIMAL so the shared
+        extraction/verification path accepts it; the point is verified
+        feasible by the heuristic itself (and re-verified against the
+        constraints by the caller), but its cardinality carries no
+        minimality certificate.
+        """
+        started = time.perf_counter()
+        result = greedy_repair(translation)
+        elapsed = time.perf_counter() - started
+        if result is None:
+            raise UnrepairableError(
+                "the greedy repair heuristic found no repair; the "
+                "heuristic is approximate -- retry with an exact backend "
+                "('scipy', 'bnb', 'bnb-simplex') before concluding the "
+                "instance is unrepairable"
+            )
+        solution = Solution(
+            SolveStatus.OPTIMAL,
+            objective=result.objective,
+            values=translation.model.solution_values(result.assignment),
+            stats={
+                "nodes": 0.0,
+                "lp_iterations": 0.0,
+                "heuristic_iterations": float(result.iterations),
+            },
+        )
+        stats = SolveStats(
+            backend=HEURISTIC_BACKEND,
+            status="optimal",
+            wall_time=elapsed,
+            n_variables=translation.model.n_variables,
+            n_constraints=translation.model.n_constraints,
+            objective=result.objective,
+        )
+        return solution, stats
+
+    def _solve_exact(self, translation: MILPTranslation, solver_options: Dict):
+        """One exact solve, with presolve/seeding options threaded in."""
+        options = dict(solver_options)
+        seeded_objective: Optional[float] = None
+        if self.backend in _SEEDABLE_BACKENDS:
+            options.setdefault("presolve", self.presolve)
+            if self.seed_incumbent and "incumbent" not in options:
+                seed = greedy_repair(translation)
+                if seed is not None:
+                    options["incumbent"] = seed.assignment
+                    seeded_objective = seed.objective
+        solution, stats = solve_with_stats(
+            translation.model,
+            backend=self.backend,
+            cache=self.solve_cache,
+            **options,
+        )
+        if seeded_objective is not None:
+            stats.heuristic_seeded = True
+            if solution.objective is not None:
+                stats.heuristic_gap = max(
+                    0.0, seeded_objective - solution.objective
+                )
+        return solution, stats
 
     # ------------------------------------------------------------------
     # Application / verification

@@ -11,16 +11,27 @@ class TestSearchBehaviour:
         model = MILPModel("lp")
         x = model.add_variable("x", VarType.REAL, lower=0, upper=4)
         model.set_objective(-x)
-        solution = solve_branch_and_bound(model)
+        # presolve=False so the node counter reflects the actual search.
+        solution = solve_branch_and_bound(model, presolve=False)
         assert solution.status is SolveStatus.OPTIMAL
         assert solution.stats["nodes"] == 1.0
+
+    def test_presolve_skips_trivial_search(self):
+        model = MILPModel("lp")
+        x = model.add_variable("x", VarType.REAL, lower=0, upper=4)
+        model.set_objective(-x)
+        solution = solve_branch_and_bound(model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-4.0)
+        assert solution.stats["presolve_solved"] == 1.0
+        assert solution.stats["nodes"] == 0.0
 
     def test_branching_explores_children(self):
         model = MILPModel("branch")
         x = model.add_variable("x", VarType.INTEGER, lower=0, upper=10)
         model.add_constraint(2 * x <= 5)
         model.set_objective(-x)
-        solution = solve_branch_and_bound(model)
+        solution = solve_branch_and_bound(model, presolve=False)
         assert solution.status is SolveStatus.OPTIMAL
         assert solution.stats["nodes"] > 1.0
 

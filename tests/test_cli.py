@@ -86,6 +86,27 @@ class TestRepair:
         assert solution.status is SolveStatus.OPTIMAL
         assert solution.objective == pytest.approx(1.0)
 
+    def test_heuristic_backend(self, project, capsys):
+        assert main(
+            ["repair", str(project), "--backend", "heuristic", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "250 -> 220" in out
+        assert "heuristic: optimal" in out
+
+    def test_no_presolve_escape_hatch(self, project, capsys):
+        assert main(
+            ["repair", str(project), "--backend", "bnb", "--no-presolve"]
+        ) == 0
+        assert "250 -> 220" in capsys.readouterr().out
+
+    def test_stats_show_new_counters(self, project, capsys):
+        assert main(
+            ["repair", str(project), "--backend", "bnb-simplex", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seeded(gap=" in out
+
 
 class TestAnswers:
     def test_consistent_answer(self, project, capsys):

@@ -1,0 +1,132 @@
+"""Tests for the warm-started node LPs of the branch-and-bound tree.
+
+The warm-start tableau must be an *invisible* optimisation: every
+child LP it solves from the parent basis has to agree exactly (status
+and objective) with a cold :func:`repro.milp.simplex.solve_lp` call on
+the same bounds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.milp.branch_and_bound import solve_branch_and_bound
+from repro.milp.lowering import DenseArrays, lower_model
+from repro.milp.model import SolveStatus
+from repro.milp.simplex import solve_lp
+from repro.milp.warmstart import WarmStartTree, WarmStartUnavailable
+
+from tests._seeds import derived_seeds, describe_seed
+from tests.test_differential_backends import random_grounded_milp
+
+SEEDS = derived_seeds(20)
+
+
+def _cold(arrays: DenseArrays, lower, upper):
+    return solve_lp(
+        arrays.costs,
+        a_ub=arrays.a_ub,
+        b_ub=arrays.b_ub,
+        a_eq=arrays.a_eq,
+        b_eq=arrays.b_eq,
+        lower=lower,
+        upper=upper,
+    )
+
+
+class TestWarmStartAgreement:
+    @pytest.mark.parametrize("seed", SEEDS, ids=[f"seed{s}" for s in SEEDS])
+    def test_root_matches_cold_solve(self, seed):
+        arrays = lower_model(random_grounded_milp(seed))
+        tree = WarmStartTree(arrays)
+        warm, state = tree.solve_root()
+        cold = _cold(arrays, arrays.lower, arrays.upper)
+        assert warm.status == cold.status, describe_seed(seed)
+        if cold.status == "optimal":
+            assert state is not None
+            assert warm.objective == pytest.approx(
+                cold.objective, abs=1e-6
+            ), describe_seed(seed)
+
+    @pytest.mark.parametrize("seed", SEEDS, ids=[f"seed{s}" for s in SEEDS])
+    def test_children_match_cold_solves(self, seed):
+        """Random single-bound branchings from the root agree with cold."""
+        arrays = lower_model(random_grounded_milp(seed))
+        tree = WarmStartTree(arrays)
+        root, state = tree.solve_root()
+        if state is None:
+            return
+        rng = random.Random(seed)
+        for _ in range(8):
+            index = rng.choice(arrays.integral)
+            value = root.x[index]
+            if rng.random() < 0.5:
+                side = "upper"
+                bound = float(math.floor(value))
+                if bound < arrays.lower[index]:
+                    continue
+                lower, upper = arrays.lower.copy(), arrays.upper.copy()
+                upper[index] = bound
+            else:
+                side = "lower"
+                bound = float(math.ceil(value))
+                if bound > arrays.upper[index]:
+                    continue
+                lower, upper = arrays.lower.copy(), arrays.upper.copy()
+                lower[index] = bound
+            warm, child_state = tree.solve_child(state, index, side, bound)
+            cold = _cold(arrays, lower, upper)
+            assert warm.status == cold.status, describe_seed(seed)
+            if cold.status == "optimal":
+                assert child_state is not None
+                assert warm.objective == pytest.approx(
+                    cold.objective, abs=1e-6
+                ), describe_seed(seed)
+
+    def test_unbounded_variables_rejected(self):
+        arrays = DenseArrays(
+            costs=np.array([1.0]),
+            a_ub=np.zeros((0, 1)),
+            b_ub=np.array([]),
+            a_eq=np.zeros((0, 1)),
+            b_eq=np.array([]),
+            lower=np.array([0.0]),
+            upper=np.array([np.inf]),
+            integral=[0],
+            objective_constant=0.0,
+        )
+        with pytest.raises(WarmStartUnavailable):
+            WarmStartTree(arrays)
+
+
+class TestWarmStartInTheSearch:
+    @pytest.mark.parametrize("seed", SEEDS[:10], ids=[f"seed{s}" for s in SEEDS[:10]])
+    def test_warm_and_cold_searches_agree(self, seed):
+        model = random_grounded_milp(seed)
+        warm = solve_branch_and_bound(
+            model, lp_backend="simplex", warm_start=True, presolve=False
+        )
+        cold = solve_branch_and_bound(
+            model, lp_backend="simplex", warm_start=False, presolve=False
+        )
+        assert warm.status is cold.status, describe_seed(seed)
+        if cold.status is SolveStatus.OPTIMAL:
+            assert warm.objective == pytest.approx(
+                cold.objective, abs=1e-6
+            ), describe_seed(seed)
+
+    def test_warm_start_hits_are_counted(self):
+        # A model that needs branching so child solves actually happen.
+        for seed in SEEDS:
+            model = random_grounded_milp(seed)
+            solution = solve_branch_and_bound(
+                model, lp_backend="simplex", warm_start=True, presolve=False
+            )
+            if solution.stats.get("nodes", 0) > 1:
+                assert solution.stats["warm_start_hits"] > 0
+                return
+        pytest.skip("no seed produced a branching search")
