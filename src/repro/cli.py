@@ -17,10 +17,12 @@ Commands:
   optionally write the repaired instance with ``--output``;
 - ``batch <dir> [<dir> ...]`` -- repair many project directories as
   one batch: ``--workers`` fans them out over a process pool,
-  ``--timeout`` bounds each solve (with automatic fallback to the
-  alternate MILP backend), ``--cache`` sizes the LRU solve cache, and
-  the run ends with the batch report (solves, cache hits, nodes,
-  pivots, wall time);
+  ``--timeout`` budgets each solve (anytime: an expired budget yields
+  an approximate repair with a certified gap, else a fallback to the
+  alternate MILP backend), ``--cache`` sizes the LRU solve cache,
+  ``--checkpoint`` journals completed tasks so an interrupted run
+  resumes instead of restarting, and the run ends with the batch
+  report (solves, cache hits, nodes, pivots, wall time);
 - ``answers <dir> --function f --args a,b`` -- consistent query
   answering: the glb/lub of an aggregation function over all
   card-minimal repairs;
@@ -37,6 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.constraints.parser import parse_constraints
+from repro.diagnostics import SolveTimeoutError
 from repro.milp.cache import DEFAULT_CACHE_SIZE
 from repro.milp.solver import DEFAULT_BACKEND, available_backends
 from repro.relational.csvio import dump_database, load_database
@@ -103,11 +106,16 @@ def cmd_repair(args: argparse.Namespace) -> int:
         print("already consistent; nothing to repair")
         return 0
     try:
-        outcome = engine.find_card_minimal_repair()
+        outcome = engine.find_card_minimal_repair(time_limit=args.time_limit)
+    except SolveTimeoutError as exc:
+        raise CliError(f"time limit expired with no feasible repair: {exc}")
     except UnrepairableError as exc:
         raise CliError(f"unrepairable: {exc}")
     print(f"{len(engine.violations())} violation(s); "
           f"suggested repair changes {outcome.cardinality} value(s):")
+    if outcome.approximate:
+        print(f"  (anytime result: budget expired; objective is within "
+              f"{outcome.gap:g} of the exact optimum)")
     ordered = involvement_order(engine.ground_system, outcome.repair.updates)
     for update in ordered:
         print(f"  {update}")
@@ -149,13 +157,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         cache_size=args.cache,
         backend=args.backend,
+        checkpoint=args.checkpoint,
+        resume=not args.no_resume,
+        max_task_retries=args.max_task_retries,
     )
     for result in report.results:
         line = f"{result.name}: {result.status}"
         if result.status == "repaired":
             line += f" ({result.cardinality} value(s) changed)"
+        if result.approximate:
+            line += f" [anytime: within {result.gap:g} of optimal]"
         if result.fallback_taken:
             line += f" [fell back to {result.backend_used}]"
+        if result.resumed:
+            line += " [resumed from checkpoint]"
         if result.error and not result.ok:
             line += f" -- {result.error}"
         print(line)
@@ -294,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-solve statistics (wall time, nodes, pivots, "
              "presolve reductions, warm-start hits, heuristic seeding)",
     )
+    p_repair.add_argument(
+        "--time-limit", type=float, default=None,
+        help="wall-clock solve budget in seconds; on expiry the best "
+             "incumbent is returned as an approximate repair with a "
+             "certified optimality gap (anytime solving)",
+    )
     p_repair.set_defaults(func=cmd_repair)
 
     p_batch = subparsers.add_parser(
@@ -334,6 +355,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir",
         help="directory to write each repaired instance into "
              "(one subdirectory per project)",
+    )
+    p_batch.add_argument(
+        "--checkpoint",
+        help="journal completed tasks to this file (append + fsync); "
+             "re-running against an existing journal resumes where the "
+             "interrupted run stopped",
+    )
+    p_batch.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore an existing checkpoint journal and start over "
+             "(the journal is truncated)",
+    )
+    p_batch.add_argument(
+        "--max-task-retries", type=int, default=2,
+        help="crash retries per task before it is quarantined "
+             "(default: %(default)s)",
     )
     p_batch.set_defaults(func=cmd_batch)
 

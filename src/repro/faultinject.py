@@ -1,0 +1,200 @@
+"""Seeded chaos layer for exercising the fault-tolerant batch pipeline.
+
+Real deployments of a repair shop see three families of trouble that
+unit tests rarely reproduce: corrupt numeric cells arriving from the
+acquisition stage (NaN from a failed OCR parse, ``inf`` from a
+division during normalisation, absurd magnitudes from a shifted
+decimal point), worker processes dying under them (OOM killer,
+segfaulting native code), and workers simply hanging.  This module
+injects all three *deterministically* so the chaos test suite is
+reproducible byte-for-byte from a seed.
+
+Every injection decision is a pure function of
+``(seed, event, task index, attempt)`` through SHA-256 -- no global
+RNG, no ordering sensitivity, and crucially **attempt-dependent**: a
+task killed on attempt 0 may survive attempt 1, which is exactly the
+transient-crash shape the retry machinery exists for.  Setting a rate
+to ``1.0`` makes the fault permanent, which is how the quarantine
+path is driven.
+
+Two deployment modes, mirroring :func:`repro.repair.batch.repair_batch`:
+
+- **pool mode** (``in_pool=True``): a "kill" is a real
+  ``SIGKILL`` to the worker's own pid -- the parent observes a genuine
+  ``BrokenProcessPool``, not a simulation; a "hang" is a plain
+  ``time.sleep`` for the watchdog to catch.
+- **sequential mode** (``in_pool=False``): there is no process to
+  kill, so a "kill" raises
+  :class:`~repro.diagnostics.WorkerCrashError` for the in-process
+  retry loop, and a "hang" sleeps cooperatively.
+
+Input corruption is separate from worker chaos: callers build a
+corrupted corpus up front with :func:`corrupt_database` /
+:func:`corrupt_tasks` so the *same* corrupted inputs flow through both
+an interrupted and an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.diagnostics import OVERFLOW_LIMIT, WorkerCrashError
+from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """What to break, how often, keyed off one seed.
+
+    Rates are probabilities in ``[0, 1]`` evaluated independently per
+    ``(event, index, attempt)``; ``0.0`` disables an injection point
+    and ``1.0`` makes it fire every time.
+    """
+
+    seed: int = 0
+    #: Corrupt a measure cell to NaN with this per-cell probability.
+    nan_rate: float = 0.0
+    #: Corrupt a measure cell to +inf with this per-cell probability.
+    inf_rate: float = 0.0
+    #: Corrupt a measure cell to an overflow magnitude.
+    overflow_rate: float = 0.0
+    #: SIGKILL the worker (pool) / raise WorkerCrashError (sequential)
+    #: at task start.
+    kill_rate: float = 0.0
+    #: Hang the worker at task start for ``hang_seconds``.
+    hang_rate: float = 0.0
+    hang_seconds: float = 30.0
+    #: Optional scoping: when set, kill/hang only fire for these task
+    #: indices / dispatch attempts.  ``kill_rate=1.0,
+    #: kill_tasks={3}, kill_attempts={0}`` kills exactly one dispatch
+    #: -- the surgical strike the recovery tests are built on.
+    kill_tasks: Optional[frozenset] = None
+    kill_attempts: Optional[frozenset] = None
+    hang_tasks: Optional[frozenset] = None
+    hang_attempts: Optional[frozenset] = None
+
+    def chance(self, event: str, index: int, attempt: int = 0) -> float:
+        """The deterministic uniform draw for one injection decision."""
+        payload = f"{self.seed}:{event}:{index}:{attempt}".encode("utf-8")
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def should(self, event: str, rate: float, index: int, attempt: int = 0) -> bool:
+        return rate > 0.0 and self.chance(event, index, attempt) < rate
+
+
+def chaos_before_task(
+    config: Optional[FaultConfig],
+    index: int,
+    attempt: int,
+    *,
+    in_pool: bool,
+) -> None:
+    """Run the worker-chaos injection points for one task dispatch.
+
+    Called at the top of each task execution, before any solver work.
+    Kill is checked before hang so a ``kill_rate=1.0`` configuration
+    never burns wall time sleeping first.
+    """
+    if config is None:
+        return
+    if (
+        (config.kill_tasks is None or index in config.kill_tasks)
+        and (config.kill_attempts is None or attempt in config.kill_attempts)
+        and config.should("kill", config.kill_rate, index, attempt)
+    ):
+        if in_pool:
+            # A real, unhandleable death: the parent must recover via
+            # BrokenProcessPool + sentinel files, exactly as it would
+            # from the OOM killer.
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise WorkerCrashError(
+            f"injected worker crash (task {index}, attempt {attempt})",
+            index=index,
+            attempt=attempt,
+        )
+    if (
+        (config.hang_tasks is None or index in config.hang_tasks)
+        and (config.hang_attempts is None or attempt in config.hang_attempts)
+        and config.should("hang", config.hang_rate, index, attempt)
+    ):
+        time.sleep(config.hang_seconds)
+
+
+def _poison_cell(
+    database: Database, relation: str, tuple_id: int, attribute: str, value: float
+) -> None:
+    """Plant *value* in a cell, bypassing domain coercion.
+
+    ``Database.set_value`` coerces through the schema's domains, which
+    (correctly) reject NaN/inf -- but real corruption does not ask the
+    schema for permission: a buggy normaliser or a raw in-memory
+    overwrite hands the repair stage a non-number that never crossed
+    the validated ingestion path.  This helper reproduces that shape,
+    which is precisely what the acquisition -> repair boundary check
+    (:func:`repro.diagnostics.ensure_finite_cell`) exists to catch.
+    """
+    from repro.relational.tuples import Tuple
+
+    store = database.relation(relation)
+    old = store.get(tuple_id)
+    position = old.schema.position_of(attribute)
+    values = list(old.values)
+    values[position] = value
+    poisoned = object.__new__(Tuple)
+    object.__setattr__(poisoned, "schema", old.schema)
+    object.__setattr__(poisoned, "values", tuple(values))
+    object.__setattr__(poisoned, "tuple_id", tuple_id)
+    store.replace(tuple_id, poisoned)
+
+
+def corrupt_database(database: Database, config: FaultConfig, index: int = 0) -> Database:
+    """A copy of *database* with seeded NaN/inf/overflow cells.
+
+    Each measure cell independently draws one corruption event; NaN
+    wins over inf wins over overflow when several rates are set.  The
+    cell ordering comes from ``database.measure_cells()`` so the same
+    ``(seed, index)`` always corrupts the same cells.
+
+    Note: poisoned tuples deliberately bypass domain validation (see
+    :func:`_poison_cell`) and therefore cannot survive pickling (the
+    rebuild re-coerces); corrupt the corpus *before* batching and run
+    corruption scenarios sequentially, or the pool transport itself
+    rejects them first.
+    """
+    corrupted = database.copy()
+    for cell_position, cell in enumerate(corrupted.measure_cells()):
+        relation, tuple_id, attribute = cell
+        key = index * 1_000_003 + cell_position
+        if config.should("nan", config.nan_rate, key):
+            _poison_cell(corrupted, relation, tuple_id, attribute, float("nan"))
+        elif config.should("inf", config.inf_rate, key):
+            _poison_cell(corrupted, relation, tuple_id, attribute, float("inf"))
+        elif config.should("overflow", config.overflow_rate, key):
+            _poison_cell(
+                corrupted, relation, tuple_id, attribute, OVERFLOW_LIMIT * 10.0
+            )
+    return corrupted
+
+
+def corrupt_tasks(tasks: Sequence["RepairTask"], config: FaultConfig) -> List["RepairTask"]:  # noqa: F821
+    """Corrupted copies of batch tasks (task ``i`` uses stream ``i``)."""
+    from repro.repair.batch import RepairTask
+
+    return [
+        RepairTask(
+            database=corrupt_database(task.database, config, index),
+            constraints=task.constraints,
+            name=task.name,
+            backend=task.backend,
+            objective=task.objective,
+            weights=task.weights,
+            pins=task.pins,
+        )
+        for index, task in enumerate(tasks)
+    ]

@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.milp.deadline import Deadline
 from repro.milp.lowering import DenseArrays, lower_model
 from repro.milp.model import MILPModel, Solution, SolveStatus
 from repro.milp.presolve import PresolveResult, presolve_arrays
@@ -250,8 +251,22 @@ def solve_branch_and_bound(
     branching: str = "pseudocost",
     pricing: str = PRICING_DANTZIG,
     incumbent: Optional[Sequence[float]] = None,
+    time_limit: Optional[float] = None,
 ) -> Solution:
     """Solve *model* to optimality by branch-and-bound.
+
+    **Anytime semantics**: ``time_limit`` (wall-clock seconds, checked
+    once per node against a monotonic deadline) and ``max_nodes`` bound
+    the search.  When either budget expires while open nodes remain,
+    the best incumbent is returned with status
+    :attr:`~repro.milp.model.SolveStatus.FEASIBLE_GAP` and a certified
+    optimality gap in ``stats`` (``gap_absolute`` = incumbent objective
+    minus the best open node bound, which lower-bounds every
+    still-reachable solution because the search is best-first;
+    ``gap_relative`` and ``best_bound`` accompany it).  Only when the
+    budget expires with *no* incumbent does the solve report
+    ``ITERATION_LIMIT`` -- with ``stats["deadline_expired"]`` set when
+    the wall clock (rather than the node budget) ran out.
 
     Performance options (none of them changes the optimal objective):
 
@@ -293,6 +308,7 @@ def solve_branch_and_bound(
     else:
         relax = _LP_BACKENDS[lp_backend]
 
+    deadline = Deadline(time_limit)
     arrays = lower_model(model)
     stats: Dict[str, float] = {}
 
@@ -328,6 +344,7 @@ def solve_branch_and_bound(
                 branching=branching,
                 pricing=pricing,
                 incumbent=incumbent,
+                time_limit=deadline.remaining(),
             )
         work = reduction.arrays
 
@@ -381,6 +398,8 @@ def solve_branch_and_bound(
     warm_hits = 0
     warm_fallbacks = 0
     pruned_by_incumbent = 0
+    #: Best open node bound at an early (budget) exit; None = proven.
+    interrupted_bound: Optional[float] = None
 
     def finish(status: SolveStatus) -> Solution:
         stats.update(
@@ -392,14 +411,27 @@ def solve_branch_and_bound(
                 "pruned_by_incumbent": float(pruned_by_incumbent),
             }
         )
-        if status is not SolveStatus.OPTIMAL:
+        if deadline.expired:
+            stats["deadline_expired"] = 1.0
+        if status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE_GAP):
             return Solution(status, stats=stats)
         assert incumbent_x is not None
+        if status is SolveStatus.FEASIBLE_GAP:
+            assert interrupted_bound is not None
+            bound = min(interrupted_bound, incumbent_objective)
+            gap = max(0.0, incumbent_objective - bound)
+            scale = max(1.0, abs(incumbent_objective))
+            stats["gap_absolute"] = gap
+            stats["gap_relative"] = gap / scale
+            stats["best_bound"] = bound + work.objective_constant
+        else:
+            stats["gap_absolute"] = 0.0
+            stats["gap_relative"] = 0.0
         x_full = (
             reduction.restore(incumbent_x) if reduction is not None else incumbent_x
         )
         return Solution(
-            SolveStatus.OPTIMAL,
+            status,
             objective=incumbent_objective + work.objective_constant,
             values=model.solution_values(x_full),
             stats=stats,
@@ -426,6 +458,11 @@ def solve_branch_and_bound(
         bound, _, node = heapq.heappop(heap)
         if pruning_bound(bound) >= incumbent_objective - gap_tolerance:
             break  # best-first: every open node is at least this bad
+        if deadline.expired:
+            # Anytime exit: best-first order makes this node's bound a
+            # valid lower bound on every open solution.
+            interrupted_bound = bound
+            break
         lp = node.lp
         assert lp.x is not None
         branch_index, branch_fraction = _select_branch_variable(
@@ -442,6 +479,7 @@ def solve_branch_and_bound(
                 incumbent_x = candidate
             continue
         if nodes_explored >= max_nodes:
+            interrupted_bound = bound
             break
         value = lp.x[branch_index]
         node_low, node_high = _bounds_of_variable(work, node.delta, branch_index)
@@ -496,7 +534,9 @@ def solve_branch_and_bound(
             )
 
     if incumbent_x is None:
-        if nodes_explored >= max_nodes:
+        if interrupted_bound is not None or nodes_explored >= max_nodes:
             return finish(SolveStatus.ITERATION_LIMIT)
         return finish(SolveStatus.INFEASIBLE)
+    if interrupted_bound is not None:
+        return finish(SolveStatus.FEASIBLE_GAP)
     return finish(SolveStatus.OPTIMAL)

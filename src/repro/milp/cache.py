@@ -41,8 +41,12 @@ CacheKey = Tuple[str, str, str]
 #: the optimal solution (incumbent seeds, presolve/warm-start toggles,
 #: branching and pricing rules).  Excluded from cache keys so a seeded
 #: solve and a plain solve of the same model share one entry.
+#: ``time_limit`` joins them because only wall-clock-independent
+#: verdicts (optimal / infeasible / unbounded) are ever stored -- see
+#: ``repro.milp.solver.solve_with_stats`` -- and those verdicts hold
+#: under every budget.
 PERFORMANCE_OPTIONS = frozenset(
-    {"incumbent", "presolve", "warm_start", "branching", "pricing"}
+    {"incumbent", "presolve", "warm_start", "branching", "pricing", "time_limit"}
 )
 
 

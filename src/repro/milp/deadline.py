@@ -1,0 +1,65 @@
+"""A portable monotonic-clock deadline for cooperative budget checks.
+
+The batch engine used to interrupt stuck solves with a ``SIGALRM``
+itimer.  That mechanism only works on POSIX, only on the main thread
+of a process, and silently disarms any outer alarm when nested -- three
+ways to lose the deadline exactly when it matters.  :class:`Deadline`
+replaces it with a value checked *inside* the solver loops
+(branch-and-bound pops, simplex-backed relaxations, the greedy
+heuristic's improvement rounds): portable, nestable, and thread-safe
+by construction because it is just arithmetic on ``time.monotonic()``.
+
+The trade-off is cooperativeness: code that never checks cannot be
+interrupted.  Every repository solve path checks at least once per
+node/iteration; for genuinely wedged *worker processes* the batch
+orchestrator adds a hard watchdog on top (see
+:mod:`repro.repair.batch`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.diagnostics import SolveTimeoutError
+
+
+class Deadline:
+    """A wall-clock budget anchored to ``time.monotonic()``.
+
+    ``Deadline(None)`` (or a non-positive budget) never expires, so
+    callers can thread one object through unconditionally.  Deadlines
+    nest trivially: derive a child with :meth:`remaining` and the
+    tighter budget wins.
+    """
+
+    __slots__ = ("budget", "_expires_at")
+
+    def __init__(self, budget: Optional[float]) -> None:
+        self.budget = budget if budget and budget > 0 else None
+        self._expires_at = (
+            time.monotonic() + self.budget if self.budget is not None else None
+        )
+
+    @property
+    def expired(self) -> bool:
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, clamped at 0; ``None`` for the unbounded deadline."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def check(self, what: str = "solve") -> None:
+        """Raise :class:`~repro.diagnostics.SolveTimeoutError` if expired."""
+        if self.expired:
+            raise SolveTimeoutError(
+                f"{what} exceeded its {self.budget:g}s budget",
+                budget=self.budget,
+            )
+
+    def __repr__(self) -> str:
+        if self._expires_at is None:
+            return "Deadline(unbounded)"
+        return f"Deadline(budget={self.budget:g}s, remaining={self.remaining():.3f}s)"

@@ -240,6 +240,9 @@ class SolveStatus(enum.Enum):
     """Outcome of a solve call."""
 
     OPTIMAL = "optimal"
+    #: Anytime result: a feasible incumbent returned on budget expiry,
+    #: certified to be within ``stats["gap_absolute"]`` of the optimum.
+    FEASIBLE_GAP = "feasible_gap"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
@@ -259,6 +262,33 @@ class Solution:
     @property
     def is_optimal(self) -> bool:
         return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def is_usable(self) -> bool:
+        """Does the solution carry a feasible point a caller can act on?
+
+        True for proven optima and for anytime (``feasible_gap``)
+        incumbents -- the statuses whose ``values`` are a certified
+        feasible assignment.
+        """
+        return (
+            self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE_GAP)
+            and self.values is not None
+        )
+
+    @property
+    def gap(self) -> Optional[float]:
+        """The certified absolute optimality gap, when reported.
+
+        0.0 for proven optima; ``stats["gap_absolute"]`` for anytime
+        incumbents; ``None`` when the solve produced no usable point.
+        """
+        if self.status is SolveStatus.OPTIMAL:
+            return float(self.stats.get("gap_absolute", 0.0))
+        if self.status is SolveStatus.FEASIBLE_GAP:
+            gap = self.stats.get("gap_absolute")
+            return None if gap is None else float(gap)
+        return None
 
     def __getitem__(self, variable_name: str) -> float:
         if self.values is None:

@@ -90,5 +90,32 @@ def solve_scipy(model: MILPModel, *, time_limit: float = 300.0) -> Solution:
     if result.status == 3:
         return Solution(SolveStatus.UNBOUNDED, stats=stats)
     if result.status == 1:
+        # Time/iteration limit.  When HiGHS hands back an incumbent it
+        # is a feasible point with a certified dual bound: return the
+        # anytime (feasible_gap) solution rather than a bare failure.
+        if result.x is not None:
+            x = np.asarray(result.x, dtype=float)
+            for variable in model.variables:
+                if variable.var_type.is_integral:
+                    x[variable.index] = round(x[variable.index])
+            if model.check_feasible(x):
+                objective = float(costs @ x) + model.objective.constant
+                dual_bound = getattr(result, "mip_dual_bound", None)
+                if dual_bound is not None and np.isfinite(dual_bound):
+                    bound = float(dual_bound) + model.objective.constant
+                else:
+                    bound = -np.inf
+                gap = max(0.0, objective - bound)
+                stats["gap_absolute"] = gap
+                stats["gap_relative"] = gap / max(1.0, abs(objective))
+                stats["best_bound"] = bound
+                stats["deadline_expired"] = 1.0
+                return Solution(
+                    SolveStatus.FEASIBLE_GAP,
+                    objective=objective,
+                    values=model.solution_values(x),
+                    stats=stats,
+                )
+        stats["deadline_expired"] = 1.0
         return Solution(SolveStatus.ITERATION_LIMIT, stats=stats)
     return Solution(SolveStatus.ERROR, stats=stats)

@@ -26,8 +26,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.milp.branch_and_bound import solve_branch_and_bound
 from repro.milp.cache import SolveCache
-from repro.milp.model import MILPModel, Solution
+from repro.milp.model import MILPModel, Solution, SolveStatus
 from repro.milp.scipy_backend import solve_scipy
+
+#: Statuses that are wall-clock-independent verdicts about the model
+#: itself and therefore safe to memoise.  Anytime (``feasible_gap``)
+#: and budget-expired results depend on how much time the *first*
+#: caller happened to have -- caching them would hand a possibly worse
+#: incumbent to a later caller with a bigger budget.
+_CACHEABLE_STATUSES = frozenset(
+    {SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED}
+)
 
 _BACKENDS: Dict[str, Callable[..., Solution]] = {
     "scipy": lambda model, **kw: solve_scipy(model, **kw),
@@ -87,6 +96,12 @@ class SolveStats:
     #: or the solve failed).
     heuristic_seeded: bool = False
     heuristic_gap: Optional[float] = None
+    #: Anytime solving: the certified absolute optimality gap (0.0 for
+    #: proven optima, > 0 for budget-expired ``feasible_gap`` solves,
+    #: None when the solve produced no usable incumbent) and the best
+    #: dual bound backing the certificate.
+    gap: Optional[float] = None
+    best_bound: Optional[float] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -105,6 +120,8 @@ class SolveStats:
             "warm_start_fallbacks": self.warm_start_fallbacks,
             "heuristic_seeded": self.heuristic_seeded,
             "heuristic_gap": self.heuristic_gap,
+            "gap": self.gap,
+            "best_bound": self.best_bound,
         }
 
     def __str__(self) -> str:
@@ -122,6 +139,9 @@ class SolveStats:
         if self.heuristic_seeded:
             gap = "?" if self.heuristic_gap is None else f"{self.heuristic_gap:g}"
             flags.append(f"seeded(gap={gap})")
+        if self.status == "feasible_gap":
+            certified = "?" if self.gap is None else f"{self.gap:g}"
+            flags.append(f"anytime(gap={certified})")
         suffix = f" [{', '.join(flags)}]" if flags else ""
         return (
             f"{self.backend}: {self.status} in {self.wall_time * 1000:.2f} ms, "
@@ -166,6 +186,7 @@ def _stats_from_solution(
             "presolve_coeffs_tightened",
         )
     )
+    best_bound = solution.stats.get("best_bound")
     return SolveStats(
         backend=backend,
         status=solution.status.value,
@@ -179,6 +200,8 @@ def _stats_from_solution(
         presolve_reductions=reductions,
         warm_start_hits=int(solution.stats.get("warm_start_hits", 0)),
         warm_start_fallbacks=int(solution.stats.get("warm_start_fallbacks", 0)),
+        gap=solution.gap,
+        best_bound=None if best_bound is None else float(best_bound),
     )
 
 
@@ -204,7 +227,8 @@ def solve_with_stats(
                 model, backend, hit, time.perf_counter() - started, True
             )
         solution = solve(model, backend=backend, **options)
-        cache.put(key, solution)
+        if solution.status in _CACHEABLE_STATUSES:
+            cache.put(key, solution)
     else:
         solution = solve(model, backend=backend, **options)
     return solution, _stats_from_solution(

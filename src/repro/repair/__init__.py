@@ -10,9 +10,13 @@
 - :mod:`repro.repair.heuristic` -- the greedy primal repair over the
   MILP translation: an approximate backend and the incumbent seed for
   the branch-and-bound backends;
-- :mod:`repro.repair.batch` -- the parallel batch-repair engine
-  (process pool, per-task timeout, backend fallback, LRU solve cache,
-  per-solve :class:`~repro.milp.solver.SolveStats`);
+- :mod:`repro.repair.batch` -- the fault-tolerant parallel
+  batch-repair engine (process pool, per-task solve budgets with
+  anytime gaps, backend fallback, checkpoint/resume, crash recovery
+  with quarantine, LRU solve cache, per-solve
+  :class:`~repro.milp.solver.SolveStats`);
+- :mod:`repro.repair.checkpoint` -- the append-only fsync'd journal
+  behind batch checkpoint/resume;
 - :mod:`repro.repair.bruteforce` -- an exponential oracle used to
   validate optimality on small instances;
 - :mod:`repro.repair.interactive` -- the supervised validation loop of
@@ -62,6 +66,11 @@ from repro.repair.batch import (
     repair_batch,
     tasks_from_databases,
 )
+from repro.repair.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    task_fingerprint,
+)
 from repro.repair.bruteforce import brute_force_card_minimal
 from repro.repair.interactive import (
     FallibleOperator,
@@ -101,6 +110,9 @@ __all__ = [
     "repair_batch",
     "execute_task",
     "tasks_from_databases",
+    "CheckpointError",
+    "CheckpointJournal",
+    "task_fingerprint",
     "ConsistentAnswer",
     "consistent_aggregate_answer",
     "enumerate_card_minimal_repairs",

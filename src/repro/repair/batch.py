@@ -1,4 +1,4 @@
-"""Parallel batch repair: many documents, many cores, one report.
+"""Fault-tolerant parallel batch repair: many documents, many cores, one report.
 
 DART's operational setting is a data-entry shop repairing whole
 batches of acquired documents.  Each document's card-minimal repair is
@@ -6,7 +6,8 @@ one MILP -- independent of every other document's -- so the corpus is
 embarrassingly parallel (HoloClean exploits the same structure by
 partitioning repair into independent subproblems).  This module fans a
 list of :class:`RepairTask` out over a
-``concurrent.futures.ProcessPoolExecutor``:
+``concurrent.futures.ProcessPoolExecutor`` and keeps the batch alive
+through everything short of losing the checkpoint file:
 
 - **configurable workers** -- ``workers=None``/``0`` runs sequentially
   in-process (no pickling, one shared cache); ``workers >= 1`` uses a
@@ -17,44 +18,83 @@ list of :class:`RepairTask` out over a
 - **deterministic ordering** -- results are reassembled by task index,
   so the report is byte-identical to the sequential run regardless of
   completion order;
-- **per-task timeout + fallback** -- each task is guarded by a
-  ``SIGALRM``-based deadline inside its worker; on timeout, solver
-  error or an unrepairable verdict the task is retried once on the
-  alternate MILP backend (:data:`~repro.milp.solver.FALLBACK_BACKEND`),
-  and the retry is stamped in its stats;
+- **per-task budget + anytime fallback** -- ``timeout`` is a portable
+  cooperative deadline (:class:`~repro.milp.deadline.Deadline`,
+  monotonic clock, checked inside the solver loop -- no ``SIGALRM``)
+  threaded into the engine as ``time_limit``.  A budget that expires
+  with an incumbent in hand yields an *approximate* repair with a
+  certified optimality gap (``approximate=True``, ``gap``); only a
+  budget that expires empty-handed fails the attempt.  Failed attempts
+  are retried once on the alternate MILP backend
+  (:data:`~repro.milp.solver.FALLBACK_BACKEND`) with a fresh budget --
+  unless the failure is an input error
+  (:func:`~repro.diagnostics.is_retryable_on_fallback`), which no
+  backend can fix.  Both attempts' solver stats are kept, and two
+  timeouts report as ``"timeout"``, not a generic error;
+- **checkpoint/resume** -- with ``checkpoint=...`` every completed
+  task is journalled (append + fsync) to a
+  :class:`~repro.repair.checkpoint.CheckpointJournal`; re-running the
+  same batch against an existing journal replays the finished tasks
+  (fingerprint-verified) and only solves the rest, so an interrupted
+  run resumed to completion aggregates identically to an
+  uninterrupted one;
+- **crash recovery** -- a worker that dies (OOM kill, segfault,
+  injected ``SIGKILL``) breaks the pool; the orchestrator identifies
+  the in-flight task through per-dispatch sentinel files, counts the
+  crash against that task only, respawns the pool after an exponential
+  backoff, and re-runs innocent chunkmates at no penalty.  A task that
+  keeps killing its worker is **quarantined** after
+  ``max_task_retries`` retries instead of sinking the batch.  An
+  optional ``hard_timeout`` watchdog terminates workers whose current
+  task has been running that long (hung native code, injected hangs),
+  funnelling them into the same recovery path;
 - **LRU solve cache** -- every engine in a worker shares that worker's
-  :class:`~repro.milp.cache.SolveCache`, keyed by the canonical
-  fingerprint of the grounded MILP: identical tables re-acquired
-  across documents skip the solver entirely.  Caches are per-process
-  (fork-safe, no shared memory); the sequential path shares a single
-  cache across the whole corpus.
+  :class:`~repro.milp.cache.SolveCache`; identical tables re-acquired
+  across documents skip the solver entirely.  Caches are per-process;
+  the sequential path shares a single cache across the whole corpus.
 
 Every solve emits a :class:`~repro.milp.solver.SolveStats` record;
 :class:`BatchReport` aggregates them (wall time, nodes, pivots, cache
-hits, fallbacks) into the batch-level accounting the benches print.
+hits, fallbacks, gaps, quarantines) into the batch-level accounting
+the benches print.
 """
 
 from __future__ import annotations
 
-import signal
-import threading
+import shutil
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.constraints.constraint import AggregateConstraint
 from repro.constraints.grounding import Cell
+from repro.diagnostics import (
+    SolveTimeoutError,
+    WorkerCrashError,
+    classify_failure,
+    is_retryable_on_fallback,
+)
+from repro.faultinject import FaultConfig, chaos_before_task
 from repro.milp.cache import DEFAULT_CACHE_SIZE, SolveCache
 from repro.milp.solver import DEFAULT_BACKEND, FALLBACK_BACKEND, SolveStats
 from repro.relational.database import Database
-from repro.repair.engine import RepairEngine, UnrepairableError
+from repro.repair.checkpoint import CheckpointJournal, task_fingerprint
+from repro.repair.engine import RepairEngine
 from repro.repair.translation import RepairObjective
 from repro.repair.updates import Repair
 
+#: Backwards-compatible alias: the batch timeout used to raise its own
+#: ``SolveTimeout``; budgets now surface the taxonomy's typed error.
+SolveTimeout = SolveTimeoutError
 
-class SolveTimeout(RuntimeError):
-    """A per-task deadline expired inside a worker."""
+#: Ceiling on the exponential pool-respawn backoff, seconds.
+MAX_BACKOFF = 5.0
+
+#: How often the orchestrator wakes to poll futures / run the watchdog.
+POLL_INTERVAL = 0.05
 
 
 @dataclass
@@ -76,12 +116,22 @@ class BatchItemResult:
 
     index: int
     name: str
-    #: "repaired" | "consistent" | "unrepairable" | "timeout" | "error"
+    #: "repaired" | "consistent" | "unrepairable" | "timeout" |
+    #: "invalid_input" | "degenerate" | "malformed" | "unbounded" |
+    #: "crashed" | "quarantined" | "error"
     status: str
     repair: Optional[Repair] = None
     objective: Optional[float] = None
     backend_used: str = DEFAULT_BACKEND
     fallback_taken: bool = False
+    #: True when the repair is an anytime incumbent (budget expired);
+    #: ``gap`` then bounds its distance from the true optimum.
+    approximate: bool = False
+    gap: Optional[float] = None
+    #: Dispatch attempts consumed (1 = no crash retries).
+    attempts: int = 1
+    #: True when this result was replayed from a checkpoint journal.
+    resumed: bool = False
     error: Optional[str] = None
     wall_time: float = 0.0
     stats: List[SolveStats] = field(default_factory=list)
@@ -104,6 +154,10 @@ class BatchReport:
     workers: int
     cache_size: int
     timeout: Optional[float] = None
+    #: Times the worker pool had to be respawned after a crash.
+    pool_respawns: int = 0
+    #: Checkpoint file in use, if any.
+    checkpoint: Optional[str] = None
 
     @property
     def n_tasks(self) -> int:
@@ -124,6 +178,18 @@ class BatchReport:
     @property
     def n_fallbacks(self) -> int:
         return sum(1 for r in self.results if r.fallback_taken)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(1 for r in self.results if r.status == "quarantined")
+
+    @property
+    def n_approximate(self) -> int:
+        return sum(1 for r in self.results if r.approximate)
+
+    @property
+    def n_resumed(self) -> int:
+        return sum(1 for r in self.results if r.resumed)
 
     @property
     def all_stats(self) -> List[SolveStats]:
@@ -171,13 +237,21 @@ class BatchReport:
         return sum(1 for s in self.all_stats if s.heuristic_seeded)
 
     def aggregate(self) -> Dict[str, float]:
-        """The flat numbers the benches tabulate."""
+        """The flat numbers the benches tabulate.
+
+        Everything here is a pure function of the per-task results, so
+        an interrupted-then-resumed run aggregates identically to an
+        uninterrupted one except for ``wall_time`` (real elapsed time,
+        which necessarily differs between runs).
+        """
         return {
             "tasks": float(self.n_tasks),
             "repaired": float(self.n_repaired),
             "consistent": float(self.n_consistent),
             "failed": float(self.n_failed),
             "fallbacks": float(self.n_fallbacks),
+            "approximate": float(self.n_approximate),
+            "quarantined": float(self.n_quarantined),
             "solves": float(self.total_solves),
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),
@@ -192,11 +266,21 @@ class BatchReport:
         }
 
     def summary(self) -> str:
+        extras = ""
+        if self.n_approximate:
+            extras += f", {self.n_approximate} approximate"
+        if self.n_quarantined:
+            extras += f", {self.n_quarantined} quarantined"
+        if self.n_resumed:
+            extras += f", {self.n_resumed} resumed"
+        if self.pool_respawns:
+            extras += f", {self.pool_respawns} pool respawn(s)"
         return (
             f"{self.n_tasks} task(s) in {self.wall_time:.3f}s "
             f"({self.workers or 'no'} worker(s)): "
             f"{self.n_repaired} repaired, {self.n_consistent} consistent, "
-            f"{self.n_failed} failed, {self.n_fallbacks} fallback(s); "
+            f"{self.n_failed} failed, {self.n_fallbacks} fallback(s)"
+            f"{extras}; "
             f"{self.total_solves} solve(s), "
             f"{self.cache_hits} cache hit(s) / {self.cache_misses} miss(es), "
             f"{self.total_nodes} node(s), {self.total_pivots} pivot(s)"
@@ -208,47 +292,18 @@ class BatchReport:
 # ---------------------------------------------------------------------------
 
 
-def _deadline_supported() -> bool:
-    return (
-        hasattr(signal, "setitimer")
-        and threading.current_thread() is threading.main_thread()
-    )
-
-
-class _Deadline:
-    """Context manager raising :class:`SolveTimeout` after *seconds*.
-
-    Implemented with ``SIGALRM`` so a stuck solver is interrupted
-    mid-solve; a no-op when *seconds* is falsy or we are not on the
-    main thread of the process (signals cannot be delivered there).
-    """
-
-    def __init__(self, seconds: Optional[float]) -> None:
-        self.seconds = seconds if seconds and _deadline_supported() else None
-        self._previous = None
-
-    def __enter__(self) -> "_Deadline":
-        if self.seconds:
-            def _expire(signum, frame):
-                raise SolveTimeout(f"solve exceeded {self.seconds:g}s")
-
-            self._previous = signal.signal(signal.SIGALRM, _expire)
-            signal.setitimer(signal.ITIMER_REAL, self.seconds)
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        if self.seconds:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, self._previous)
-
-
 def _attempt(
     task: RepairTask,
     backend: str,
     timeout: Optional[float],
     cache: Optional[SolveCache],
-) -> Tuple[str, Optional[Repair], Optional[float], List[SolveStats]]:
-    """One engine run on one backend; may raise for the retry logic."""
+    stats_sink: List[SolveStats],
+) -> Tuple[str, Optional[Repair], Optional[float], bool, Optional[float]]:
+    """One engine run on one backend; may raise for the retry logic.
+
+    Whatever happens, the engine's solver stats land in *stats_sink*
+    -- a failed attempt's work is part of the task's accounting too.
+    """
     engine = RepairEngine(
         task.database,
         task.constraints,
@@ -257,11 +312,35 @@ def _attempt(
         weights=task.weights,
         solve_cache=cache,
     )
-    with _Deadline(timeout):
+    try:
         if engine.is_consistent():
-            return "consistent", None, None, engine.solve_stats
-        outcome = engine.find_card_minimal_repair(pins=task.pins)
-    return "repaired", outcome.repair, outcome.objective, engine.solve_stats
+            return "consistent", None, None, False, None
+        outcome = engine.find_card_minimal_repair(pins=task.pins, time_limit=timeout)
+    finally:
+        stats_sink.extend(engine.solve_stats)
+    return (
+        "repaired",
+        outcome.repair,
+        outcome.objective,
+        outcome.approximate,
+        outcome.gap,
+    )
+
+
+def _combined_failure_status(
+    primary_error: BaseException, fallback_error: BaseException
+) -> str:
+    """Status when both backends failed.
+
+    Both deadlines expiring is a *timeout*, not a generic error; more
+    generally the fallback's classification wins unless it is the
+    catch-all ``"error"`` and the primary's is more specific.
+    """
+    primary_status = classify_failure(primary_error)
+    fallback_status = classify_failure(fallback_error)
+    if fallback_status == "error" and primary_status != "error":
+        return primary_status
+    return fallback_status
 
 
 def execute_task(
@@ -273,19 +352,26 @@ def execute_task(
     retry_fallback: bool = True,
     cache: Optional[SolveCache] = None,
 ) -> BatchItemResult:
-    """Run one task with timeout + fallback-backend semantics.
+    """Run one task with budget + fallback-backend semantics.
 
-    The primary backend gets the full *timeout*; if it times out,
-    raises, or declares the instance unrepairable, the task is retried
-    once on :data:`~repro.milp.solver.FALLBACK_BACKEND` (fresh
-    deadline).  Only if both attempts fail does the result carry the
-    failure status -- with the *primary* attempt's error preserved when
-    the fallback confirms it.
+    The primary backend gets the full *timeout* as a cooperative
+    ``time_limit``; a budget that expires with an incumbent downgrades
+    to an approximate repair (``approximate=True`` with a certified
+    ``gap``) rather than failing.  If the attempt raises -- timeout
+    with no incumbent, solver error, unrepairable verdict -- the task
+    is retried once on :data:`~repro.milp.solver.FALLBACK_BACKEND`
+    with a fresh budget, *unless* the failure is a deterministic input
+    error (invalid value, degenerate table, malformed constraint): no
+    backend can repair those, so the retry is skipped.  Both attempts'
+    solver stats are preserved either way.
     """
     started = time.perf_counter()
     primary = task.backend or default_backend
+    stats: List[SolveStats] = []
     try:
-        status, repair, objective, stats = _attempt(task, primary, timeout, cache)
+        status, repair, objective, approximate, gap = _attempt(
+            task, primary, timeout, cache, stats
+        )
         return BatchItemResult(
             index=index,
             name=task.name,
@@ -293,13 +379,20 @@ def execute_task(
             repair=repair,
             objective=objective,
             backend_used=primary,
+            approximate=approximate,
+            gap=gap,
             wall_time=time.perf_counter() - started,
             stats=stats,
         )
     except Exception as primary_error:
-        primary_status = _failure_status(primary_error)
+        primary_status = classify_failure(primary_error)
         fallback = FALLBACK_BACKEND.get(primary, None)
-        if not retry_fallback or fallback is None or fallback == primary:
+        if (
+            not retry_fallback
+            or fallback is None
+            or fallback == primary
+            or not is_retryable_on_fallback(primary_error)
+        ):
             return BatchItemResult(
                 index=index,
                 name=task.name,
@@ -307,13 +400,16 @@ def execute_task(
                 backend_used=primary,
                 error=str(primary_error),
                 wall_time=time.perf_counter() - started,
+                stats=stats,
             )
+        fallback_stats: List[SolveStats] = []
         try:
-            status, repair, objective, stats = _attempt(
-                task, fallback, timeout, cache
+            status, repair, objective, approximate, gap = _attempt(
+                task, fallback, timeout, cache, fallback_stats
             )
-            for record in stats:
+            for record in fallback_stats:
                 record.fallback = True
+            stats.extend(fallback_stats)
             return BatchItemResult(
                 index=index,
                 name=task.name,
@@ -322,15 +418,20 @@ def execute_task(
                 objective=objective,
                 backend_used=fallback,
                 fallback_taken=True,
+                approximate=approximate,
+                gap=gap,
                 error=f"primary backend {primary!r} failed: {primary_error}",
                 wall_time=time.perf_counter() - started,
                 stats=stats,
             )
         except Exception as fallback_error:
+            for record in fallback_stats:
+                record.fallback = True
+            stats.extend(fallback_stats)
             return BatchItemResult(
                 index=index,
                 name=task.name,
-                status=_failure_status(fallback_error),
+                status=_combined_failure_status(primary_error, fallback_error),
                 backend_used=fallback,
                 fallback_taken=True,
                 error=(
@@ -338,15 +439,24 @@ def execute_task(
                     f"fallback {fallback!r}: {fallback_error}"
                 ),
                 wall_time=time.perf_counter() - started,
+                stats=stats,
             )
 
 
-def _failure_status(error: BaseException) -> str:
-    if isinstance(error, SolveTimeout):
-        return "timeout"
-    if isinstance(error, UnrepairableError):
-        return "unrepairable"
-    return "error"
+def _quarantined_result(
+    index: int, task: RepairTask, crashes: int, last_error: Optional[str]
+) -> BatchItemResult:
+    detail = f": {last_error}" if last_error else ""
+    return BatchItemResult(
+        index=index,
+        name=task.name,
+        status="quarantined",
+        attempts=crashes,
+        error=(
+            f"worker crashed {crashes} time(s) running this task; "
+            f"quarantined{detail}"
+        ),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -357,17 +467,38 @@ def _failure_status(error: BaseException) -> str:
 #: level so forked/spawned workers reuse it across chunks.
 _WORKER_CACHE: Optional[SolveCache] = None
 
+#: Per-process fault-injection config (chaos testing only).
+_WORKER_FAULTS: Optional[FaultConfig] = None
 
-def _init_worker(cache_size: int) -> None:
-    global _WORKER_CACHE
+#: A chunk entry: (task index, dispatch attempt, task).
+_Entry = Tuple[int, int, RepairTask]
+
+
+def _init_worker(cache_size: int, fault_config: Optional[FaultConfig] = None) -> None:
+    global _WORKER_CACHE, _WORKER_FAULTS
     _WORKER_CACHE = SolveCache(cache_size) if cache_size > 0 else None
+    _WORKER_FAULTS = fault_config
+
+
+def _sentinel(sentinel_dir: Optional[str], index: int, attempt: int, stage: str) -> None:
+    """Mark a dispatch stage on disk so the parent can autopsy a crash."""
+    if sentinel_dir is None:
+        return
+    Path(sentinel_dir, f"{index}.{attempt}.{stage}").touch()
+
+
+def _sentinel_exists(sentinel_dir: str, index: int, attempt: int, stage: str) -> bool:
+    return Path(sentinel_dir, f"{index}.{attempt}.{stage}").exists()
 
 
 def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
-    """Execute one chunk of (index, task) pairs inside a worker."""
-    chunk, default_backend, timeout, retry_fallback = payload
-    return [
-        execute_task(
+    """Execute one chunk of entries inside a worker."""
+    chunk, default_backend, timeout, retry_fallback, sentinel_dir = payload
+    results = []
+    for index, attempt, task in chunk:
+        _sentinel(sentinel_dir, index, attempt, "start")
+        chaos_before_task(_WORKER_FAULTS, index, attempt, in_pool=True)
+        result = execute_task(
             task,
             index,
             default_backend=default_backend,
@@ -375,17 +506,225 @@ def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
             retry_fallback=retry_fallback,
             cache=_WORKER_CACHE,
         )
-        for index, task in chunk
-    ]
+        result.attempts = attempt + 1
+        _sentinel(sentinel_dir, index, attempt, "done")
+        results.append(result)
+    return results
 
 
-def _chunked(
-    items: Sequence[Tuple[int, RepairTask]], chunksize: int
-) -> List[List[Tuple[int, RepairTask]]]:
+def _chunked(items: Sequence, chunksize: int) -> List[List]:
     return [
         list(items[start : start + chunksize])
         for start in range(0, len(items), chunksize)
     ]
+
+
+# ---------------------------------------------------------------------------
+# Pool orchestration with crash recovery
+# ---------------------------------------------------------------------------
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Hard-kill every live worker (watchdog path for hung tasks)."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        if process.is_alive():
+            process.terminate()
+
+
+def _hung_entry(
+    sentinel_dir: str, entries: Sequence[_Entry], hard_timeout: float
+) -> Optional[_Entry]:
+    """An in-flight entry whose start sentinel is older than the watchdog."""
+    now = time.time()
+    for index, attempt, task in entries:
+        start = Path(sentinel_dir, f"{index}.{attempt}.start")
+        if not start.exists():
+            continue
+        if _sentinel_exists(sentinel_dir, index, attempt, "done"):
+            continue
+        try:
+            age = now - start.stat().st_mtime
+        except OSError:
+            continue
+        if age > hard_timeout:
+            return (index, attempt, task)
+    return None
+
+
+def _run_generation(
+    chunks: List[List[_Entry]],
+    *,
+    workers: int,
+    backend: str,
+    timeout: Optional[float],
+    retry_fallback: bool,
+    cache_size: int,
+    sentinel_dir: str,
+    fault_config: Optional[FaultConfig],
+    hard_timeout: Optional[float],
+    on_result: Callable[[BatchItemResult], None],
+) -> Tuple[List[_Entry], bool]:
+    """Run one pool lifetime; returns (undelivered entries, pool broke).
+
+    A generation ends either cleanly (every chunk returned) or on the
+    first sign of a broken pool -- a future raising
+    ``BrokenProcessPool`` (worker died) or the watchdog terminating a
+    hung worker.  Entries whose results were not delivered are handed
+    back for the next generation; the caller decides which of them
+    were at fault (via sentinels) and which were innocent bystanders.
+    """
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(cache_size, fault_config),
+    )
+    futures: Dict[Future, List[_Entry]] = {}
+    broke = False
+    delivered: set = set()
+    try:
+        for chunk in chunks:
+            payload = (chunk, backend, timeout, retry_fallback, sentinel_dir)
+            try:
+                futures[pool.submit(_run_chunk, payload)] = chunk
+            except Exception:
+                broke = True
+                break
+        pending = set(futures)
+        while pending and not broke:
+            done, pending = wait(
+                pending, timeout=POLL_INTERVAL, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                if hard_timeout is None:
+                    continue
+                in_flight = [e for f in pending for e in futures[f]]
+                if _hung_entry(sentinel_dir, in_flight, hard_timeout) is not None:
+                    # The futures of the terminated workers now fail
+                    # with BrokenProcessPool and drain through the
+                    # normal collection path below.
+                    _terminate_workers(pool)
+                continue
+            for future in done:
+                try:
+                    chunk_results = future.result()
+                except Exception:
+                    # BrokenProcessPool, lost worker, unpicklable blow-up:
+                    # stop the generation and let the caller autopsy.
+                    broke = True
+                    break
+                for result in chunk_results:
+                    on_result(result)
+                    delivered.add(result.index)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    remaining = [
+        entry
+        for chunk in futures.values()
+        for entry in chunk
+        if entry[0] not in delivered
+    ]
+    # Entries never submitted (submit itself broke) are also undelivered.
+    submitted = {entry[0] for chunk in futures.values() for entry in chunk}
+    for chunk in chunks:
+        for entry in chunk:
+            if entry[0] not in submitted and entry[0] not in delivered:
+                remaining.append(entry)
+    return remaining, broke
+
+
+def _run_pool(
+    indexed: List[Tuple[int, RepairTask]],
+    *,
+    workers: int,
+    backend: str,
+    timeout: Optional[float],
+    retry_fallback: bool,
+    cache_size: int,
+    chunksize: int,
+    max_task_retries: int,
+    retry_backoff: float,
+    hard_timeout: Optional[float],
+    fault_config: Optional[FaultConfig],
+    on_result: Callable[[BatchItemResult], None],
+) -> int:
+    """Drive the pool to completion through crashes; returns respawn count."""
+    crashes: Dict[int, int] = {index: 0 for index, _ in indexed}
+    entries: List[_Entry] = [(index, 0, task) for index, task in indexed]
+    task_of: Dict[int, RepairTask] = dict(indexed)
+    sentinel_dir = tempfile.mkdtemp(prefix="repro-batch-")
+    respawns = 0
+    try:
+        generation = 0
+        while entries:
+            # Blame from a broken pool is ambiguous: every task that was
+            # mid-flight when the pool died looks guilty.  So after the
+            # first crash, schedule in waves -- innocents (no crashes
+            # yet) run together, shielded from known suspects, and each
+            # suspect then runs in a generation of its own where a crash
+            # is an unambiguous conviction and a clean exit clears it.
+            suspects = [e for e in entries if crashes[e[0]] > 0]
+            innocents = [e for e in entries if crashes[e[0]] == 0]
+            if generation == 0:
+                wave, size, deferred = entries, chunksize, []
+            elif innocents and suspects:
+                wave, size, deferred = innocents, 1, suspects
+            elif len(suspects) > 1:
+                wave, size, deferred = suspects[:1], 1, suspects[1:]
+            else:
+                # After any crash, singleton chunks: one poison task can
+                # no longer take chunkmates down with it repeatedly.
+                wave, size, deferred = entries, 1, []
+            remaining, broke = _run_generation(
+                _chunked(wave, size),
+                workers=workers,
+                backend=backend,
+                timeout=timeout,
+                retry_fallback=retry_fallback,
+                cache_size=cache_size,
+                sentinel_dir=sentinel_dir,
+                fault_config=fault_config,
+                hard_timeout=hard_timeout,
+                on_result=on_result,
+            )
+            generation += 1
+            if not broke:
+                if remaining:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"pool finished cleanly with {len(remaining)} "
+                        f"undelivered task(s)"
+                    )
+                entries = deferred
+                continue
+            respawns += 1
+            next_entries: List[_Entry] = []
+            for index, attempt, task in remaining:
+                started = _sentinel_exists(sentinel_dir, index, attempt, "start")
+                finished = _sentinel_exists(sentinel_dir, index, attempt, "done")
+                if started and not finished:
+                    # This task was mid-flight when its worker died:
+                    # the prime suspect.  Count the crash against it.
+                    crashes[index] += 1
+                    if crashes[index] > max_task_retries:
+                        on_result(
+                            _quarantined_result(
+                                index, task, crashes[index], "worker died mid-task"
+                            )
+                        )
+                        continue
+                # Innocent bystanders (never started, or finished but
+                # the chunk's result died with the worker) retry free.
+                # Either way the re-dispatch gets a fresh attempt
+                # number so sentinel files and fault-injection
+                # decisions do not collide with the crashed dispatch.
+                next_entries.append((index, attempt + 1, task))
+            entries = next_entries + deferred
+            if entries:
+                delay = min(retry_backoff * (2 ** (respawns - 1)), MAX_BACKOFF)
+                if delay > 0:
+                    time.sleep(delay)
+    finally:
+        shutil.rmtree(sentinel_dir, ignore_errors=True)
+    return respawns
 
 
 # ---------------------------------------------------------------------------
@@ -402,6 +741,12 @@ def repair_batch(
     retry_fallback: bool = True,
     chunksize: Optional[int] = None,
     backend: str = DEFAULT_BACKEND,
+    checkpoint: Optional[str] = None,
+    resume: bool = True,
+    max_task_retries: int = 2,
+    retry_backoff: float = 0.1,
+    hard_timeout: Optional[float] = None,
+    fault_config: Optional[FaultConfig] = None,
 ) -> BatchReport:
     """Repair every task, in parallel when ``workers >= 1``.
 
@@ -409,45 +754,113 @@ def repair_batch(
     ``workers=None`` (or 0) runs in-process with one cache shared by
     the whole corpus; with a pool, each worker process holds its own
     LRU cache of ``cache_size`` solutions (``cache_size=0`` disables
-    caching).  ``timeout`` is the per-task deadline in seconds, applied
-    independently to the primary attempt and to the fallback retry.
+    caching).  ``timeout`` is the per-task solve budget in seconds
+    (cooperative, monotonic-clock), applied independently to the
+    primary attempt and to the fallback retry; a budget expiring with
+    an incumbent yields an approximate repair with a certified gap.
+
+    ``checkpoint`` names a journal file: completed tasks are appended
+    (fsync'd) as they finish, and when ``resume`` is true an existing
+    journal replays its fingerprint-verified results instead of
+    re-solving them.  ``max_task_retries`` bounds how often a task
+    whose worker crashed is re-dispatched before quarantine;
+    ``retry_backoff`` seeds the exponential pool-respawn delay.
+    ``hard_timeout`` arms a watchdog that terminates a worker whose
+    current task has run that many wall-clock seconds (hung native
+    code); the task then follows the crash/quarantine path.
+    ``fault_config`` threads a chaos configuration into the workers --
+    testing only.
     """
     task_list = list(tasks)
-    indexed = list(enumerate(task_list))
     started = time.perf_counter()
+
+    journal: Optional[CheckpointJournal] = None
+    fingerprints: List[str] = []
+    replayed: Dict[int, BatchItemResult] = {}
+    if checkpoint is not None:
+        journal = CheckpointJournal(checkpoint)
+        fingerprints = [task_fingerprint(task) for task in task_list]
+        header_meta = {
+            "n_tasks": len(task_list),
+            "backend": backend,
+            "timeout": timeout,
+        }
+        if journal.exists() and resume:
+            replayed, _ = journal.load_completed(
+                task_list, fingerprints, expected_meta=header_meta
+            )
+        else:
+            if journal.exists():
+                journal.path.unlink()
+            journal.write_header(**header_meta)
+
+    results: List[Optional[BatchItemResult]] = [None] * len(task_list)
+    for index, result in replayed.items():
+        results[index] = result
+
+    def deliver(result: BatchItemResult) -> None:
+        if journal is not None:
+            journal.append_result(result, fingerprints[result.index])
+        results[result.index] = result
+
+    todo = [
+        (index, task)
+        for index, task in enumerate(task_list)
+        if results[index] is None
+    ]
 
     if not workers or workers < 1:
         cache = SolveCache(cache_size) if cache_size > 0 else None
-        results = [
-            execute_task(
-                task,
-                index,
-                default_backend=backend,
-                timeout=timeout,
-                retry_fallback=retry_fallback,
-                cache=cache,
-            )
-            for index, task in indexed
-        ]
+        for index, task in todo:
+            crashes = 0
+            while True:
+                try:
+                    chaos_before_task(fault_config, index, crashes, in_pool=False)
+                    result = execute_task(
+                        task,
+                        index,
+                        default_backend=backend,
+                        timeout=timeout,
+                        retry_fallback=retry_fallback,
+                        cache=cache,
+                    )
+                    result.attempts = crashes + 1
+                    break
+                except WorkerCrashError as crash:
+                    crashes += 1
+                    if crashes > max_task_retries:
+                        result = _quarantined_result(index, task, crashes, str(crash))
+                        break
+                    delay = min(retry_backoff * (2 ** (crashes - 1)), MAX_BACKOFF)
+                    if delay > 0:
+                        time.sleep(delay)
+            deliver(result)
+        assert all(result is not None for result in results)
         return BatchReport(
-            results=results,
+            results=results,  # type: ignore[arg-type]
             wall_time=time.perf_counter() - started,
             workers=0,
             cache_size=cache_size,
             timeout=timeout,
+            checkpoint=None if checkpoint is None else str(checkpoint),
         )
 
     if chunksize is None:
-        chunksize = max(1, (len(indexed) + workers * 4 - 1) // (workers * 4))
-    chunks = _chunked(indexed, chunksize)
-    payloads = [(chunk, backend, timeout, retry_fallback) for chunk in chunks]
-    results: List[Optional[BatchItemResult]] = [None] * len(indexed)
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(cache_size,)
-    ) as pool:
-        for chunk_results in pool.map(_run_chunk, payloads):
-            for result in chunk_results:
-                results[result.index] = result
+        chunksize = max(1, (len(todo) + workers * 4 - 1) // max(1, workers * 4))
+    respawns = _run_pool(
+        todo,
+        workers=workers,
+        backend=backend,
+        timeout=timeout,
+        retry_fallback=retry_fallback,
+        cache_size=cache_size,
+        chunksize=chunksize,
+        max_task_retries=max_task_retries,
+        retry_backoff=retry_backoff,
+        hard_timeout=hard_timeout,
+        fault_config=fault_config,
+        on_result=deliver,
+    )
     assert all(result is not None for result in results)
     return BatchReport(
         results=results,  # type: ignore[arg-type]
@@ -455,6 +868,8 @@ def repair_batch(
         workers=workers,
         cache_size=cache_size,
         timeout=timeout,
+        pool_respawns=respawns,
+        checkpoint=None if checkpoint is None else str(checkpoint),
     )
 
 

@@ -1,0 +1,269 @@
+"""Append-only batch checkpoint journal: crash-safe progress, cheap resume.
+
+``repair_batch`` can journal every completed task result to a
+checkpoint file.  The file is JSON-lines:
+
+- line 1 is a **header** record (``{"kind": "header", ...}``) carrying
+  the batch shape (task count, backend, timeout) so a resume against a
+  *different* batch is refused loudly;
+- every subsequent line is one **result** record
+  (``{"kind": "result", "index": i, "fingerprint": ..., ...}``)
+  holding the full :class:`~repro.repair.batch.BatchItemResult` --
+  status, repair updates, objective, gap, error text and the complete
+  per-solve :class:`~repro.milp.solver.SolveStats` list -- so a
+  resumed run reproduces the uninterrupted run's aggregates exactly.
+
+Durability discipline: each record is written as one ``write()`` of a
+full line followed by ``flush()`` + ``os.fsync()``, so a crash (power
+loss, OOM kill, operator ^C) can lose at most the record being
+written.  The loader tolerates exactly that failure mode: a truncated
+or corrupt *final* line is discarded; corruption anywhere earlier
+raises :class:`CheckpointError` because it means something other than
+a mid-append crash damaged the file.
+
+Resume correctness is anchored on **task fingerprints**: a SHA-256
+over the task's name, backend, objective, pins, weights, constraint
+definitions and the full database content.  A journaled result is only
+reused when the fingerprint of the task *now* matches the fingerprint
+recorded *then* -- editing an input CSV between runs silently turns the
+stale entry into a miss instead of resurrecting a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.milp.solver import SolveStats
+from repro.relational.database import Database
+from repro.repair.updates import AtomicUpdate, Repair
+
+JOURNAL_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unusable for the requested resume."""
+
+
+# ---------------------------------------------------------------------------
+# Task fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _hash_database(digest: "hashlib._Hash", database: Database) -> None:
+    for relation_name in database.schema.relation_names:
+        digest.update(relation_name.encode("utf-8"))
+        for row in database.relation(relation_name):
+            digest.update(repr((row.tuple_id, tuple(row.values))).encode("utf-8"))
+
+
+def task_fingerprint(task: "RepairTask") -> str:  # noqa: F821 (circular-safe)
+    """A stable content hash of everything that determines a task's result."""
+    digest = hashlib.sha256()
+    digest.update(repr(task.name).encode("utf-8"))
+    digest.update(repr(task.backend).encode("utf-8"))
+    digest.update(repr(task.objective.value).encode("utf-8"))
+    digest.update(
+        repr(sorted((task.pins or {}).items())).encode("utf-8")
+    )
+    digest.update(
+        repr(sorted((task.weights or {}).items())).encode("utf-8")
+    )
+    for constraint in task.constraints:
+        digest.update(repr(constraint).encode("utf-8"))
+    _hash_database(digest, task.database)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Result (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def result_to_record(result: "BatchItemResult", fingerprint: str) -> Dict[str, Any]:  # noqa: F821
+    """One JSON-safe journal record for a completed task."""
+    return {
+        "kind": "result",
+        "index": result.index,
+        "name": result.name,
+        "fingerprint": fingerprint,
+        "status": result.status,
+        "objective": result.objective,
+        "backend_used": result.backend_used,
+        "fallback_taken": result.fallback_taken,
+        "approximate": result.approximate,
+        "gap": result.gap,
+        "attempts": result.attempts,
+        "error": result.error,
+        "wall_time": result.wall_time,
+        "repair": None
+        if result.repair is None
+        else [
+            {
+                "relation": u.relation,
+                "tuple_id": u.tuple_id,
+                "attribute": u.attribute,
+                "old_value": u.old_value,
+                "new_value": u.new_value,
+            }
+            for u in result.repair
+        ],
+        "stats": [s.as_dict() for s in result.stats],
+    }
+
+
+def record_to_result(record: Dict[str, Any]) -> "BatchItemResult":  # noqa: F821
+    """Rebuild a :class:`BatchItemResult` from its journal record."""
+    from repro.repair.batch import BatchItemResult  # circular at import time
+
+    repair = None
+    if record.get("repair") is not None:
+        repair = Repair(
+            AtomicUpdate(
+                relation=u["relation"],
+                tuple_id=u["tuple_id"],
+                attribute=u["attribute"],
+                old_value=u["old_value"],
+                new_value=u["new_value"],
+            )
+            for u in record["repair"]
+        )
+    stats = [SolveStats(**entry) for entry in record.get("stats", [])]
+    return BatchItemResult(
+        index=record["index"],
+        name=record.get("name", ""),
+        status=record["status"],
+        repair=repair,
+        objective=record.get("objective"),
+        backend_used=record.get("backend_used", ""),
+        fallback_taken=bool(record.get("fallback_taken", False)),
+        approximate=bool(record.get("approximate", False)),
+        gap=record.get("gap"),
+        attempts=int(record.get("attempts", 1)),
+        error=record.get("error"),
+        wall_time=float(record.get("wall_time", 0.0)),
+        stats=stats,
+        resumed=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The journal
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoadedJournal:
+    """Everything a resume needs from an existing checkpoint file."""
+
+    header: Dict[str, Any]
+    records: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    #: Number of trailing bytes discarded as a torn (mid-crash) write.
+    truncated_bytes: int = 0
+
+
+class CheckpointJournal:
+    """Append-only, fsync-per-record journal of batch task results."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+
+    # -- writing -----------------------------------------------------------
+
+    def _append_line(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), allow_nan=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def write_header(self, **meta: Any) -> None:
+        self._append_line({"kind": "header", "version": JOURNAL_VERSION, **meta})
+
+    def append_result(self, result: "BatchItemResult", fingerprint: str) -> None:  # noqa: F821
+        self._append_line(result_to_record(result, fingerprint))
+
+    # -- reading -----------------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.path.exists() and self.path.stat().st_size > 0
+
+    def load(self) -> LoadedJournal:
+        """Parse the journal, tolerating a torn final line only."""
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        parsed: List[Dict[str, Any]] = []
+        truncated = 0
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                parsed.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                is_last_content = all(not rest.strip() for rest in lines[position + 1:])
+                if is_last_content:
+                    truncated = len(line)
+                    break
+                raise CheckpointError(
+                    f"{self.path}: corrupt journal line {position + 1} "
+                    f"(not at end of file): {exc}"
+                ) from exc
+        if not parsed:
+            raise CheckpointError(f"{self.path}: journal is empty")
+        header = parsed[0]
+        if header.get("kind") != "header":
+            raise CheckpointError(
+                f"{self.path}: first record is not a header (got "
+                f"{header.get('kind')!r})"
+            )
+        if header.get("version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"{self.path}: journal version {header.get('version')!r} is "
+                f"not supported (expected {JOURNAL_VERSION})"
+            )
+        loaded = LoadedJournal(header=header, truncated_bytes=truncated)
+        for record in parsed[1:]:
+            if record.get("kind") != "result":
+                continue
+            # Last write wins: a retried task's newer record replaces
+            # the older one.
+            loaded.records[int(record["index"])] = record
+        return loaded
+
+    def load_completed(
+        self,
+        tasks: "List[RepairTask]",  # noqa: F821
+        fingerprints: List[str],
+        *,
+        expected_meta: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[Dict[int, "BatchItemResult"], LoadedJournal]:  # noqa: F821
+        """Results reusable for *tasks*, keyed by task index.
+
+        A journaled record is reused only when its index is in range
+        and its recorded fingerprint matches the task's current
+        fingerprint.  ``expected_meta`` entries (e.g. ``n_tasks``,
+        ``backend``) are cross-checked against the header; a mismatch
+        raises :class:`CheckpointError` because it means the journal
+        belongs to a different batch configuration.
+        """
+        loaded = self.load()
+        for key, expected in (expected_meta or {}).items():
+            recorded = loaded.header.get(key)
+            if recorded != expected:
+                raise CheckpointError(
+                    f"{self.path}: header {key}={recorded!r} does not match "
+                    f"this batch ({key}={expected!r}); refusing to resume"
+                )
+        completed: Dict[int, "BatchItemResult"] = {}
+        for index, record in loaded.records.items():
+            if not 0 <= index < len(tasks):
+                continue
+            if record.get("fingerprint") != fingerprints[index]:
+                continue  # the input changed since the journal was written
+            completed[index] = record_to_result(record)
+        return completed, loaded

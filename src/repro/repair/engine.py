@@ -35,7 +35,13 @@ from repro.constraints.grounding import (
     Violation,
     ground_constraints,
 )
+from repro.diagnostics import (
+    InfeasibleSystemError,
+    SolveTimeoutError,
+    UnboundedObjectiveError,
+)
 from repro.milp.cache import SolveCache
+from repro.milp.deadline import Deadline
 from repro.milp.model import Solution, SolveStatus
 from repro.milp.solver import DEFAULT_BACKEND, SolveStats, solve_with_stats
 from repro.relational.database import Database
@@ -58,8 +64,13 @@ HEURISTIC_BACKEND = "heuristic"
 _SEEDABLE_BACKENDS = frozenset({"bnb", "bnb-simplex"})
 
 
-class UnrepairableError(RuntimeError):
-    """No repair exists (or none within the escalated Big-M bounds)."""
+class UnrepairableError(InfeasibleSystemError, RuntimeError):
+    """No repair exists (or none within the escalated Big-M bounds).
+
+    Part of the typed failure taxonomy (:mod:`repro.diagnostics`):
+    subclasses :class:`~repro.diagnostics.InfeasibleSystemError`, and
+    keeps the historical ``RuntimeError`` base for existing callers.
+    """
 
 
 @dataclass
@@ -74,6 +85,11 @@ class RepairOutcome:
     #: SolveStats for every solver call this repair needed (the Big-M
     #: escalation loop may take several).
     stats: List[SolveStats] = field(default_factory=list)
+    #: Anytime solving: True when the solve budget expired and this is
+    #: the best incumbent rather than a proven card-minimal repair;
+    #: ``gap`` is then the certified distance to the optimum.
+    approximate: bool = False
+    gap: Optional[float] = None
 
     @property
     def cardinality(self) -> int:
@@ -164,6 +180,7 @@ class RepairEngine:
     def find_card_minimal_repair(
         self,
         pins: Optional[Mapping[Cell, float]] = None,
+        time_limit: Optional[float] = None,
         **solver_options,
     ) -> RepairOutcome:
         """Compute a card-minimal repair (Definition 5) via ``S*(AC)``.
@@ -172,11 +189,21 @@ class RepairEngine:
         (Section 6.3).  Raises :class:`UnrepairableError` if no repair
         exists.  The returned repair is verified against the
         constraints before being handed back.
+
+        ``time_limit`` is a wall-clock budget (seconds) for the whole
+        computation, shared across Big-M escalations and checked on a
+        monotonic deadline inside the solver loops.  On expiry the
+        exact backends return their best incumbent as an *approximate*
+        repair (``outcome.approximate`` with a certified ``gap``); only
+        when no incumbent exists at all does the engine raise
+        :class:`~repro.diagnostics.SolveTimeoutError`.
         """
         big_m_override: Optional[float] = None
         escalations = 0
         stats_start = len(self.solve_stats)
+        deadline = Deadline(time_limit)
         while True:
+            deadline.check("repair computation")
             translation = translate(
                 self.database,
                 self.constraints,
@@ -196,9 +223,11 @@ class RepairEngine:
                 f", {len(translation.pins)} pin(s)" if translation.pins else "",
             )
             if self.backend == HEURISTIC_BACKEND:
-                solution, stats = self._solve_heuristic(translation)
+                solution, stats = self._solve_heuristic(translation, deadline)
             else:
-                solution, stats = self._solve_exact(translation, solver_options)
+                solution, stats = self._solve_exact(
+                    translation, solver_options, deadline
+                )
             self.solve_stats.append(stats)
             if solution.status is SolveStatus.INFEASIBLE:
                 logger.info(
@@ -214,7 +243,20 @@ class RepairEngine:
                 big_m_override = translation.big_m * 100.0
                 escalations += 1
                 continue
-            if not solution.is_optimal:
+            if solution.status is SolveStatus.UNBOUNDED:
+                raise UnboundedObjectiveError(
+                    "MILP relaxation is unbounded: a measure variable "
+                    "escaped its Big-M box (modelling invariant violated)",
+                    big_m=translation.big_m,
+                )
+            if not solution.is_usable:
+                if solution.stats.get("deadline_expired"):
+                    raise SolveTimeoutError(
+                        "solve budget expired before any feasible repair "
+                        "was found",
+                        budget=time_limit,
+                        status=solution.status.value,
+                    )
                 raise UnrepairableError(
                     f"MILP solver returned {solution.status.value}"
                 )
@@ -231,16 +273,23 @@ class RepairEngine:
                 big_m_override = translation.big_m * 100.0
                 escalations += 1
                 continue
-            if translation.binding_deltas(solution) and escalations < self.max_escalations:
+            if (
+                translation.binding_deltas(solution)
+                and escalations < self.max_escalations
+                and not deadline.expired
+            ):
                 # The bound binds: a smaller-cardinality repair might be
                 # hiding beyond it.  Re-solve once with a larger M.
                 big_m_override = translation.big_m * 100.0
                 escalations += 1
                 continue
+            approximate = solution.status is SolveStatus.FEASIBLE_GAP
             logger.info(
-                "card-minimal repair found: objective=%g, %d update(s), "
-                "%d escalation(s)",
+                "%s repair found: objective=%g, %d update(s), "
+                "%d escalation(s)%s",
+                "approximate (anytime)" if approximate else "card-minimal",
                 solution.objective or 0.0, repair.cardinality, escalations,
+                f", gap={solution.gap:g}" if approximate else "",
             )
             return RepairOutcome(
                 repair=repair,
@@ -249,9 +298,13 @@ class RepairEngine:
                 solution=solution,
                 escalations=escalations,
                 stats=self.solve_stats[stats_start:],
+                approximate=approximate,
+                gap=solution.gap,
             )
 
-    def _solve_heuristic(self, translation: MILPTranslation):
+    def _solve_heuristic(
+        self, translation: MILPTranslation, deadline: Optional[Deadline] = None
+    ):
         """Run the greedy primal heuristic as the solve step.
 
         The returned solution is stamped OPTIMAL so the shared
@@ -261,7 +314,7 @@ class RepairEngine:
         minimality certificate.
         """
         started = time.perf_counter()
-        result = greedy_repair(translation)
+        result = greedy_repair(translation, deadline=deadline)
         elapsed = time.perf_counter() - started
         if result is None:
             raise UnrepairableError(
@@ -290,14 +343,23 @@ class RepairEngine:
         )
         return solution, stats
 
-    def _solve_exact(self, translation: MILPTranslation, solver_options: Dict):
+    def _solve_exact(
+        self,
+        translation: MILPTranslation,
+        solver_options: Dict,
+        deadline: Optional[Deadline] = None,
+    ):
         """One exact solve, with presolve/seeding options threaded in."""
         options = dict(solver_options)
+        if deadline is not None and deadline.budget is not None:
+            # Whatever budget the escalation loop has left bounds this
+            # solve; every exact backend honours ``time_limit``.
+            options["time_limit"] = deadline.remaining()
         seeded_objective: Optional[float] = None
         if self.backend in _SEEDABLE_BACKENDS:
             options.setdefault("presolve", self.presolve)
             if self.seed_incumbent and "incumbent" not in options:
-                seed = greedy_repair(translation)
+                seed = greedy_repair(translation, deadline=deadline)
                 if seed is not None:
                     options["incumbent"] = seed.assignment
                     seeded_objective = seed.objective

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.constraints.constraint import Relop
+from repro.milp.deadline import Deadline
 from repro.repair.translation import MILPTranslation, RepairObjective
 
 #: Values within this of the original count as "unchanged".
@@ -90,13 +91,21 @@ def _score(
 
 
 def greedy_repair(
-    translation: MILPTranslation, *, max_iterations: int = 500
+    translation: MILPTranslation,
+    *,
+    max_iterations: int = 500,
+    deadline: Optional[Deadline] = None,
 ) -> Optional[HeuristicResult]:
     """Greedily repair the z vector; ``None`` when the heuristic fails.
 
     Failure does *not* mean the instance is unrepairable -- only that
     single-cell tightening moves could not reach feasibility (e.g.
     equality grounds over integer cells with fractional tight points).
+
+    ``deadline`` (a :class:`~repro.milp.deadline.Deadline`) is checked
+    once per improvement round; on expiry the heuristic gives up and
+    returns ``None`` -- it never raises, because a missing heuristic
+    seed only costs performance, not correctness.
     """
     n = translation.n
     cells = translation.cells
@@ -113,6 +122,8 @@ def greedy_repair(
     current = _score(translation, z, index_of)
     iterations = 0
     while current[0] > CHANGE_TOL and iterations < max_iterations:
+        if deadline is not None and deadline.expired:
+            return None
         iterations += 1
         # The most-violated ground constraint drives this round.
         worst = None

@@ -42,6 +42,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
 from repro.constraints.constraint import AggregateConstraint, Relop
 from repro.constraints.grounding import Cell, GroundConstraint, ground_constraints
+from repro.diagnostics import (
+    DegenerateTableError,
+    InvalidValueError,
+    ensure_finite_cell,
+)
 from repro.milp.model import MILPModel, Sense, Solution, VarType
 from repro.relational.database import Database
 from repro.relational.domains import Domain
@@ -50,6 +55,17 @@ from repro.repair.updates import AtomicUpdate, Repair
 
 class TranslationError(ValueError):
     """Raised when the repair problem cannot be translated."""
+
+
+class DegenerateTranslationError(DegenerateTableError, TranslationError):
+    """No measure cells to repair.
+
+    Subclasses both :class:`TranslationError` (historical contract:
+    callers catch it around :func:`translate`) and the taxonomy's
+    :class:`~repro.diagnostics.DegenerateTableError` (the batch engine
+    classifies it as a deterministic input failure, never retried on
+    the fallback backend).
+    """
 
 
 class BigMStrategy(enum.Enum):
@@ -149,8 +165,13 @@ class MILPTranslation:
         return self.cells.index(cell)
 
     def extract_repair(self, solution: Solution) -> Repair:
-        """Read the repair ``rho(s*)`` out of an optimal solution."""
-        if not solution.is_optimal or solution.values is None:
+        """Read the repair ``rho(s*)`` out of a usable solution.
+
+        Accepts proven optima and anytime (``feasible_gap``) incumbents
+        -- both carry a feasible assignment; anything else has no point
+        to read a repair from.
+        """
+        if not solution.is_usable:
             raise TranslationError(
                 f"cannot extract a repair from a {solution.status.value} solution"
             )
@@ -292,7 +313,7 @@ def translate(
         seen.setdefault(cell)
     cells = sorted(seen, key=lambda c: (c[0], c[1], c[2]))
     if not cells:
-        raise TranslationError(
+        raise DegenerateTranslationError(
             "no measure cells are involved in the constraints; nothing to repair"
         )
 
@@ -300,9 +321,27 @@ def translate(
     integer_cells: List[bool] = []
     schema = database.schema
     for relation, tuple_id, attribute in cells:
-        values.append(float(database.get_value(relation, tuple_id, attribute)))
+        # Acquisition -> repair boundary: reject NaN/inf/overflow here,
+        # with coordinates, instead of letting them poison the lowering.
+        values.append(
+            ensure_finite_cell(
+                database.get_value(relation, tuple_id, attribute),
+                relation, tuple_id, attribute,
+            )
+        )
         domain = schema.relation(relation).domain_of(attribute)
         integer_cells.append(domain is Domain.INTEGER)
+
+    for ground in grounds:
+        if not (math.isfinite(ground.constant) and math.isfinite(ground.rhs)):
+            # A non-measure numeric attribute (folded into the frozen
+            # constant) or a constraint bound was NaN/inf.
+            raise InvalidValueError(
+                f"ground constraint from {ground.source!r} has a non-finite "
+                f"constant ({ground.constant!r}) or bound ({ground.rhs!r}); "
+                f"a non-measure numeric cell or constraint constant is invalid",
+                relation=ground.source,
+            )
 
     if strategy is BigMStrategy.FIXED:
         if big_m is None:

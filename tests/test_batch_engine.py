@@ -20,6 +20,7 @@ import repro.milp.solver as solver_module
 from repro.acquisition.ocr import inject_value_errors
 from repro.datasets import generate_cash_budget
 from repro.milp.cache import SolveCache
+from repro.milp.deadline import Deadline
 from repro.repair.batch import (
     RepairTask,
     SolveTimeout,
@@ -194,15 +195,26 @@ def test_no_fallback_when_disabled(corpus, monkeypatch):
 
 
 def test_timeout_triggers_fallback(corpus, monkeypatch):
-    """A primary backend that hangs past the deadline is interrupted
-    by the in-worker alarm and retried on the alternate backend."""
+    """A primary backend that cooperatively exhausts its budget is
+    abandoned and retried on the alternate backend with a fresh one.
+
+    The batch timeout is threaded into the backend as a ``time_limit``
+    option (a monotonic :class:`~repro.milp.deadline.Deadline`, not a
+    ``SIGALRM``); a budget-respecting backend notices expiry itself
+    and raises the taxonomy's typed timeout.
+    """
     workload, databases = corpus
+    seen_budgets = []
 
-    def hang(model, **kw):
-        time.sleep(5.0)
-        raise AssertionError("deadline did not fire")
+    def exhaust(model, **kw):
+        budget = kw.get("time_limit")
+        seen_budgets.append(budget)
+        deadline = Deadline(min(budget or 0.05, 0.05))
+        while True:
+            deadline.check()
+            time.sleep(0.005)
 
-    monkeypatch.setitem(solver_module._BACKENDS, "scipy", hang)
+    monkeypatch.setitem(solver_module._BACKENDS, "scipy", exhaust)
     started = time.perf_counter()
     result = execute_task(
         RepairTask(databases[0], workload.constraints),
@@ -211,11 +223,41 @@ def test_timeout_triggers_fallback(corpus, monkeypatch):
         timeout=0.3,
     )
     elapsed = time.perf_counter() - started
-    assert elapsed < 4.0, "the alarm should interrupt the hung solve"
+    assert elapsed < 4.0, "the budget should cut the solve short"
+    # The batch timeout reached the backend as its solve budget.
+    assert seen_budgets and all(b is not None and b <= 0.3 for b in seen_budgets)
     assert result.status == "repaired"
     assert result.fallback_taken
     assert result.backend_used == "bnb"
     assert "exceeded" in result.error
+
+
+def test_both_attempts_timing_out_reports_timeout(corpus, monkeypatch):
+    """Primary AND fallback budgets expiring must surface as a
+    ``"timeout"`` result carrying both attempts' accounting -- not a
+    generic ``"error"`` with the stats dropped."""
+    workload, databases = corpus
+
+    def exhaust(model, **kw):
+        deadline = Deadline(0.01)
+        while True:
+            deadline.check()
+            time.sleep(0.002)
+
+    monkeypatch.setitem(solver_module._BACKENDS, "scipy", exhaust)
+    monkeypatch.setitem(solver_module._BACKENDS, "bnb", exhaust)
+    result = execute_task(
+        RepairTask(databases[0], workload.constraints),
+        0,
+        default_backend="scipy",
+        timeout=0.2,
+    )
+    assert result.status == "timeout"
+    assert result.fallback_taken
+    assert "exceeded" in result.error
+    # Both attempts are named in the combined error message.
+    assert "primary 'scipy'" in result.error
+    assert "fallback 'bnb'" in result.error
 
 
 def test_unrepairable_task_reports_cleanly(corpus):

@@ -129,3 +129,91 @@ class TestValidationLoop:
             engine, OracleOperator(ground_truth), order_updates=False
         ).run()
         assert session.converged
+
+
+class AlwaysRejectOperator:
+    """Rejects every suggestion and reveals the source value.
+
+    The worst case for convergence: nothing is ever waved through, so
+    every pin the loop accumulates comes from a rejection.  Against
+    this operator the loop must still terminate (one fresh pin per
+    review, finitely many cells) and must never re-propose a value the
+    operator has already rejected.
+    """
+
+    def __init__(self, ground_truth, acquired=None):
+        self._oracle = OracleOperator(ground_truth, acquired=acquired)
+
+    @property
+    def reviews(self):
+        return self._oracle.reviews
+
+    def review(self, update):
+        verdict = self._oracle.review(update)
+        actual = (
+            float(update.new_value) if verdict.accepted else verdict.actual_value
+        )
+        return Verdict(accepted=False, actual_value=actual)
+
+
+class TestPinningRobustness:
+    @pytest.fixture()
+    def scenario(self):
+        workload = generate_cash_budget(n_years=2, seed=3)
+        corrupted, _ = inject_value_errors(workload.ground_truth, 2, seed=5)
+        engine = RepairEngine(corrupted, workload.constraints)
+        if engine.is_consistent():
+            pytest.skip("errors cancelled for this seed")
+        return workload, corrupted, engine
+
+    def test_rejected_value_is_never_resurrected(self, scenario):
+        """Once the operator rejects a value for a cell, every later
+        proposal must carry the revealed value for that cell -- the pin
+        is an equality constraint, so the rejected value cannot come
+        back -- and the cell is never put in front of the operator
+        again."""
+        workload, corrupted, engine = scenario
+        operator = AlwaysRejectOperator(workload.ground_truth, acquired=corrupted)
+        session = ValidationLoop(engine, operator).run()
+        assert session.converged
+
+        rejected = {}  # cell -> (rejected suggestion, revealed value)
+        for entry in session.log:
+            for update in entry.proposal:
+                if update.cell in rejected:
+                    suggestion, revealed = rejected[update.cell]
+                    assert float(update.new_value) == pytest.approx(revealed)
+                    if suggestion != revealed:
+                        assert float(update.new_value) != suggestion
+            for update, verdict in entry.reviewed:
+                assert update.cell not in rejected, "rejected cell re-reviewed"
+                rejected[update.cell] = (
+                    float(update.new_value), float(verdict.actual_value),
+                )
+        assert rejected, "the scenario must exercise at least one rejection"
+        assert session.repaired_database == workload.ground_truth
+
+    def test_all_rejections_still_terminate_at_the_truth(self, scenario):
+        """Termination argument made executable: every review adds one
+        new pin and there are finitely many cells, so even a purely
+        adversarial operator cannot make the loop run forever."""
+        workload, corrupted, engine = scenario
+        operator = AlwaysRejectOperator(workload.ground_truth, acquired=corrupted)
+        session = ValidationLoop(engine, operator).run()
+        n_cells = len(corrupted.measure_cells())
+        assert session.converged
+        assert session.values_inspected <= n_cells
+        assert session.iterations <= n_cells + 1
+        assert session.repaired_database == workload.ground_truth
+
+    def test_iteration_cap_is_a_hard_stop(self, scenario):
+        workload, corrupted, engine = scenario
+        operator = AlwaysRejectOperator(workload.ground_truth, acquired=corrupted)
+        session = ValidationLoop(engine, operator, max_iterations=1).run()
+        assert session.iterations == 1
+        assert not session.converged
+        # The best-effort repair still honours every pin gathered so far.
+        pins = session.log[-1].pins_after
+        for update in session.accepted_repair:
+            if update.cell in pins:
+                assert float(update.new_value) == pytest.approx(pins[update.cell])
