@@ -14,7 +14,12 @@ Commands:
 - ``check <dir>``   -- report D |= AC and list every violation;
 - ``repair <dir>``  -- compute a card-minimal repair, print the
   suggested updates (in the validation interface's involvement order),
-  optionally write the repaired instance with ``--output``;
+  optionally write the repaired instance with ``--output``; on an
+  unrepairable instance ``--explain-infeasible`` extracts an IIS and
+  names the exact conflicting constraints and pins, while
+  ``--on-infeasible relax`` returns the least-wrong RELAXED repair
+  together with its violation report (``--violation-report`` dumps it
+  as JSON);
 - ``batch <dir> [<dir> ...]`` -- repair many project directories as
   one batch: ``--workers`` fans them out over a process pool,
   ``--timeout`` budgets each solve (anytime: an expired budget yields
@@ -44,9 +49,15 @@ from repro.milp.cache import DEFAULT_CACHE_SIZE
 from repro.milp.solver import DEFAULT_BACKEND, available_backends
 from repro.relational.csvio import dump_database, load_database
 from repro.relational.schematext import dump_schema, load_schema
+from repro.milp.iis import IISError
 from repro.repair.batch import RepairTask, repair_batch
 from repro.repair.cqa import consistent_aggregate_answer
-from repro.repair.engine import HEURISTIC_BACKEND, RepairEngine, UnrepairableError
+from repro.repair.engine import (
+    HEURISTIC_BACKEND,
+    ON_INFEASIBLE_MODES,
+    RepairEngine,
+    UnrepairableError,
+)
 from repro.repair.interactive import involvement_order
 from repro.repair.translation import RepairObjective
 
@@ -92,27 +103,72 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def _parse_pins(specs: Optional[Sequence[str]]) -> Dict:
+    """Parse repeated ``--pin Relation:tuple_id:Attribute=value`` flags."""
+    pins: Dict = {}
+    for spec in specs or []:
+        head, eq, raw_value = spec.partition("=")
+        parts = head.split(":")
+        if not eq or len(parts) != 3:
+            raise CliError(
+                f"bad --pin {spec!r} (expected Relation:tuple_id:Attribute=value)"
+            )
+        relation, raw_id, attribute = parts
+        try:
+            pins[(relation, int(raw_id), attribute)] = float(raw_value)
+        except ValueError:
+            raise CliError(f"bad --pin {spec!r}: tuple_id must be an integer "
+                           f"and value a number")
+    return pins
+
+
 def cmd_repair(args: argparse.Namespace) -> int:
     _, _, constraints, database = _load_project(args.directory)
     objective = RepairObjective(args.objective)
+    pins = _parse_pins(args.pin)
     engine = RepairEngine(
         database,
         constraints,
         objective=objective,
         backend=args.backend,
         presolve=not args.no_presolve,
+        on_infeasible=args.on_infeasible,
     )
-    if engine.is_consistent():
+    if args.explain_infeasible:
+        try:
+            conflict = engine.explain_infeasible(
+                pins=pins or None, time_limit=args.time_limit
+            )
+        except IISError as exc:
+            print(f"repairable: {exc}")
+            return 0
+        print(f"INFEASIBLE: {conflict.summary()}")
+        for line in conflict.describe().splitlines()[1:]:
+            print(line)
+        return 2
+    if engine.is_consistent() and not pins:
         print("already consistent; nothing to repair")
         return 0
     try:
-        outcome = engine.find_card_minimal_repair(time_limit=args.time_limit)
+        outcome = engine.find_card_minimal_repair(
+            pins=pins or None, time_limit=args.time_limit
+        )
     except SolveTimeoutError as exc:
         raise CliError(f"time limit expired with no feasible repair: {exc}")
     except UnrepairableError as exc:
+        conflict = getattr(exc, "conflict", None)
+        if conflict is not None:
+            print("infeasible system:", file=sys.stderr)
+            for line in conflict.describe().splitlines():
+                print(f"  {line}", file=sys.stderr)
         raise CliError(f"unrepairable: {exc}")
     print(f"{len(engine.violations())} violation(s); "
           f"suggested repair changes {outcome.cardinality} value(s):")
+    if outcome.relaxed:
+        print("  RELAXED: no exact repair exists; this one minimises the "
+              "violations it leaves behind:")
+        for line in outcome.violations.describe().splitlines():
+            print(f"  {line}")
     if outcome.approximate:
         print(f"  (anytime result: budget expired; objective is within "
               f"{outcome.gap:g} of the exact optimum)")
@@ -127,6 +183,19 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
         write_mps(outcome.translation.model, args.export_mps)
         print(f"MILP instance exported to {args.export_mps} (free-form MPS)")
+    if args.violation_report:
+        import json
+
+        payload = (
+            outcome.violations.as_dict()
+            if outcome.violations is not None
+            else {"n_violated": 0, "total_violation": 0.0, "violations": []}
+        )
+        payload["status"] = outcome.status
+        Path(args.violation_report).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"violation report written to {args.violation_report}")
     if args.output:
         repaired = engine.apply(outcome.repair)
         written = dump_database(repaired, args.output)
@@ -160,11 +229,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=not args.no_resume,
         max_task_retries=args.max_task_retries,
+        on_infeasible=args.on_infeasible,
     )
     for result in report.results:
         line = f"{result.name}: {result.status}"
         if result.status == "repaired":
             line += f" ({result.cardinality} value(s) changed)"
+        if result.status == "relaxed":
+            line += (f" ({result.cardinality} value(s) changed, "
+                     f"{len(result.violations or [])} constraint(s) "
+                     f"left violated)")
         if result.approximate:
             line += f" [anytime: within {result.gap:g} of optimal]"
         if result.fallback_taken:
@@ -315,6 +389,32 @@ def build_parser() -> argparse.ArgumentParser:
              "incumbent is returned as an approximate repair with a "
              "certified optimality gap (anytime solving)",
     )
+    p_repair.add_argument(
+        "--pin", action="append", metavar="REL:ID:ATTR=VALUE",
+        help="operator pin: fix Relation[tuple_id].Attribute to VALUE "
+             "(repeatable; pins are hard constraints and are never relaxed)",
+    )
+    p_repair.add_argument(
+        "--on-infeasible",
+        choices=list(ON_INFEASIBLE_MODES),
+        default="raise",
+        help="what to do when no repair exists: 'raise' fails with the "
+             "historical message, 'explain' extracts an IIS and names the "
+             "conflicting constraints/pins, 'relax' returns the RELAXED "
+             "repair with the lexicographically smallest violations "
+             "(default: %(default)s)",
+    )
+    p_repair.add_argument(
+        "--explain-infeasible", action="store_true",
+        help="do not repair; extract an irreducible infeasible subsystem "
+             "and print the conflicting ground constraints, pins and "
+             "cells (exit 2 when infeasible, 0 when repairable)",
+    )
+    p_repair.add_argument(
+        "--violation-report", metavar="PATH",
+        help="write the relaxation's violation report to PATH as JSON "
+             "(empty report when the repair is exact)",
+    )
     p_repair.set_defaults(func=cmd_repair)
 
     p_batch = subparsers.add_parser(
@@ -371,6 +471,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-task-retries", type=int, default=2,
         help="crash retries per task before it is quarantined "
              "(default: %(default)s)",
+    )
+    p_batch.add_argument(
+        "--on-infeasible",
+        choices=list(ON_INFEASIBLE_MODES),
+        default="raise",
+        help="per-task behaviour when no repair exists: 'relax' turns "
+             "infeasible tasks into RELAXED results carrying their "
+             "violation report (default: %(default)s)",
     )
     p_batch.set_defaults(func=cmd_batch)
 

@@ -32,6 +32,13 @@ Input corruption is separate from worker chaos: callers build a
 corrupted corpus up front with :func:`corrupt_database` /
 :func:`corrupt_tasks` so the *same* corrupted inputs flow through both
 an interrupted and an uninterrupted run.
+
+A fourth fault family drives the infeasibility-forensics machinery:
+:func:`inject_contradiction` plants operator pins that contradict one
+deterministically-chosen ground constraint, so the task is provably
+unrepairable *and the injector knows the exact conflict* -- the IIS
+and relaxation tests verify the explanation against the injection
+record rather than against themselves.
 """
 
 from __future__ import annotations
@@ -40,9 +47,10 @@ import hashlib
 import os
 import signal
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.constraints.grounding import Cell, GroundConstraint, ground_constraints
 from repro.diagnostics import OVERFLOW_LIMIT, WorkerCrashError
 from repro.relational.database import Database
 
@@ -77,6 +85,10 @@ class FaultConfig:
     kill_attempts: Optional[frozenset] = None
     hang_tasks: Optional[frozenset] = None
     hang_attempts: Optional[frozenset] = None
+    #: Plant contradictory operator pins (an unrepairable task with a
+    #: known exact conflict) with this per-task probability.
+    contradiction_rate: float = 0.0
+    contradiction_tasks: Optional[frozenset] = None
 
     def chance(self, event: str, index: int, attempt: int = 0) -> float:
         """The deterministic uniform draw for one injection decision."""
@@ -198,3 +210,113 @@ def corrupt_tasks(tasks: Sequence["RepairTask"], config: FaultConfig) -> List["R
         )
         for index, task in enumerate(tasks)
     ]
+
+
+@dataclass(frozen=True)
+class ContradictionInjection:
+    """The exact conflict :func:`inject_contradiction` planted.
+
+    The pins fix every cell of ``ground`` to values that violate it, so
+    the system ``{ground} + pins`` is infeasible and -- because freeing
+    any single pinned cell lets the solver satisfy the constraint again
+    -- it is also irreducible.  An IIS extractor that works must name
+    exactly this set; a relaxation must violate exactly ``ground``.
+    """
+
+    ground: GroundConstraint
+    pins: Dict[Cell, float] = field(default_factory=dict)
+    #: The one cell whose pinned value was pushed off its current value.
+    bumped: Cell = ("", 0, "")
+    #: How far the pins leave ``ground`` violated.
+    amount: float = 0.0
+
+    def conflict_cells(self) -> List[Cell]:
+        return sorted(self.pins)
+
+
+def inject_contradiction(
+    database: Database,
+    constraints: Sequence["AggregateConstraint"],  # noqa: F821
+    *,
+    seed: int = 0,
+    index: int = 0,
+) -> ContradictionInjection:
+    """Build pins that contradict one ground constraint of *database*.
+
+    Grounds the constraint system, deterministically picks one ground
+    row (pure function of ``(seed, index)``), pins all of its cells to
+    their current values, then bumps the pin on one cell just far
+    enough that the constraint cannot hold -- ``>`` for LE, ``<`` for
+    GE, ``!=`` for EQ.  The returned record is the ground truth the
+    forensics tests compare the extractor's answer against.
+    """
+    system = [
+        ground
+        for ground in ground_constraints(constraints, database, require_steady=True)
+        if ground.coefficients
+    ]
+    if not system:
+        raise ValueError("no ground constraint with measure cells to contradict")
+    config = FaultConfig(seed=seed)
+    ground = system[int(config.chance("contradict-row", index) * len(system)) % len(system)]
+    cells = sorted(ground.coefficients)
+    bumped = cells[int(config.chance("contradict-cell", index) * len(cells)) % len(cells)]
+
+    values = {
+        cell: float(database.get_value(*cell)) for cell in cells
+    }
+    lhs = ground.constant + sum(
+        coefficient * values[cell] for cell, coefficient in ground.coefficients.items()
+    )
+    margin = max(1.0, abs(ground.rhs))
+    # Target LHS strictly outside the feasible side of the relop.
+    target = ground.rhs - margin if ground.relop == ">=" else ground.rhs + margin
+    coefficient = ground.coefficients[bumped]
+    pins = dict(values)
+    pins[bumped] = values[bumped] + (target - lhs) / coefficient
+    return ContradictionInjection(
+        ground=ground, pins=pins, bumped=bumped, amount=margin
+    )
+
+
+def contradict_tasks(
+    tasks: Sequence["RepairTask"], config: FaultConfig  # noqa: F821
+) -> Tuple[List["RepairTask"], Dict[int, ContradictionInjection]]:  # noqa: F821
+    """Tasks with seeded contradictory pins, plus the injection record.
+
+    Task ``i`` is hit when ``contradiction_rate`` fires for
+    ``(seed, "contradict", i)`` (scoped by ``contradiction_tasks``);
+    its pins gain the contradiction's pins, and entry ``i`` of the
+    returned mapping records the planted conflict for verification.
+    Unhit tasks pass through unchanged.
+    """
+    from repro.repair.batch import RepairTask
+
+    injected: List[RepairTask] = []
+    record: Dict[int, ContradictionInjection] = {}
+    for index, task in enumerate(tasks):
+        hit = (
+            config.contradiction_tasks is None
+            or index in config.contradiction_tasks
+        ) and config.should("contradict", config.contradiction_rate, index)
+        if not hit:
+            injected.append(task)
+            continue
+        injection = inject_contradiction(
+            task.database, task.constraints, seed=config.seed, index=index
+        )
+        pins = dict(task.pins or {})
+        pins.update(injection.pins)
+        injected.append(
+            RepairTask(
+                database=task.database,
+                constraints=task.constraints,
+                name=task.name,
+                backend=task.backend,
+                objective=task.objective,
+                weights=task.weights,
+                pins=pins,
+            )
+        )
+        record[index] = injection
+    return injected, record

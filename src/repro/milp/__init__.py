@@ -21,6 +21,8 @@ provides the solver substrate from scratch:
 - :mod:`repro.milp.solver` -- the ``solve()`` facade selecting a
   backend, plus the instrumented ``solve_with_stats()`` emitting
   :class:`~repro.milp.solver.SolveStats`;
+- :mod:`repro.milp.iis` -- deletion-filtering IIS extraction for
+  infeasible models (the forensics behind ``--explain-infeasible``);
 - :mod:`repro.milp.fingerprint` -- canonical model hashing;
 - :mod:`repro.milp.cache` -- the LRU solve cache keyed by canonical
   fingerprints (identical grounded MILPs skip the solver).
@@ -43,6 +45,7 @@ from repro.milp.model import (
 )
 from repro.milp.cache import CacheInfo, SolveCache
 from repro.milp.fingerprint import canonical_fingerprint
+from repro.milp.iis import IISError, IISMember, IISResult, extract_iis
 from repro.milp.lowering import DenseArrays, lower_model
 from repro.milp.mps import MpsError, read_mps, write_mps
 from repro.milp.presolve import PresolveResult, PresolveStats, presolve_arrays
@@ -81,6 +84,10 @@ __all__ = [
     "PresolveResult",
     "PresolveStats",
     "presolve_arrays",
+    "IISError",
+    "IISMember",
+    "IISResult",
+    "extract_iis",
     "WarmStartTree",
     "WarmStartUnavailable",
 ]

@@ -84,6 +84,11 @@ class PresolveResult:
     - ``"solved"`` -- every variable was fixed; ``restore()`` yields
       the unique surviving point (callers should still verify it);
     - ``"infeasible"`` -- a contradiction was proven; no arrays.
+      ``infeasible_row`` then names the lowered row whose reduction
+      raised the contradiction, as ``("ub" | "eq", row index)`` into
+      the *original* lowered arrays, when a specific row is to blame
+      (bound-box contradictions have no single row and leave it
+      ``None``).  IIS extraction uses it as an ordering hint.
     """
 
     status: str
@@ -92,6 +97,7 @@ class PresolveResult:
     fixed: Dict[int, float] = field(default_factory=dict)
     stats: PresolveStats = field(default_factory=PresolveStats)
     arrays: Optional[DenseArrays] = None
+    infeasible_row: Optional[Tuple[str, int]] = None
 
     def restore(self, x_reduced: Optional[Sequence[float]] = None) -> np.ndarray:
         """Lift a reduced-space point back to the original variables."""
@@ -118,7 +124,15 @@ class PresolveResult:
 
 
 class _Infeasible(Exception):
-    """Internal signal: a reduction proved the instance infeasible."""
+    """Internal signal: a reduction proved the instance infeasible.
+
+    ``row`` carries the implicated lowered row (``("ub"|"eq", index)``)
+    when the contradiction surfaced while scanning a specific row.
+    """
+
+    def __init__(self, row: Optional[Tuple[str, int]] = None) -> None:
+        super().__init__()
+        self.row = row
 
 
 def presolve_arrays(arrays: DenseArrays) -> PresolveResult:
@@ -239,14 +253,14 @@ def presolve_arrays(arrays: DenseArrays) -> PresolveResult:
             support = np.flatnonzero(row != 0.0)
             if support.size == 0:
                 if b < -tol_for(b):
-                    raise _Infeasible
+                    raise _Infeasible(("ub", int(i)))
                 ub_alive[i] = False
                 stats.rows_dropped += 1
                 changed = True
                 continue
             min_act, max_act, mins, maxs = activity_bounds(row, support)
             if min_act > b + tol_for(b):
-                raise _Infeasible
+                raise _Infeasible(("ub", int(i)))
             if max_act <= b + tol_for(b):
                 # Redundant: satisfied by every point in the bound box.
                 ub_alive[i] = False
@@ -326,17 +340,22 @@ def presolve_arrays(arrays: DenseArrays) -> PresolveResult:
             support = np.flatnonzero(row != 0.0)
             if support.size == 0:
                 if abs(b) > tol_for(b):
-                    raise _Infeasible
+                    raise _Infeasible(("eq", int(i)))
                 eq_alive[i] = False
                 stats.rows_dropped += 1
                 changed = True
                 continue
             min_act, max_act, mins, maxs = activity_bounds(row, support)
             if min_act > b + tol_for(b) or max_act < b - tol_for(b):
-                raise _Infeasible
+                raise _Infeasible(("eq", int(i)))
             if support.size == 1:
                 j = int(support[0])
-                fix_variable(j, b / row[j])
+                try:
+                    fix_variable(j, b / row[j])
+                except _Infeasible as conflict:
+                    if conflict.row is None:
+                        conflict.row = ("eq", int(i))
+                    raise
                 eq_alive[i] = False
                 stats.rows_dropped += 1
                 changed = True
@@ -435,16 +454,17 @@ def presolve_arrays(arrays: DenseArrays) -> PresolveResult:
             # verify its residual right-hand side.
             for i in np.flatnonzero(ub_alive):
                 if b_ub[i] < -tol_for(b_ub[i]):
-                    raise _Infeasible
+                    raise _Infeasible(("ub", int(i)))
             for i in np.flatnonzero(eq_alive):
                 if abs(b_eq[i]) > tol_for(b_eq[i]):
-                    raise _Infeasible
+                    raise _Infeasible(("eq", int(i)))
             return PresolveResult(
                 status="solved", n_original=n, fixed=dict(fixed), stats=stats
             )
-    except _Infeasible:
+    except _Infeasible as conflict:
         return PresolveResult(
-            status="infeasible", n_original=n, fixed=dict(fixed), stats=stats
+            status="infeasible", n_original=n, fixed=dict(fixed), stats=stats,
+            infeasible_row=conflict.row,
         )
 
     kept = [int(j) for j in np.flatnonzero(col_alive)]

@@ -102,6 +102,11 @@ class SolveStats:
     #: dual bound backing the certificate.
     gap: Optional[float] = None
     best_bound: Optional[float] = None
+    #: Which forensics phase emitted this record: "" for ordinary
+    #: repair solves, "iis" for conflict extraction, "relax-count" /
+    #: "relax-magnitude" / "relax-repair" for the lexicographic
+    #: relaxation passes.  Forensics phases bypass the solve cache.
+    phase: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -122,6 +127,7 @@ class SolveStats:
             "heuristic_gap": self.heuristic_gap,
             "gap": self.gap,
             "best_bound": self.best_bound,
+            "phase": self.phase,
         }
 
     def __str__(self) -> str:
@@ -142,6 +148,8 @@ class SolveStats:
         if self.status == "feasible_gap":
             certified = "?" if self.gap is None else f"{self.gap:g}"
             flags.append(f"anytime(gap={certified})")
+        if self.phase:
+            flags.append(f"phase:{self.phase}")
         suffix = f" [{', '.join(flags)}]" if flags else ""
         return (
             f"{self.backend}: {self.status} in {self.wall_time * 1000:.2f} ms, "

@@ -10,6 +10,9 @@
 - :mod:`repro.repair.heuristic` -- the greedy primal repair over the
   MILP translation: an approximate backend and the incumbent seed for
   the branch-and-bound backends;
+- :mod:`repro.repair.relax` -- elastic relaxation of infeasible
+  instances (``on_infeasible="relax"``): lexicographically minimal
+  violations with a structured report, never cached;
 - :mod:`repro.repair.batch` -- the fault-tolerant parallel
   batch-repair engine (process pool, per-task solve budgets with
   anytime gaps, backend fallback, checkpoint/resume, crash recovery
@@ -34,12 +37,19 @@ from repro.repair.updates import (
 )
 from repro.repair.translation import (
     BigMStrategy,
+    ConflictReport,
     MILPTranslation,
     RepairObjective,
     TranslationError,
     practical_big_m,
     theoretical_big_m,
     translate,
+)
+from repro.repair.relax import (
+    ConstraintViolation,
+    RelaxationOutcome,
+    RelaxationReport,
+    relax_infeasible,
 )
 from repro.repair.cqa import ConsistentAnswer, consistent_aggregate_answer
 from repro.repair.enumeration import (
@@ -103,6 +113,11 @@ __all__ = [
     "RepairObjective",
     "RepairOutcome",
     "UnrepairableError",
+    "ConflictReport",
+    "ConstraintViolation",
+    "RelaxationOutcome",
+    "RelaxationReport",
+    "relax_infeasible",
     "RepairTask",
     "BatchItemResult",
     "BatchReport",

@@ -82,7 +82,7 @@ from repro.milp.cache import DEFAULT_CACHE_SIZE, SolveCache
 from repro.milp.solver import DEFAULT_BACKEND, FALLBACK_BACKEND, SolveStats
 from repro.relational.database import Database
 from repro.repair.checkpoint import CheckpointJournal, task_fingerprint
-from repro.repair.engine import RepairEngine
+from repro.repair.engine import ON_INFEASIBLE_MODES, RepairEngine
 from repro.repair.translation import RepairObjective
 from repro.repair.updates import Repair
 
@@ -116,9 +116,9 @@ class BatchItemResult:
 
     index: int
     name: str
-    #: "repaired" | "consistent" | "unrepairable" | "timeout" |
-    #: "invalid_input" | "degenerate" | "malformed" | "unbounded" |
-    #: "crashed" | "quarantined" | "error"
+    #: "repaired" | "consistent" | "relaxed" | "unrepairable" |
+    #: "timeout" | "invalid_input" | "degenerate" | "malformed" |
+    #: "unbounded" | "crashed" | "quarantined" | "error"
     status: str
     repair: Optional[Repair] = None
     objective: Optional[float] = None
@@ -135,10 +135,14 @@ class BatchItemResult:
     error: Optional[str] = None
     wall_time: float = 0.0
     stats: List[SolveStats] = field(default_factory=list)
+    #: ``on_infeasible="relax"``: the structured violation report of a
+    #: relaxed repair (one dict per violated ground constraint), None
+    #: for exact repairs.
+    violations: Optional[List[Dict]] = None
 
     @property
     def ok(self) -> bool:
-        return self.status in ("repaired", "consistent")
+        return self.status in ("repaired", "consistent", "relaxed")
 
     @property
     def cardinality(self) -> int:
@@ -186,6 +190,10 @@ class BatchReport:
     @property
     def n_approximate(self) -> int:
         return sum(1 for r in self.results if r.approximate)
+
+    @property
+    def n_relaxed(self) -> int:
+        return sum(1 for r in self.results if r.status == "relaxed")
 
     @property
     def n_resumed(self) -> int:
@@ -251,6 +259,7 @@ class BatchReport:
             "failed": float(self.n_failed),
             "fallbacks": float(self.n_fallbacks),
             "approximate": float(self.n_approximate),
+            "relaxed": float(self.n_relaxed),
             "quarantined": float(self.n_quarantined),
             "solves": float(self.total_solves),
             "cache_hits": float(self.cache_hits),
@@ -269,6 +278,8 @@ class BatchReport:
         extras = ""
         if self.n_approximate:
             extras += f", {self.n_approximate} approximate"
+        if self.n_relaxed:
+            extras += f", {self.n_relaxed} relaxed"
         if self.n_quarantined:
             extras += f", {self.n_quarantined} quarantined"
         if self.n_resumed:
@@ -298,7 +309,11 @@ def _attempt(
     timeout: Optional[float],
     cache: Optional[SolveCache],
     stats_sink: List[SolveStats],
-) -> Tuple[str, Optional[Repair], Optional[float], bool, Optional[float]]:
+    on_infeasible: str = "raise",
+) -> Tuple[
+    str, Optional[Repair], Optional[float], bool, Optional[float],
+    Optional[List[Dict]],
+]:
     """One engine run on one backend; may raise for the retry logic.
 
     Whatever happens, the engine's solver stats land in *stats_sink*
@@ -311,19 +326,27 @@ def _attempt(
         objective=task.objective,
         weights=task.weights,
         solve_cache=cache,
+        on_infeasible=on_infeasible,
     )
     try:
-        if engine.is_consistent():
-            return "consistent", None, None, False, None
+        # Pins may demand values the current (consistent) instance does
+        # not have, so the consistency short-circuit only applies to
+        # pin-free tasks.
+        if not task.pins and engine.is_consistent():
+            return "consistent", None, None, False, None, None
         outcome = engine.find_card_minimal_repair(pins=task.pins, time_limit=timeout)
     finally:
         stats_sink.extend(engine.solve_stats)
+    violations = None
+    if outcome.relaxed and outcome.violations is not None:
+        violations = [v.as_dict() for v in outcome.violations.violations]
     return (
-        "repaired",
+        "relaxed" if outcome.relaxed else "repaired",
         outcome.repair,
         outcome.objective,
         outcome.approximate,
         outcome.gap,
+        violations,
     )
 
 
@@ -351,6 +374,7 @@ def execute_task(
     timeout: Optional[float] = None,
     retry_fallback: bool = True,
     cache: Optional[SolveCache] = None,
+    on_infeasible: str = "raise",
 ) -> BatchItemResult:
     """Run one task with budget + fallback-backend semantics.
 
@@ -369,8 +393,8 @@ def execute_task(
     primary = task.backend or default_backend
     stats: List[SolveStats] = []
     try:
-        status, repair, objective, approximate, gap = _attempt(
-            task, primary, timeout, cache, stats
+        status, repair, objective, approximate, gap, violations = _attempt(
+            task, primary, timeout, cache, stats, on_infeasible
         )
         return BatchItemResult(
             index=index,
@@ -383,6 +407,7 @@ def execute_task(
             gap=gap,
             wall_time=time.perf_counter() - started,
             stats=stats,
+            violations=violations,
         )
     except Exception as primary_error:
         primary_status = classify_failure(primary_error)
@@ -404,8 +429,8 @@ def execute_task(
             )
         fallback_stats: List[SolveStats] = []
         try:
-            status, repair, objective, approximate, gap = _attempt(
-                task, fallback, timeout, cache, fallback_stats
+            status, repair, objective, approximate, gap, violations = _attempt(
+                task, fallback, timeout, cache, fallback_stats, on_infeasible
             )
             for record in fallback_stats:
                 record.fallback = True
@@ -423,6 +448,7 @@ def execute_task(
                 error=f"primary backend {primary!r} failed: {primary_error}",
                 wall_time=time.perf_counter() - started,
                 stats=stats,
+                violations=violations,
             )
         except Exception as fallback_error:
             for record in fallback_stats:
@@ -493,7 +519,7 @@ def _sentinel_exists(sentinel_dir: str, index: int, attempt: int, stage: str) ->
 
 def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
     """Execute one chunk of entries inside a worker."""
-    chunk, default_backend, timeout, retry_fallback, sentinel_dir = payload
+    chunk, default_backend, timeout, retry_fallback, sentinel_dir, on_infeasible = payload
     results = []
     for index, attempt, task in chunk:
         _sentinel(sentinel_dir, index, attempt, "start")
@@ -505,6 +531,7 @@ def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
             timeout=timeout,
             retry_fallback=retry_fallback,
             cache=_WORKER_CACHE,
+            on_infeasible=on_infeasible,
         )
         result.attempts = attempt + 1
         _sentinel(sentinel_dir, index, attempt, "done")
@@ -562,6 +589,7 @@ def _run_generation(
     sentinel_dir: str,
     fault_config: Optional[FaultConfig],
     hard_timeout: Optional[float],
+    on_infeasible: str,
     on_result: Callable[[BatchItemResult], None],
 ) -> Tuple[List[_Entry], bool]:
     """Run one pool lifetime; returns (undelivered entries, pool broke).
@@ -583,7 +611,14 @@ def _run_generation(
     delivered: set = set()
     try:
         for chunk in chunks:
-            payload = (chunk, backend, timeout, retry_fallback, sentinel_dir)
+            payload = (
+                chunk,
+                backend,
+                timeout,
+                retry_fallback,
+                sentinel_dir,
+                on_infeasible,
+            )
             try:
                 futures[pool.submit(_run_chunk, payload)] = chunk
             except Exception:
@@ -645,6 +680,7 @@ def _run_pool(
     retry_backoff: float,
     hard_timeout: Optional[float],
     fault_config: Optional[FaultConfig],
+    on_infeasible: str,
     on_result: Callable[[BatchItemResult], None],
 ) -> int:
     """Drive the pool to completion through crashes; returns respawn count."""
@@ -684,6 +720,7 @@ def _run_pool(
                 sentinel_dir=sentinel_dir,
                 fault_config=fault_config,
                 hard_timeout=hard_timeout,
+                on_infeasible=on_infeasible,
                 on_result=on_result,
             )
             generation += 1
@@ -747,6 +784,7 @@ def repair_batch(
     retry_backoff: float = 0.1,
     hard_timeout: Optional[float] = None,
     fault_config: Optional[FaultConfig] = None,
+    on_infeasible: str = "raise",
 ) -> BatchReport:
     """Repair every task, in parallel when ``workers >= 1``.
 
@@ -769,8 +807,16 @@ def repair_batch(
     current task has run that many wall-clock seconds (hung native
     code); the task then follows the crash/quarantine path.
     ``fault_config`` threads a chaos configuration into the workers --
-    testing only.
+    testing only.  ``on_infeasible`` is forwarded to every task's
+    :class:`~repro.repair.engine.RepairEngine`: ``"relax"`` turns
+    infeasible tasks into ``status="relaxed"`` results carrying their
+    violation report instead of ``status="infeasible"``.
     """
+    if on_infeasible not in ON_INFEASIBLE_MODES:
+        raise ValueError(
+            f"on_infeasible must be one of {ON_INFEASIBLE_MODES}, "
+            f"got {on_infeasible!r}"
+        )
     task_list = list(tasks)
     started = time.perf_counter()
 
@@ -784,6 +830,7 @@ def repair_batch(
             "n_tasks": len(task_list),
             "backend": backend,
             "timeout": timeout,
+            "on_infeasible": on_infeasible,
         }
         if journal.exists() and resume:
             replayed, _ = journal.load_completed(
@@ -823,6 +870,7 @@ def repair_batch(
                         timeout=timeout,
                         retry_fallback=retry_fallback,
                         cache=cache,
+                        on_infeasible=on_infeasible,
                     )
                     result.attempts = crashes + 1
                     break
@@ -859,6 +907,7 @@ def repair_batch(
         retry_backoff=retry_backoff,
         hard_timeout=hard_timeout,
         fault_config=fault_config,
+        on_infeasible=on_infeasible,
         on_result=deliver,
     )
     assert all(result is not None for result in results)

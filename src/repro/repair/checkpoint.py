@@ -113,6 +113,7 @@ def result_to_record(result: "BatchItemResult", fingerprint: str) -> Dict[str, A
             for u in result.repair
         ],
         "stats": [s.as_dict() for s in result.stats],
+        "violations": result.violations,
     }
 
 
@@ -147,6 +148,7 @@ def record_to_result(record: Dict[str, Any]) -> "BatchItemResult":  # noqa: F821
         error=record.get("error"),
         wall_time=float(record.get("wall_time", 0.0)),
         stats=stats,
+        violations=record.get("violations"),
         resumed=True,
     )
 

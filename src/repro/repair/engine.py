@@ -42,12 +42,15 @@ from repro.diagnostics import (
 )
 from repro.milp.cache import SolveCache
 from repro.milp.deadline import Deadline
+from repro.milp.iis import IISError, extract_iis
 from repro.milp.model import Solution, SolveStatus
 from repro.milp.solver import DEFAULT_BACKEND, SolveStats, solve_with_stats
 from repro.relational.database import Database
 from repro.repair.heuristic import greedy_repair
+from repro.repair.relax import RelaxationReport, relax_infeasible
 from repro.repair.translation import (
     BigMStrategy,
+    ConflictReport,
     MILPTranslation,
     RepairObjective,
     TranslationError,
@@ -63,6 +66,10 @@ HEURISTIC_BACKEND = "heuristic"
 #: Exact backends whose search accepts an incumbent seed.
 _SEEDABLE_BACKENDS = frozenset({"bnb", "bnb-simplex"})
 
+#: What the engine does once the MILP stays INFEASIBLE after every
+#: Big-M escalation (see ``RepairEngine(on_infeasible=...)``).
+ON_INFEASIBLE_MODES = ("raise", "explain", "relax")
+
 
 class UnrepairableError(InfeasibleSystemError, RuntimeError):
     """No repair exists (or none within the escalated Big-M bounds).
@@ -70,7 +77,15 @@ class UnrepairableError(InfeasibleSystemError, RuntimeError):
     Part of the typed failure taxonomy (:mod:`repro.diagnostics`):
     subclasses :class:`~repro.diagnostics.InfeasibleSystemError`, and
     keeps the historical ``RuntimeError`` base for existing callers.
+
+    When raised by ``on_infeasible="explain"``, :attr:`conflict` holds
+    the :class:`~repro.repair.translation.ConflictReport` and the
+    ``infeasible_system`` detail carries its dict form.
     """
+
+    #: The IIS mapped back to ground constraints and pins, when the
+    #: engine ran conflict extraction before raising.
+    conflict: Optional[ConflictReport] = None
 
 
 @dataclass
@@ -90,10 +105,26 @@ class RepairOutcome:
     #: ``gap`` is then the certified distance to the optimum.
     approximate: bool = False
     gap: Optional[float] = None
+    #: Elastic relaxation (``on_infeasible="relax"``): True when the
+    #: original instance was infeasible and this repair minimises
+    #: violations lexicographically instead of satisfying everything;
+    #: ``violations`` is then the structured report.  Relaxed outcomes
+    #: are never cached and never counted as exact repairs.
+    relaxed: bool = False
+    violations: Optional[RelaxationReport] = None
 
     @property
     def cardinality(self) -> int:
         return self.repair.cardinality
+
+    @property
+    def status(self) -> str:
+        """``"relaxed"``, ``"approximate"`` or ``"optimal"``."""
+        if self.relaxed:
+            return "relaxed"
+        if self.approximate:
+            return "approximate"
+        return "optimal"
 
 
 class RepairEngine:
@@ -112,6 +143,7 @@ class RepairEngine:
         solve_cache: Optional[SolveCache] = None,
         presolve: bool = True,
         seed_incumbent: bool = True,
+        on_infeasible: str = "raise",
     ) -> None:
         """``objective`` / ``weights`` select the minimality semantics
         (see :class:`~repro.repair.translation.RepairObjective`); the
@@ -128,7 +160,22 @@ class RepairEngine:
         (``"bnb"`` / ``"bnb-simplex"``): the former toggles the MILP
         presolve pass, the latter seeds the search with the heuristic's
         repair as an initial incumbent.  Neither affects which repair
-        is optimal."""
+        is optimal.
+
+        ``on_infeasible`` selects the degradation path once the MILP
+        stays infeasible after every Big-M escalation: ``"raise"``
+        (default, historical behaviour), ``"explain"`` (run IIS
+        extraction and raise an :class:`UnrepairableError` naming the
+        conflicting ground constraints and pins), or ``"relax"``
+        (return a best-effort :class:`RepairOutcome` with
+        ``relaxed=True`` and a violation report -- see
+        :mod:`repro.repair.relax`)."""
+        if on_infeasible not in ON_INFEASIBLE_MODES:
+            raise ValueError(
+                f"on_infeasible must be one of {ON_INFEASIBLE_MODES}, "
+                f"got {on_infeasible!r}"
+            )
+        self.on_infeasible = on_infeasible
         self.database = database
         self.constraints = list(constraints)
         self.backend = backend
@@ -223,7 +270,19 @@ class RepairEngine:
                 f", {len(translation.pins)} pin(s)" if translation.pins else "",
             )
             if self.backend == HEURISTIC_BACKEND:
-                solution, stats = self._solve_heuristic(translation, deadline)
+                try:
+                    solution, stats = self._solve_heuristic(translation, deadline)
+                except UnrepairableError:
+                    # The greedy heuristic proves nothing about
+                    # infeasibility, but the configured degradation
+                    # path still applies: relaxation subsumes the miss
+                    # (a feasible instance relaxes to zero violations)
+                    # and explanation distinguishes the two cases.
+                    if self.on_infeasible == "raise":
+                        raise
+                    return self._conclude_infeasible(
+                        translation, pins, deadline, stats_start, escalations
+                    )
             else:
                 solution, stats = self._solve_exact(
                     translation, solver_options, deadline
@@ -235,10 +294,8 @@ class RepairEngine:
                     translation.big_m, escalations, self.max_escalations,
                 )
                 if escalations >= self.max_escalations:
-                    raise UnrepairableError(
-                        f"MILP infeasible after {escalations} Big-M escalations; "
-                        f"no repair exists within |value| <= {translation.big_m:g}"
-                        + (" under the given pins" if pins else "")
+                    return self._conclude_infeasible(
+                        translation, pins, deadline, stats_start, escalations
                     )
                 big_m_override = translation.big_m * 100.0
                 escalations += 1
@@ -301,6 +358,160 @@ class RepairEngine:
                 approximate=approximate,
                 gap=solution.gap,
             )
+
+    # ------------------------------------------------------------------
+    # Infeasibility forensics
+    # ------------------------------------------------------------------
+
+    def _forensics_backend(self) -> str:
+        """The exact backend used for IIS probes and relaxation solves."""
+        if self.backend in ("scipy", "bnb", "bnb-simplex"):
+            return self.backend
+        return DEFAULT_BACKEND
+
+    def _base_message(self, translation: MILPTranslation, escalations: int,
+                      pins) -> str:
+        return (
+            f"MILP infeasible after {escalations} Big-M escalations; "
+            f"no repair exists within |value| <= {translation.big_m:g}"
+            + (" under the given pins" if pins else "")
+        )
+
+    def _conflict_report(
+        self, translation: MILPTranslation, deadline: Deadline
+    ) -> ConflictReport:
+        """Run IIS extraction on *translation* and map it back.
+
+        Probes bypass the solve cache by construction (see
+        :mod:`repro.milp.iis`).  Appends one synthetic
+        :class:`~repro.milp.solver.SolveStats` record with
+        ``phase="iis"`` (``nodes`` carries the probe count).
+        """
+        started = time.perf_counter()
+        iis = extract_iis(
+            translation.model,
+            backend=self._forensics_backend(),
+            deadline=deadline,
+            groups=[translation.structural_rows()],
+        )
+        self.solve_stats.append(
+            SolveStats(
+                backend=self._forensics_backend(),
+                status="infeasible",
+                wall_time=time.perf_counter() - started,
+                nodes=iis.probes,
+                n_variables=translation.model.n_variables,
+                n_constraints=translation.model.n_constraints,
+                phase="iis",
+            )
+        )
+        return translation.conflict_report(iis)
+
+    def _conclude_infeasible(
+        self,
+        translation: MILPTranslation,
+        pins,
+        deadline: Deadline,
+        stats_start: int,
+        escalations: int,
+    ) -> RepairOutcome:
+        """Apply the configured ``on_infeasible`` degradation path."""
+        message = self._base_message(translation, escalations, pins)
+        if self.on_infeasible == "relax":
+            outcome = relax_infeasible(
+                translation,
+                backend=self._forensics_backend(),
+                deadline=deadline,
+            )
+            self.solve_stats.extend(outcome.report.stats)
+            self._verify_relaxed(outcome)
+            logger.info(
+                "relaxed repair found: %d update(s), %d violated "
+                "constraint(s), total violation %g",
+                outcome.repair.cardinality,
+                outcome.report.n_violated,
+                outcome.report.total_violation,
+            )
+            return RepairOutcome(
+                repair=outcome.repair,
+                objective=float(outcome.objective),
+                translation=translation,
+                solution=outcome.solution,
+                escalations=escalations,
+                stats=self.solve_stats[stats_start:],
+                relaxed=True,
+                violations=outcome.report,
+            )
+        if self.on_infeasible == "explain":
+            try:
+                report = self._conflict_report(translation, deadline)
+            except IISError as error:
+                # Only reachable when the infeasibility verdict came
+                # from the approximate heuristic but the instance is
+                # actually feasible.
+                raise UnrepairableError(
+                    f"{message} -- but conflict extraction found the "
+                    f"instance feasible ({error}); the heuristic missed "
+                    f"a repair, retry an exact backend"
+                ) from error
+            error = UnrepairableError(
+                f"{message}; {report.summary()}",
+                infeasible_system=report.as_dict(),
+            )
+            error.conflict = report
+            raise error
+        raise UnrepairableError(message)
+
+    def _verify_relaxed(self, outcome) -> None:
+        """A relaxed repair may only violate what its report declares."""
+        repaired = apply_repair(self.database, outcome.repair)
+        reported = {
+            violation.ground.normalized_key()
+            for violation in outcome.report.violations
+        }
+        for violation in self.violations(repaired):
+            if violation.ground.normalized_key() not in reported:
+                raise UnrepairableError(
+                    "relaxed repair verification failed: the repaired "
+                    "instance violates a ground constraint the violation "
+                    f"report does not declare ({violation.ground.source})"
+                )
+
+    def explain_infeasible(
+        self,
+        pins: Optional[Mapping[Cell, float]] = None,
+        time_limit: Optional[float] = None,
+    ) -> ConflictReport:
+        """Name the conflict that makes the instance unrepairable.
+
+        Translates at the fully-escalated Big-M (the same bound
+        :meth:`find_card_minimal_repair` gives up at), extracts an IIS
+        and maps it back to ground constraints, pins and cells.  Raises
+        :class:`~repro.milp.iis.IISError` when the instance is in fact
+        repairable.
+        """
+        deadline = Deadline(time_limit)
+        translation = translate(
+            self.database,
+            self.constraints,
+            pins=pins,
+            strategy=self.big_m_strategy,
+            grounds=self.ground_system,
+            objective=self.objective,
+            weights=self.weights,
+        )
+        if self.max_escalations > 0:
+            translation = translate(
+                self.database,
+                self.constraints,
+                pins=pins,
+                strategy=self.big_m_strategy,
+                big_m=translation.big_m * (100.0 ** self.max_escalations),
+                grounds=self.ground_system,
+                objective=self.objective,
+                weights=self.weights,
+            )
+        return self._conflict_report(translation, deadline)
 
     def _solve_heuristic(
         self, translation: MILPTranslation, deadline: Optional[Deadline] = None

@@ -32,7 +32,8 @@ logger = logging.getLogger(__name__)
 
 from repro.constraints.grounding import Cell, GroundConstraint
 from repro.relational.database import Database
-from repro.repair.engine import RepairEngine, RepairOutcome
+from repro.repair.engine import RepairEngine, RepairOutcome, UnrepairableError
+from repro.repair.translation import ConflictReport
 from repro.repair.updates import AtomicUpdate, Repair
 
 
@@ -163,11 +164,22 @@ def involvement_order(
 
 @dataclass
 class IterationLog:
-    """What happened in one round of the loop."""
+    """What happened in one round of the loop.
 
-    proposal: Repair
+    An *infeasible* round has no proposal: the accumulated pins made
+    the MILP unrepairable.  ``failure`` records the engine's message,
+    ``conflict`` the IIS mapped back to constraints and pins (when
+    forensics could produce one), and ``retracted`` any pins the loop
+    withdrew to continue.
+    """
+
+    proposal: Optional[Repair]
     reviewed: List[PyTuple[AtomicUpdate, Verdict]]
     pins_after: Dict[Cell, float]
+    infeasible: bool = False
+    failure: Optional[str] = None
+    conflict: Optional[ConflictReport] = None
+    retracted: List[Cell] = field(default_factory=list)
 
 
 @dataclass
@@ -180,12 +192,31 @@ class ValidationSession:
     values_inspected: int
     log: List[IterationLog] = field(default_factory=list)
     converged: bool = True
+    #: The terminal failure message when the session ended on an
+    #: unrecoverable infeasibility instead of converging.
+    failure: Optional[str] = None
+    #: How many conflicting pins the loop withdrew to keep going.
+    retractions: int = 0
 
     def render_transcript(self) -> str:
         """A human-readable replay of the session (the text the paper's
         validation interface would have shown)."""
         lines: List[str] = []
         for round_number, entry in enumerate(self.log, start=1):
+            if entry.infeasible:
+                lines.append(
+                    f"iteration {round_number}: INFEASIBLE -- "
+                    f"{entry.failure or 'no repair exists under the pins'}"
+                )
+                if entry.conflict is not None:
+                    for detail in entry.conflict.describe().splitlines():
+                        lines.append(f"  {detail}")
+                for cell in entry.retracted:
+                    relation, tuple_id, attribute = cell
+                    lines.append(
+                        f"  pin on {relation}[{tuple_id}].{attribute} RETRACTED"
+                    )
+                continue
             lines.append(
                 f"iteration {round_number}: proposed repair with "
                 f"{entry.proposal.cardinality} update(s)"
@@ -198,7 +229,12 @@ class ValidationSession:
                         f"  {update}  -- operator REJECTED, source value is "
                         f"{verdict.actual_value:g}"
                     )
-        status = "accepted" if self.converged else "NOT converged"
+        if self.failure is not None:
+            status = "FAILED (infeasible)"
+        elif self.converged:
+            status = "accepted"
+        else:
+            status = "NOT converged"
         lines.append(
             f"result: repair {status} after {self.iterations} iteration(s); "
             f"{self.values_inspected} value(s) inspected; final repair has "
@@ -218,30 +254,135 @@ class ValidationLoop:
         reviews_per_iteration: Optional[int] = None,
         order_updates: bool = True,
         max_iterations: int = 100,
+        retract_conflicting_pins: bool = True,
     ) -> None:
         """``reviews_per_iteration`` caps how many updates the operator
         examines before the repair is recomputed (the paper allows
         re-starting "after validating only some of the suggested
         updates"); ``None`` reviews every update of each proposal.
         ``order_updates=False`` disables the involvement heuristic
-        (used by the A2 ablation bench)."""
+        (used by the A2 ablation bench).
+
+        ``retract_conflicting_pins`` controls what happens when the
+        accumulated pins make the next iteration infeasible (e.g. the
+        operator revealed a source value that contradicts a steady
+        constraint): when True the loop extracts the conflict, offers
+        it to the operator (an optional ``choose_retraction(cells,
+        conflict)`` method on the operator picks the pin to withdraw;
+        without one the most recent conflicting pin is retracted) and
+        continues; when False the session ends cleanly with the failed
+        iteration recorded in the transcript.  Either way the loop
+        never propagates the engine's error and never loses the
+        session log."""
         self.engine = engine
         self.operator = operator
         self.reviews_per_iteration = reviews_per_iteration
         self.order_updates = order_updates
         self.max_iterations = max_iterations
+        self.retract_conflicting_pins = retract_conflicting_pins
+
+    def _failed_session(
+        self,
+        pins: Dict[Cell, float],
+        log: List[IterationLog],
+        iterations: int,
+        values_inspected: int,
+        retractions: int,
+        failure: str,
+    ) -> ValidationSession:
+        """End cleanly on an unrecoverable infeasibility: empty repair,
+        untouched database, transcript intact."""
+        logger.warning("validation session failed: %s", failure)
+        return ValidationSession(
+            accepted_repair=Repair([]),
+            repaired_database=self.engine.database,
+            iterations=iterations,
+            values_inspected=values_inspected,
+            log=log,
+            converged=False,
+            failure=failure,
+            retractions=retractions,
+        )
+
+    def _handle_infeasible(
+        self,
+        error: UnrepairableError,
+        pins: Dict[Cell, float],
+        pin_order: List[Cell],
+        retracted: set,
+        log: List[IterationLog],
+    ) -> bool:
+        """Record the failed iteration; retract a conflicting pin if
+        allowed.  Returns True when the loop can continue."""
+        conflict = getattr(error, "conflict", None)
+        if conflict is None and pins:
+            try:
+                conflict = self.engine.explain_infeasible(pins=pins)
+            except Exception:  # forensics are best-effort here
+                conflict = None
+        entry = IterationLog(
+            proposal=None,
+            reviewed=[],
+            pins_after=dict(pins),
+            infeasible=True,
+            failure=str(error),
+            conflict=conflict,
+        )
+        log.append(entry)
+        if not self.retract_conflicting_pins or conflict is None:
+            return False
+        conflicting = [cell for cell in conflict.pins if cell in pins]
+        if not conflicting:
+            return False
+        cell: Optional[Cell] = None
+        chooser = getattr(self.operator, "choose_retraction", None)
+        if callable(chooser):
+            chosen = chooser(list(conflicting), conflict)
+            if chosen in conflicting:
+                cell = chosen
+        if cell is None:
+            # Most recent conflicting pin: the freshest verdict is the
+            # likeliest data-entry slip, and LIFO preserves the older
+            # validations the operator has already invested in.
+            cell = max(conflicting, key=pin_order.index)
+        del pins[cell]
+        retracted.add(cell)
+        entry.retracted = [cell]
+        entry.pins_after = dict(pins)
+        logger.info(
+            "retracted conflicting pin on %s[%s].%s; continuing",
+            cell[0], cell[1], cell[2],
+        )
+        return True
 
     def run(self) -> ValidationSession:
         pins: Dict[Cell, float] = {}
+        pin_order: List[Cell] = []
+        retracted: set = set()
         log: List[IterationLog] = []
         values_inspected = 0
         iterations = 0
+        retractions = 0
 
         while iterations < self.max_iterations:
             iterations += 1
-            outcome = self.engine.find_card_minimal_repair(pins=pins)
+            try:
+                outcome = self.engine.find_card_minimal_repair(pins=pins)
+            except UnrepairableError as error:
+                if self._handle_infeasible(
+                    error, pins, pin_order, retracted, log
+                ):
+                    retractions += 1
+                    continue
+                return self._failed_session(
+                    pins, log, iterations, values_inspected, retractions,
+                    str(error),
+                )
             proposal = outcome.repair
-            pending = [u for u in proposal if u.cell not in pins]
+            pending = [
+                u for u in proposal
+                if u.cell not in pins and u.cell not in retracted
+            ]
             logger.debug(
                 "validation iteration %d: proposal has %d update(s), "
                 "%d pending review",
@@ -249,7 +390,8 @@ class ValidationLoop:
             )
             if not pending:
                 # Every suggested update was validated in an earlier
-                # round: the repair is accepted.
+                # round (or its pin was retracted): the repair is
+                # accepted.
                 logger.info(
                     "repair accepted after %d iteration(s), %d value(s) "
                     "inspected", iterations, values_inspected,
@@ -261,6 +403,7 @@ class ValidationLoop:
                     values_inspected=values_inspected,
                     log=log,
                     converged=True,
+                    retractions=retractions,
                 )
             if self.order_updates:
                 pending = involvement_order(self.engine.ground_system, pending)
@@ -281,13 +424,16 @@ class ValidationLoop:
                     assert verdict.actual_value is not None
                     pins[update.cell] = float(verdict.actual_value)
                     all_accepted = False
+                if update.cell not in pin_order:
+                    pin_order.append(update.cell)
             log.append(IterationLog(proposal, reviewed, dict(pins)))
 
             reviewed_all_of_proposal = len(reviewed) == len(
                 [u for u in proposal if u.cell is not None]
             ) or self.reviews_per_iteration is None
             if all_accepted and reviewed_all_of_proposal and not [
-                u for u in proposal if u.cell not in pins
+                u for u in proposal
+                if u.cell not in pins and u.cell not in retracted
             ]:
                 logger.info(
                     "repair accepted after %d iteration(s), %d value(s) "
@@ -300,10 +446,26 @@ class ValidationLoop:
                     values_inspected=values_inspected,
                     log=log,
                     converged=True,
+                    retractions=retractions,
                 )
 
         # Out of iterations: return the best effort, flagged.
-        outcome = self.engine.find_card_minimal_repair(pins=pins)
+        try:
+            outcome = self.engine.find_card_minimal_repair(pins=pins)
+        except UnrepairableError as error:
+            log.append(
+                IterationLog(
+                    proposal=None,
+                    reviewed=[],
+                    pins_after=dict(pins),
+                    infeasible=True,
+                    failure=str(error),
+                )
+            )
+            return self._failed_session(
+                pins, log, iterations, values_inspected, retractions,
+                str(error),
+            )
         return ValidationSession(
             accepted_repair=outcome.repair,
             repaired_database=self.engine.apply(outcome.repair),
@@ -311,4 +473,5 @@ class ValidationLoop:
             values_inspected=values_inspected,
             log=log,
             converged=False,
+            retractions=retractions,
         )

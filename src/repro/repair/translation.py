@@ -47,6 +47,7 @@ from repro.diagnostics import (
     InvalidValueError,
     ensure_finite_cell,
 )
+from repro.milp.iis import IISResult
 from repro.milp.model import MILPModel, Sense, Solution, VarType
 from repro.relational.database import Database
 from repro.relational.domains import Domain
@@ -268,6 +269,137 @@ class MILPTranslation:
         lhs = " ".join(parts) if parts else "0"
         rhs = ground.rhs - ground.constant
         return f"{lhs} {ground.relop} {_fmt(rhs)}"
+
+
+    def structural_rows(self) -> List[int]:
+        """Indices of model rows that are neither grounds nor pins.
+
+        The ``y_i`` definitions, Big-M links and ``t_i`` absolute-value
+        rows are satisfiable in isolation for any ``z``; IIS extraction
+        probes them as one batch (they only ever ride along with a
+        ground/pin conflict, they never *are* the conflict).
+        """
+        structural: List[int] = []
+        for index, constraint in enumerate(self.model.constraints):
+            kind, _ = _classify_row_name(constraint.name)
+            if kind == "structural":
+                structural.append(index)
+        return structural
+
+    def conflict_report(self, iis: "IISResult") -> "ConflictReport":
+        """Map an IIS over ``self.model`` back to paper-level objects."""
+        grounds: List[GroundConstraint] = []
+        pins: Dict[Cell, float] = {}
+        structural: List[str] = []
+        for member in iis.members:
+            kind, index = _classify_row_name(member.name)
+            if kind == "ground" and index is not None and index < len(self.grounds):
+                grounds.append(self.grounds[index])
+            elif kind == "pin" and index is not None and 1 <= index <= self.n:
+                cell = self.cells[index - 1]
+                pins[cell] = self.pins.get(cell, self.values[index - 1])
+            else:
+                structural.append(member.name or f"row#{member.index}")
+        return ConflictReport(
+            grounds=grounds,
+            pins=pins,
+            structural=structural,
+            proven_minimal=iis.proven_minimal,
+            probes=iis.probes,
+        )
+
+
+def _classify_row_name(name: str) -> PyTuple[str, Optional[int]]:
+    """Classify a translation row name: ground / pin / structural.
+
+    Returns ``(kind, index)`` where index is the ground index (into
+    ``MILPTranslation.grounds``) or the 1-based cell number of a pin.
+    """
+    if name.startswith("g") and ":" in name:
+        prefix = name[1:].split(":", 1)[0]
+        if prefix.isdigit():
+            return "ground", int(prefix)
+    if name.startswith("pin") and name[3:].isdigit():
+        return "pin", int(name[3:])
+    return "structural", None
+
+
+@dataclass
+class ConflictReport:
+    """An IIS translated back to ground constraints, pins and cells.
+
+    This is the payload behind ``--explain-infeasible`` and the
+    ``infeasible_system`` diagnostic detail: the smallest set of
+    paper-level facts that cannot hold together.
+    """
+
+    grounds: List[GroundConstraint] = field(default_factory=list)
+    pins: Dict[Cell, float] = field(default_factory=dict)
+    structural: List[str] = field(default_factory=list)
+    proven_minimal: bool = True
+    probes: int = 0
+
+    @property
+    def cells(self) -> List[Cell]:
+        """Every cell touched by the conflict, sorted."""
+        involved: Dict[Cell, None] = {}
+        for ground in self.grounds:
+            for cell in ground.coefficients:
+                involved.setdefault(cell)
+        for cell in self.pins:
+            involved.setdefault(cell)
+        return sorted(involved)
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.grounds)} ground constraint(s)",
+            f"{len(self.pins)} pin(s)",
+        ]
+        if self.structural:
+            parts.append(f"{len(self.structural)} structural row(s)")
+        minimal = "minimal" if self.proven_minimal else "not proven minimal"
+        return f"conflict over {', '.join(parts)} ({minimal})"
+
+    def describe(self) -> str:
+        """Multi-line, operator-facing rendering of the conflict."""
+        lines = [self.summary()]
+        for ground in self.grounds:
+            lines.append(f"  constraint [{ground.source}]: {ground}")
+        for cell, value in sorted(self.pins.items()):
+            relation, tuple_id, attribute = cell
+            lines.append(
+                f"  pin: {relation}[{tuple_id}].{attribute} = {_fmt(value)}"
+            )
+        for name in self.structural:
+            lines.append(f"  structural row: {name}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The structured ``infeasible_system`` diagnostic payload."""
+        return {
+            "grounds": [
+                {
+                    "source": g.source,
+                    "constraint": str(g),
+                    "relop": str(g.relop),
+                    "rhs": g.rhs,
+                }
+                for g in self.grounds
+            ],
+            "pins": [
+                {
+                    "relation": cell[0],
+                    "tuple_id": cell[1],
+                    "attribute": cell[2],
+                    "value": value,
+                }
+                for cell, value in sorted(self.pins.items())
+            ],
+            "cells": [list(cell) for cell in self.cells],
+            "structural_rows": list(self.structural),
+            "proven_minimal": self.proven_minimal,
+            "probes": self.probes,
+        }
 
 
 def _fmt(value: float) -> str:

@@ -108,6 +108,100 @@ class TestRepair:
         assert "seeded(gap=" in out
 
 
+CONTRADICTORY_PINS = [
+    "--pin", "CashBudget:1:Value=100",
+    "--pin", "CashBudget:2:Value=50",
+    "--pin", "CashBudget:3:Value=999",
+]
+
+
+class TestInfeasibilityForensics:
+    def test_explain_infeasible_on_repairable_project_exits_zero(
+        self, project, capsys
+    ):
+        assert main(["repair", str(project), "--explain-infeasible"]) == 0
+        assert "repairable" in capsys.readouterr().out
+
+    def test_explain_infeasible_names_the_conflict(self, project, capsys):
+        code = main(
+            ["repair", str(project), "--explain-infeasible"]
+            + CONTRADICTORY_PINS
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "INFEASIBLE" in out
+        assert "detail_vs_aggregate" in out
+        assert "CashBudget[3].Value = 999" in out
+
+    def test_on_infeasible_explain_carries_conflict_into_the_error(
+        self, project, capsys
+    ):
+        with pytest.raises(SystemExit) as info:
+            main(
+                ["repair", str(project), "--on-infeasible", "explain"]
+                + CONTRADICTORY_PINS
+            )
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "infeasible system" in err
+        assert "detail_vs_aggregate" in err
+
+    def test_on_infeasible_relax_returns_relaxed_repair(self, project, capsys):
+        code = main(
+            ["repair", str(project), "--on-infeasible", "relax"]
+            + CONTRADICTORY_PINS
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RELAXED" in out
+        assert "detail_vs_aggregate" in out
+
+    def test_violation_report_is_written_as_json(
+        self, project, tmp_path, capsys
+    ):
+        import json
+
+        report_path = tmp_path / "violations.json"
+        code = main(
+            ["repair", str(project), "--on-infeasible", "relax",
+             "--violation-report", str(report_path)]
+            + CONTRADICTORY_PINS
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["status"] == "relaxed"
+        assert payload["n_violated"] == 1
+        assert payload["violations"][0]["source"] == "detail_vs_aggregate"
+
+    def test_violation_report_on_exact_repair_is_empty(
+        self, project, tmp_path, capsys
+    ):
+        import json
+
+        report_path = tmp_path / "violations.json"
+        assert main(
+            ["repair", str(project), "--violation-report", str(report_path)]
+        ) == 0
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["n_violated"] == 0
+        assert payload["status"] == "optimal"
+
+    def test_bad_pin_spec_errors(self, project):
+        with pytest.raises(SystemExit) as info:
+            main(["repair", str(project), "--pin", "CashBudget-3-Value-999"])
+        assert info.value.code == 2
+
+    def test_batch_on_infeasible_relax(self, project, capsys):
+        # The pin-free project is repairable, so drive the relax path
+        # through an engine-level contradiction: none here means the
+        # flag must simply not change a feasible batch.
+        assert main(
+            ["batch", str(project), "--on-infeasible", "relax"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out
+
+
 class TestAnswers:
     def test_consistent_answer(self, project, capsys):
         code = main(

@@ -1,0 +1,141 @@
+"""Conflict-aware validation: the supervised loop survives bad pins.
+
+A fallible operator can pin a value that contradicts the constraint
+system (Section 6.3 trusts the human unconditionally).  Before the
+forensics work this blew up ``ValidationLoop.run`` with a bare
+:class:`UnrepairableError`, destroying the session transcript.  Now:
+
+- with ``retract_conflicting_pins=False`` the loop ends *cleanly*:
+  ``converged=False``, the failure and the named conflict recorded in
+  the log, the transcript renderable, the database untouched;
+- with retraction (the default) the loop names the conflicting pins
+  via the IIS, retracts the most recent one, and completes the session
+  that previously aborted;
+- an operator may override the retraction choice through an optional
+  ``choose_retraction(cells, conflict)`` hook.
+
+The scenario: an oracle whose ground truth was doctored so that the
+"correct" value for ``CashBudget[3].Value`` (999) contradicts the
+detail rows it must aggregate (100 + 120).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repair.engine import RepairEngine
+from repro.repair.interactive import (
+    OracleOperator,
+    ValidationLoop,
+    Verdict,
+)
+
+
+class RejectingOracle:
+    """Reject every proposal but reveal the (doctored) true value.
+
+    Rejection converts oracle knowledge into *pins*, which is the only
+    path by which a wrong "truth" becomes a hard constraint -- an
+    accepting oracle would simply apply the update.
+    """
+
+    def __init__(self, truth):
+        self._oracle = OracleOperator(truth)
+
+    def review(self, update):
+        verdict = self._oracle.review(update)
+        actual = (
+            float(update.new_value) if verdict.accepted else verdict.actual_value
+        )
+        return Verdict(accepted=False, actual_value=actual)
+
+
+class SteeredOracle(RejectingOracle):
+    """Same, but chooses which conflicting pin to retract itself."""
+
+    def __init__(self, truth):
+        super().__init__(truth)
+        self.consulted = []
+
+    def choose_retraction(self, cells, conflict):
+        self.consulted.append((tuple(cells), conflict))
+        return sorted(cells)[0]
+
+
+@pytest.fixture
+def doctored_truth(ground_truth):
+    bad = ground_truth.copy()
+    bad.set_value("CashBudget", 3, "Value", 999.0)
+    return bad
+
+
+def test_inconsistent_pin_ends_session_cleanly_without_retraction(
+    acquired, constraints, doctored_truth
+):
+    engine = RepairEngine(acquired, constraints)
+    loop = ValidationLoop(
+        engine, RejectingOracle(doctored_truth), retract_conflicting_pins=False
+    )
+    session = loop.run()
+    assert not session.converged
+    assert session.failure
+    assert session.repaired_database is engine.database
+    assert not session.accepted_repair.updates
+    assert any(entry.infeasible for entry in session.log)
+    transcript = session.render_transcript()
+    assert "INFEASIBLE" in transcript
+    assert "FAILED (infeasible)" in transcript
+
+
+def test_failed_session_names_the_conflicting_pins(
+    acquired, constraints, doctored_truth
+):
+    engine = RepairEngine(acquired, constraints)
+    session = ValidationLoop(
+        engine, RejectingOracle(doctored_truth), retract_conflicting_pins=False
+    ).run()
+    entry = next(e for e in session.log if e.infeasible)
+    assert entry.conflict is not None
+    sources = {ground.source for ground in entry.conflict.grounds}
+    assert "detail_vs_aggregate" in sources
+    assert ("CashBudget", 3, "Value") in entry.conflict.pins
+    assert entry.conflict.pins[("CashBudget", 3, "Value")] == pytest.approx(999.0)
+
+
+def test_retraction_completes_the_previously_aborting_session(
+    acquired, constraints, doctored_truth
+):
+    engine = RepairEngine(acquired, constraints)
+    session = ValidationLoop(engine, RejectingOracle(doctored_truth)).run()
+    assert session.converged
+    assert session.retractions >= 1
+    transcript = session.render_transcript()
+    assert "RETRACTED" in transcript
+    retracted = [cell for entry in session.log for cell in entry.retracted]
+    assert retracted, "a retraction must be recorded in the log"
+
+
+def test_operator_hook_steers_which_pin_is_retracted(
+    acquired, constraints, doctored_truth
+):
+    engine = RepairEngine(acquired, constraints)
+    operator = SteeredOracle(doctored_truth)
+    session = ValidationLoop(engine, operator).run()
+    assert session.converged
+    assert operator.consulted, "choose_retraction was never consulted"
+    cells, conflict = operator.consulted[0]
+    first_retracted = next(
+        cell for entry in session.log for cell in entry.retracted
+    )
+    assert first_retracted == sorted(cells)[0]
+
+
+def test_consistent_oracle_is_unaffected(acquired, constraints, ground_truth):
+    """The happy path of the paper keeps working bit-for-bit."""
+    engine = RepairEngine(acquired, constraints)
+    session = ValidationLoop(
+        engine, OracleOperator(ground_truth, acquired=acquired)
+    ).run()
+    assert session.converged
+    assert session.retractions == 0
+    assert not any(entry.infeasible for entry in session.log)

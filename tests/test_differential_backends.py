@@ -160,6 +160,104 @@ def test_known_infeasible_instance_agrees():
         assert solve(model, backend=name).status is SolveStatus.INFEASIBLE, name
 
 
+def _wide_bounds_pin_conflict(big_m: float) -> MILPModel:
+    """Integrality + wide bounds + contradictory pin rows.
+
+    This is the exact shape on which some HiGHS builds return a
+    spurious status from presolve (see the re-run guard in
+    ``repro.milp.scipy_backend``): a repair-style model whose only
+    contradiction is a pair of pin equalities over otherwise loose
+    ``[-M, M]`` integer boxes.
+    """
+    model = MILPModel("wide-pins")
+    z = [
+        model.add_variable(f"z{i}", VarType.INTEGER, lower=-big_m, upper=big_m)
+        for i in range(3)
+    ]
+    d = [model.add_variable(f"d{i}", VarType.BINARY) for i in range(3)]
+    model.add_constraint(z[0] + z[1] - z[2] == 0.0, name="g0:agg")
+    for i in range(3):
+        model.add_constraint(z[i] - big_m * d[i] <= 0, name=f"link+{i}")
+        model.add_constraint(-1 * z[i] - big_m * d[i] <= 0, name=f"link-{i}")
+    model.add_constraint(z[0] == 100.0, name="pin1")
+    model.add_constraint(z[1] == 50.0, name="pin2")
+    model.add_constraint(z[2] == 999.0, name="pin3")
+    model.set_objective(sum(d, start=0))
+    return model
+
+
+def _wide_bounds_feasible(big_m: float) -> MILPModel:
+    """The same shape with reconcilable pins: must NOT read infeasible."""
+    model = _wide_bounds_pin_conflict(big_m)
+    feasible = MILPModel("wide-pins-feasible")
+    for variable in model.variables:
+        feasible.add_variable(
+            variable.name, variable.var_type, variable.lower, variable.upper
+        )
+    for constraint in model.constraints:
+        if constraint.name == "pin3":
+            continue
+        feasible.add_constraint(constraint)
+    feasible.set_objective(model.objective)
+    return feasible
+
+
+@pytest.mark.parametrize("big_m", [200.0, 2e4, 7.64e6, 7.64e9])
+def test_infeasible_verdicts_agree_on_wide_bound_pin_conflicts(big_m):
+    """Regression for the scipy backend's spurious-status guard.
+
+    Every backend must call the contradictory instance INFEASIBLE and
+    the one-pin-fewer instance feasible, across the Big-M escalation
+    ladder the repair engine actually walks.  A spurious infeasible on
+    the feasible twin (or a missed infeasible on the contradictory
+    one) is exactly the failure mode the presolve re-run exists to
+    correct.
+    """
+    conflict = _wide_bounds_pin_conflict(big_m)
+    for name in ALL_BACKENDS:
+        assert solve(conflict, backend=name).status is SolveStatus.INFEASIBLE, (
+            f"{name} missed the contradiction at big_m={big_m:g}"
+        )
+    feasible = _wide_bounds_feasible(big_m)
+    for name in ALL_BACKENDS:
+        assert solve(feasible, backend=name).status is SolveStatus.OPTIMAL, (
+            f"{name} spuriously reported infeasible at big_m={big_m:g}"
+        )
+
+
+@pytest.mark.parametrize(
+    "seed", derived_seeds(20), ids=lambda s: f"pinseed{s}"
+)
+def test_randomized_pin_conflicts_agree_across_backends(seed):
+    """Seeded contradictory pin sets: unanimous INFEASIBLE verdicts."""
+    rng = random.Random(seed)
+    big_m = float(rng.choice([200, 10_000, 7_640_000]))
+    model = MILPModel(f"pins-{seed}")
+    n = rng.randint(2, 4)
+    z = [
+        model.add_variable(f"z{i}", VarType.INTEGER, lower=-big_m, upper=big_m)
+        for i in range(n)
+    ]
+    coefficients = {i: float(rng.choice([-1, 1])) for i in range(n)}
+    expr = sum((c * z[i] for i, c in coefficients.items()), start=0)
+    model.add_constraint(expr == 0.0, name="g0:sum")
+    # Pin every variable so the row's value is forced off zero.
+    total = 0.0
+    for i in range(n - 1):
+        value = float(rng.randint(-50, 50))
+        total += coefficients[i] * value
+        model.add_constraint(z[i] == value, name=f"pin{i + 1}")
+    off = float(rng.randint(1, 40))
+    last = (off - total) / coefficients[n - 1]
+    model.add_constraint(z[n - 1] == last, name=f"pin{n}")
+    model.set_objective(sum(z, start=0) * 0)
+    statuses = {name: solve(model, backend=name).status for name in ALL_BACKENDS}
+    assert set(statuses.values()) == {SolveStatus.INFEASIBLE}, (
+        f"backends disagree on a pin contradiction: {statuses} "
+        f"{describe_seed(seed)}"
+    )
+
+
 def test_known_degenerate_tie_agrees():
     """Two symmetric optima with equal objective: backends may pick
     different supports but must report the same objective value."""

@@ -33,7 +33,13 @@ import pytest
 from repro.acquisition.ocr import inject_value_errors
 from repro.datasets import generate_cash_budget
 from repro.diagnostics import InvalidValueError
-from repro.faultinject import FaultConfig, chaos_before_task, corrupt_database
+from repro.faultinject import (
+    FaultConfig,
+    chaos_before_task,
+    contradict_tasks,
+    corrupt_database,
+    inject_contradiction,
+)
 from repro.repair.batch import RepairTask, repair_batch, tasks_from_databases
 from repro.repair.engine import RepairEngine
 
@@ -47,6 +53,7 @@ CI_CHAOS_SEEDS = (11, 23, 47)
 KNOWN_STATUSES = {
     "repaired", "consistent", "unrepairable", "timeout", "invalid_input",
     "degenerate", "malformed", "unbounded", "crashed", "quarantined", "error",
+    "relaxed",
 }
 
 N_TASKS = 4
@@ -382,3 +389,103 @@ def test_kill_batch_mid_run_then_resume_matches_uninterrupted(corpus, tmp_path):
     a = {k: v for k, v in resumed.aggregate().items() if k not in timing_keys}
     b = {k: v for k, v in uninterrupted.aggregate().items() if k not in timing_keys}
     assert a == b
+
+
+# ---------------------------------------------------------------------------
+# The contradiction fault (infeasibility forensics)
+# ---------------------------------------------------------------------------
+
+
+def test_contradiction_injection_is_deterministic(ground_truth, constraints):
+    first = inject_contradiction(ground_truth, constraints, seed=5, index=2)
+    second = inject_contradiction(ground_truth, constraints, seed=5, index=2)
+    assert first.pins == second.pins
+    assert first.ground.normalized_key() == second.ground.normalized_key()
+    other = inject_contradiction(ground_truth, constraints, seed=6, index=2)
+    assert (first.pins, str(first.ground)) != (other.pins, str(other.ground))
+
+
+def test_injected_pins_actually_violate_the_chosen_ground(
+    ground_truth, constraints
+):
+    injection = inject_contradiction(ground_truth, constraints, seed=5)
+    lhs = injection.ground.constant + sum(
+        coefficient * injection.pins[cell]
+        for cell, coefficient in injection.ground.coefficients.items()
+    )
+    relop, rhs = injection.ground.relop, injection.ground.rhs
+    if relop == "<=":
+        assert lhs > rhs
+    elif relop == ">=":
+        assert lhs < rhs
+    else:
+        assert lhs != pytest.approx(rhs)
+
+
+def test_contradict_tasks_rate_zero_is_a_no_op(ground_truth, constraints):
+    tasks = tasks_from_databases([ground_truth] * 3, constraints)
+    unchanged, record = contradict_tasks(tasks, FaultConfig(seed=1))
+    assert record == {}
+    assert all(a is b for a, b in zip(unchanged, tasks))
+
+
+def test_contradict_tasks_scoping_and_record(ground_truth, constraints):
+    tasks = tasks_from_databases([ground_truth] * 4, constraints)
+    config = FaultConfig(
+        seed=9, contradiction_rate=1.0, contradiction_tasks=frozenset({0, 2})
+    )
+    injected, record = contradict_tasks(tasks, config)
+    assert sorted(record) == [0, 2]
+    assert injected[0].pins == record[0].pins
+    assert injected[1] is tasks[1]
+
+
+def test_batch_relaxes_contradicted_tasks_and_reports_the_conflict(
+    ground_truth, constraints
+):
+    """The chaos acceptance path: contradiction fault -> RELAXED result.
+
+    Under ``on_infeasible="raise"`` the hit task fails; under
+    ``"relax"`` it completes with ``status="relaxed"`` and a violation
+    report naming exactly the injected conflict.
+    """
+    tasks = tasks_from_databases([ground_truth] * 3, constraints)
+    config = FaultConfig(
+        seed=13, contradiction_rate=1.0, contradiction_tasks=frozenset({1})
+    )
+    injected, record = contradict_tasks(tasks, config)
+
+    raised = repair_batch(injected, workers=0)
+    assert raised.results[1].status == "unrepairable"
+
+    relaxed = repair_batch(injected, workers=0, on_infeasible="relax")
+    hit = relaxed.results[1]
+    assert hit.status == "relaxed" and hit.ok
+    assert hit.violations is not None and len(hit.violations) == 1
+    assert hit.violations[0]["source"] == record[1].ground.source
+    assert hit.violations[0]["amount"] == pytest.approx(record[1].amount)
+    for spared in (relaxed.results[0], relaxed.results[2]):
+        assert spared.status == "consistent"
+        assert spared.violations is None
+    assert relaxed.n_relaxed == 1
+    assert "1 relaxed" in relaxed.summary()
+
+
+def test_relaxed_results_checkpoint_and_resume(
+    ground_truth, constraints, tmp_path
+):
+    tasks = tasks_from_databases([ground_truth] * 2, constraints)
+    config = FaultConfig(seed=13, contradiction_rate=1.0)
+    injected, record = contradict_tasks(tasks, config)
+    assert record, "every task should be hit at rate 1.0"
+    checkpoint = tmp_path / "relax.ndjson"
+    first = repair_batch(
+        injected, workers=0, on_infeasible="relax", checkpoint=str(checkpoint)
+    )
+    second = repair_batch(
+        injected, workers=0, on_infeasible="relax", checkpoint=str(checkpoint)
+    )
+    for fresh, resumed in zip(first.results, second.results):
+        assert resumed.resumed
+        assert resumed.status == fresh.status
+        assert resumed.violations == fresh.violations

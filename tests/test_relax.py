@@ -1,0 +1,176 @@
+"""Elastic relaxation: the RELAXED outcome and its hygiene rules.
+
+The acceptance contract for ``on_infeasible="relax"``:
+
+- the engine returns a RELAXED repair instead of raising, and its
+  violation report lists *exactly* the injected conflicts (verified
+  against the :func:`~repro.faultinject.inject_contradiction` record);
+- the relaxation is lexicographic -- no relaxed repair with fewer
+  violated constraints exists, and at the optimal count no smaller
+  total magnitude exists;
+- relaxed verdicts never enter the solve cache (the INFEASIBLE verdict
+  of the *original* model is a fact and stays cacheable);
+- a feasible instance under ``on_infeasible="relax"`` behaves exactly
+  as under ``"raise"``: an ordinary exact repair, no violations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics import InfeasibleSystemError
+from repro.faultinject import inject_contradiction
+from repro.milp.cache import SolveCache
+from repro.milp.model import SolveStatus
+from repro.milp.solver import solve
+from repro.repair.engine import RepairEngine
+from repro.repair.relax import relax_infeasible
+from repro.repair.translation import translate
+from repro.repair.updates import apply_repair
+
+from tests._seeds import derived_seeds, describe_seed
+
+
+@pytest.fixture
+def injection(ground_truth, constraints):
+    return inject_contradiction(ground_truth, constraints, seed=23)
+
+
+def test_relaxed_outcome_reports_exactly_the_injected_conflict(
+    ground_truth, constraints, injection
+):
+    engine = RepairEngine(ground_truth, constraints, on_infeasible="relax")
+    outcome = engine.find_card_minimal_repair(pins=injection.pins)
+    assert outcome.relaxed
+    assert outcome.status == "relaxed"
+    report = outcome.violations
+    assert report.n_violated == 1
+    violated = report.violations[0]
+    assert violated.ground.normalized_key() == injection.ground.normalized_key()
+    assert violated.amount == pytest.approx(injection.amount, abs=1e-6)
+
+
+def test_relaxed_repair_respects_every_pin(ground_truth, constraints, injection):
+    engine = RepairEngine(ground_truth, constraints, on_infeasible="relax")
+    outcome = engine.find_card_minimal_repair(pins=injection.pins)
+    repaired = apply_repair(ground_truth, outcome.repair)
+    for (relation, tuple_id, attribute), value in injection.pins.items():
+        assert float(
+            repaired.get_value(relation, tuple_id, attribute)
+        ) == pytest.approx(value, abs=1e-6)
+
+
+def test_relaxation_is_lexicographically_minimal(
+    ground_truth, constraints, injection
+):
+    """One planted conflict -> exactly one violation of exactly its size."""
+    translation = translate(ground_truth, constraints, pins=injection.pins)
+    outcome = relax_infeasible(translation)
+    assert outcome.report.n_violated == 1
+    assert outcome.report.total_violation == pytest.approx(
+        injection.amount, abs=1e-6
+    )
+    phases = [record.phase for record in outcome.report.stats]
+    assert phases == ["relax-count", "relax-magnitude", "relax-repair"]
+
+
+def test_relax_never_pollutes_the_solve_cache(
+    ground_truth, constraints, injection
+):
+    cache = SolveCache(64)
+    engine = RepairEngine(
+        ground_truth, constraints, on_infeasible="relax", solve_cache=cache
+    )
+    outcome = engine.find_card_minimal_repair(pins=injection.pins)
+    assert outcome.relaxed
+    for record in engine.solve_stats:
+        if record.phase:
+            assert not record.cache_hit, (
+                f"forensics phase {record.phase!r} touched the cache"
+            )
+    for solution in cache._store.values():
+        assert solution.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.INFEASIBLE,
+            SolveStatus.UNBOUNDED,
+        )
+
+
+def test_infeasible_verdict_of_original_model_stays_cacheable(
+    ground_truth, constraints, injection
+):
+    cache = SolveCache(64)
+    engine = RepairEngine(
+        ground_truth, constraints, on_infeasible="relax", solve_cache=cache
+    )
+    engine.find_card_minimal_repair(pins=injection.pins)
+    assert any(
+        solution.status is SolveStatus.INFEASIBLE
+        for solution in cache._store.values()
+    )
+
+
+def test_feasible_instance_under_relax_stays_exact(acquired, constraints):
+    relaxing = RepairEngine(acquired, constraints, on_infeasible="relax")
+    raising = RepairEngine(acquired, constraints, on_infeasible="raise")
+    relaxed_outcome = relaxing.find_card_minimal_repair()
+    exact_outcome = raising.find_card_minimal_repair()
+    assert not relaxed_outcome.relaxed
+    assert relaxed_outcome.status == exact_outcome.status
+    assert relaxed_outcome.objective == pytest.approx(exact_outcome.objective)
+    assert relaxed_outcome.violations is None
+
+
+def test_pins_are_never_relaxed(ground_truth, constraints):
+    """A pin outside every variable bound keeps the system infeasible."""
+    cell = next(iter(ground_truth.measure_cells()))
+    translation = translate(
+        ground_truth, constraints, pins={cell: 1e30}
+    )
+    assert solve(translation.model).status is SolveStatus.INFEASIBLE
+    with pytest.raises(InfeasibleSystemError):
+        relax_infeasible(translation)
+
+
+@pytest.mark.parametrize(
+    "seed", derived_seeds(6), ids=lambda s: f"seed{s}"
+)
+def test_seeded_relaxations_only_blame_the_injected_ground(
+    seed, ground_truth, constraints
+):
+    injection = inject_contradiction(
+        ground_truth, constraints, seed=seed, index=seed % 7
+    )
+    engine = RepairEngine(ground_truth, constraints, on_infeasible="relax")
+    outcome = engine.find_card_minimal_repair(pins=injection.pins)
+    keys = {v.ground.normalized_key() for v in outcome.violations.violations}
+    assert keys == {injection.ground.normalized_key()}, describe_seed(seed)
+
+
+def test_explain_mode_attaches_structured_conflict(ground_truth, constraints):
+    injection = inject_contradiction(ground_truth, constraints, seed=29)
+    engine = RepairEngine(ground_truth, constraints, on_infeasible="explain")
+    with pytest.raises(Exception) as info:
+        engine.find_card_minimal_repair(pins=injection.pins)
+    error = info.value
+    assert error.conflict is not None
+    assert "infeasible_system" in error.details
+    payload = error.details["infeasible_system"]
+    assert payload["grounds"][0]["source"] == injection.ground.source
+    assert payload["proven_minimal"] is True
+    assert any(record.phase == "iis" for record in engine.solve_stats)
+
+
+def test_invalid_on_infeasible_mode_is_rejected(ground_truth, constraints):
+    with pytest.raises(ValueError):
+        RepairEngine(ground_truth, constraints, on_infeasible="shrug")
+
+
+def test_standalone_explain_infeasible(ground_truth, constraints):
+    injection = inject_contradiction(ground_truth, constraints, seed=31)
+    engine = RepairEngine(ground_truth, constraints)
+    report = engine.explain_infeasible(pins=injection.pins)
+    assert [g.normalized_key() for g in report.grounds] == [
+        injection.ground.normalized_key()
+    ]
+    assert report.pins == injection.pins
