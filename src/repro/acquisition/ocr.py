@@ -14,7 +14,18 @@ the OCR tool as a seeded noisy channel over cell text:
   famous "rn" -> "m" ligature collapse.
 
 Each corruption is recorded as an :class:`ErrorRecord`, giving every
-experiment exact ground truth about what was injected where.
+experiment exact ground truth about what was injected where.  Records
+carry the *per-cell confusion detail* -- which operation fired at which
+position, and the channel probability of that exact misreading -- so
+downstream consumers (the tier-1 confusion inversion of
+:mod:`repro.repair.cascade`, the confidence-weighted repair objective)
+can rank repair candidates by how plausible the corruption was.
+
+The channel is also *invertible*: :func:`number_preimages` and
+:func:`string_preimages` enumerate the plausible originals that the
+channel could have corrupted into a given text, each with its channel
+probability.  This is the knowledge the repair cascade's cheapest tier
+runs on.
 
 :func:`inject_value_errors` bypasses documents entirely and corrupts a
 database instance directly: the repair-only experiments (benches E3-E5)
@@ -63,10 +74,46 @@ CHAR_CONFUSIONS: Dict[str, str] = {
 
 _VOWELS = set("aeiou")
 
+#: Channel operation priors: "substitute" is drawn twice as often as
+#: "delete" or "duplicate" in :meth:`OcrChannel.corrupt_number`.
+_NUMERIC_OP_PRIOR = {"substitute": 0.5, "delete": 0.25, "duplicate": 0.25}
+
+#: String-edit priors inside :meth:`OcrChannel._one_string_edit`: the
+#: "rn" -> "m" ligature fires with probability 0.5 when available;
+#: otherwise substitutions outweigh vowel deletions 2:1.
+_LIGATURE_PRIOR = 0.5
+_STRING_OP_PRIOR = {"substitute": 2.0 / 3.0, "delete_vowel": 1.0 / 3.0}
+
+
+@dataclass(frozen=True)
+class CorruptionDetail:
+    """One channel operation: what fired, where, and how likely it was.
+
+    ``probability`` is the channel's probability of producing exactly
+    this misreading of the original text (operation prior x position
+    choice x replacement choice).  The weights are the channel's own
+    sampling distribution, so ranking repair candidates by them is
+    maximum-likelihood decoding of the channel.
+    """
+
+    operation: str  # "substitute" | "delete" | "duplicate" | "ligature" | "delete_vowel"
+    position: int
+    original: str  # the character(s) replaced ("" for pure deletions)
+    replacement: str  # what they became ("" for pure deletions)
+    probability: float
+
 
 @dataclass(frozen=True)
 class ErrorRecord:
-    """One injected acquisition error."""
+    """One injected acquisition error.
+
+    ``operations`` lists every channel operation that contributed to
+    the corruption (numeric cells take exactly one; string cells may
+    take up to three), and ``probability`` is their product -- the
+    channel probability of this exact cell-level confusion.  Both
+    default to "unknown" so records built by older call sites stay
+    valid.
+    """
 
     table_index: int
     row_index: int
@@ -74,6 +121,8 @@ class ErrorRecord:
     original: str
     corrupted: str
     kind: str  # "numeric" | "string"
+    operations: PyTuple[CorruptionDetail, ...] = ()
+    probability: float = 0.0
 
 
 class OcrChannel:
@@ -100,63 +149,159 @@ class OcrChannel:
 
     def corrupt_number(self, text: str) -> str:
         """Apply one digit-level misreading; guaranteed to change *text*."""
+        return self.corrupt_number_detailed(text)[0]
+
+    def corrupt_number_detailed(
+        self, text: str
+    ) -> PyTuple[str, Optional[CorruptionDetail]]:
+        """Like :meth:`corrupt_number`, also reporting what fired.
+
+        The RNG call sequence is byte-identical to the historical
+        :meth:`corrupt_number`, so seeded corpora are unchanged.
+        """
         digits = [i for i, ch in enumerate(text) if ch.isdigit()]
         if not digits:
-            return text
+            return text, None
         operation = self._rng.choice(["substitute", "substitute", "delete", "duplicate"])
         position = self._rng.choice(digits)
+        position_prob = 1.0 / len(digits)
         if operation == "substitute":
             original = text[position]
             replacement = self._rng.choice(DIGIT_CONFUSIONS[original])
-            return text[:position] + replacement + text[position + 1:]
+            detail = CorruptionDetail(
+                operation="substitute",
+                position=position,
+                original=original,
+                replacement=replacement,
+                probability=_NUMERIC_OP_PRIOR["substitute"]
+                * position_prob
+                / len(DIGIT_CONFUSIONS[original]),
+            )
+            return text[:position] + replacement + text[position + 1:], detail
         if operation == "delete" and len(digits) > 1:
-            return text[:position] + text[position + 1:]
+            detail = CorruptionDetail(
+                operation="delete",
+                position=position,
+                original=text[position],
+                replacement="",
+                probability=_NUMERIC_OP_PRIOR["delete"] * position_prob,
+            )
+            return text[:position] + text[position + 1:], detail
         # duplicate (also the fallback for single-digit deletes)
-        return text[:position] + text[position] + text[position:]
+        detail = CorruptionDetail(
+            operation="duplicate",
+            position=position,
+            original=text[position],
+            replacement=text[position] * 2,
+            probability=_NUMERIC_OP_PRIOR["duplicate"] * position_prob,
+        )
+        return text[:position] + text[position] + text[position:], detail
 
     def corrupt_string(self, text: str) -> str:
         """Apply 1-3 character-level misreadings to *text*."""
+        return self.corrupt_string_detailed(text)[0]
+
+    def corrupt_string_detailed(
+        self, text: str
+    ) -> PyTuple[str, List[CorruptionDetail]]:
+        """Like :meth:`corrupt_string`, also reporting every edit.
+
+        The RNG call sequence is byte-identical to the historical
+        :meth:`corrupt_string`, so seeded corpora are unchanged.
+        """
         if not text:
-            return text
+            return text, []
+        details: List[CorruptionDetail] = []
         result = text
         n_edits = self._rng.randint(1, 3)
         for _ in range(n_edits):
-            result = self._one_string_edit(result)
+            result, detail = self._one_string_edit(result)
+            if detail is not None:
+                details.append(detail)
         if result == text:
             # Ensure the channel actually corrupted something.
-            result = self._one_string_edit(result + " ") if not text.strip() else (
-                self._force_edit(result)
-            )
-        return result
+            if not text.strip():
+                result, detail = self._one_string_edit(result + " ")
+            else:
+                result, detail = self._force_edit(result)
+            if detail is not None:
+                details.append(detail)
+        return result, details
 
-    def _one_string_edit(self, text: str) -> str:
+    def _one_string_edit(
+        self, text: str
+    ) -> PyTuple[str, Optional[CorruptionDetail]]:
         if "rn" in text and self._rng.random() < 0.5:
             index = text.index("rn")
-            return text[:index] + "m" + text[index + 2:]
+            detail = CorruptionDetail(
+                operation="ligature",
+                position=index,
+                original="rn",
+                replacement="m",
+                probability=_LIGATURE_PRIOR,
+            )
+            return text[:index] + "m" + text[index + 2:], detail
+        ligature_miss = _LIGATURE_PRIOR if "rn" in text else 1.0
         operation = self._rng.choice(["substitute", "substitute", "delete_vowel"])
         if operation == "delete_vowel":
             vowels = [i for i, ch in enumerate(text) if ch.lower() in _VOWELS]
             if vowels:
                 position = self._rng.choice(vowels)
-                return text[:position] + text[position + 1:]
+                detail = CorruptionDetail(
+                    operation="delete_vowel",
+                    position=position,
+                    original=text[position],
+                    replacement="",
+                    probability=ligature_miss
+                    * _STRING_OP_PRIOR["delete_vowel"]
+                    / len(vowels),
+                )
+                return text[:position] + text[position + 1:], detail
         positions = [i for i, ch in enumerate(text) if ch.lower() in CHAR_CONFUSIONS]
         if not positions:
-            return text
+            return text, None
         position = self._rng.choice(positions)
         original = text[position]
         replacement = self._rng.choice(CHAR_CONFUSIONS[original.lower()])
         if original.isupper():
             replacement = replacement.upper()
-        return text[:position] + replacement + text[position + 1:]
+        detail = CorruptionDetail(
+            operation="substitute",
+            position=position,
+            original=original,
+            replacement=replacement,
+            probability=ligature_miss
+            * _STRING_OP_PRIOR["substitute"]
+            / len(positions)
+            / len(CHAR_CONFUSIONS[original.lower()]),
+        )
+        return text[:position] + replacement + text[position + 1:], detail
 
-    def _force_edit(self, text: str) -> str:
+    def _force_edit(
+        self, text: str
+    ) -> PyTuple[str, Optional[CorruptionDetail]]:
         for position, character in enumerate(text):
             if character.lower() in CHAR_CONFUSIONS:
                 replacement = CHAR_CONFUSIONS[character.lower()][0]
                 if character.isupper():
                     replacement = replacement.upper()
-                return text[:position] + replacement + text[position + 1:]
-        return text + "."  # nothing confusable: simulate a stray mark
+                detail = CorruptionDetail(
+                    operation="substitute",
+                    position=position,
+                    original=character,
+                    replacement=replacement,
+                    probability=1.0 / len(CHAR_CONFUSIONS[character.lower()]),
+                )
+                return text[:position] + replacement + text[position + 1:], detail
+        # Nothing confusable: simulate a stray mark.
+        detail = CorruptionDetail(
+            operation="substitute",
+            position=len(text),
+            original="",
+            replacement=".",
+            probability=1.0,
+        )
+        return text + ".", detail
 
     # ------------------------------------------------------------------
     # Whole-document corruption
@@ -176,10 +321,16 @@ class OcrChannel:
                 rate = self.numeric_error_rate if is_numeric else self.string_error_rate
                 if rate <= 0.0 or self._rng.random() >= rate:
                     return text
-                corrupted = (
-                    self.corrupt_number(text) if is_numeric else self.corrupt_string(text)
-                )
+                if is_numeric:
+                    corrupted, detail = self.corrupt_number_detailed(text)
+                    operations = (detail,) if detail is not None else ()
+                else:
+                    corrupted, details = self.corrupt_string_detailed(text)
+                    operations = tuple(details)
                 if corrupted != text:
+                    probability = 1.0
+                    for operation in operations:
+                        probability *= operation.probability
                     errors.append(
                         ErrorRecord(
                             table_index=table_index,
@@ -188,6 +339,8 @@ class OcrChannel:
                             original=text,
                             corrupted=corrupted,
                             kind="numeric" if is_numeric else "string",
+                            operations=operations,
+                            probability=probability if operations else 0.0,
                         )
                     )
                 return corrupted
@@ -199,6 +352,114 @@ class OcrChannel:
 def _is_numeric(text: str) -> bool:
     stripped = text.strip().lstrip("-")
     return bool(stripped) and stripped.replace(".", "", 1).isdigit()
+
+
+# ----------------------------------------------------------------------
+# Channel inversion (pre-image enumeration)
+# ----------------------------------------------------------------------
+
+#: Misread digit -> digits it could have been misread *from*.
+_DIGIT_INVERSE: Dict[str, str] = {}
+for _original, _misreadings in DIGIT_CONFUSIONS.items():
+    for _misread in _misreadings:
+        _DIGIT_INVERSE[_misread] = _DIGIT_INVERSE.get(_misread, "") + _original
+
+#: Misread character -> characters it could have been misread from.
+_CHAR_INVERSE: Dict[str, str] = {}
+for _original, _misreadings in CHAR_CONFUSIONS.items():
+    for _misread in _misreadings:
+        _CHAR_INVERSE[_misread] = _CHAR_INVERSE.get(_misread, "") + _original
+
+
+def number_preimages(text: str) -> List[PyTuple[str, float]]:
+    """Plausible originals the numeric channel could have turned into *text*.
+
+    Inverts single substitutions (any digit of *text* may be the
+    misreading of another digit under :data:`DIGIT_CONFUSIONS`), single
+    duplications (an adjacent doubled digit may be a channel duplicate)
+    and single deletions (any digit the channel might have dropped is
+    re-inserted at every position), each weighted by the channel
+    probability of producing *text* from that candidate.  The deletion
+    inverse multiplies the candidate count roughly tenfold per
+    position, which is still tiny for cell-sized numerals -- and the
+    cascade's acceptance test (the candidate must clear every ground
+    constraint touching the cell) discards nearly all of them, so
+    enumerating them buys back the quarter of channel errors that are
+    deletions at negligible cost.
+
+    Returns ``[(candidate, probability), ...]`` sorted by descending
+    probability (ties broken lexically for determinism); *text* itself
+    is never a candidate.
+    """
+    digits = [i for i, ch in enumerate(text) if ch.isdigit()]
+    if not digits:
+        return []
+    candidates: Dict[str, float] = {}
+    # Substitution inverse: the channel picks a digit position uniformly
+    # (substitution preserves length, so the candidate has the same
+    # digit count as *text*), then a misreading uniformly.
+    for i in digits:
+        for original_digit in _DIGIT_INVERSE.get(text[i], ""):
+            candidate = text[:i] + original_digit + text[i + 1:]
+            probability = (
+                _NUMERIC_OP_PRIOR["substitute"]
+                / len(digits)
+                / len(DIGIT_CONFUSIONS[original_digit])
+            )
+            candidates[candidate] = candidates.get(candidate, 0.0) + probability
+    # Duplication inverse: drop one half of an adjacent doubled digit.
+    for index, i in enumerate(digits[:-1]):
+        j = digits[index + 1]
+        if j == i + 1 and text[i] == text[j]:
+            candidate = text[:i] + text[i + 1:]
+            n_original_digits = len(digits) - 1
+            probability = _NUMERIC_OP_PRIOR["duplicate"] / n_original_digits
+            candidates[candidate] = candidates.get(candidate, 0.0) + probability
+    # Deletion inverse: the channel only deletes when the original has
+    # more than one digit, so the candidate (one digit longer) always
+    # qualifies.  Insert every digit at every digit position (including
+    # just past the last digit).
+    insert_at = digits + [digits[-1] + 1]
+    n_original_digits = len(digits) + 1
+    for i in insert_at:
+        for digit in "0123456789":
+            candidate = text[:i] + digit + text[i:]
+            probability = _NUMERIC_OP_PRIOR["delete"] / n_original_digits
+            candidates[candidate] = candidates.get(candidate, 0.0) + probability
+    candidates.pop(text, None)
+    return sorted(candidates.items(), key=lambda item: (-item[1], item[0]))
+
+
+def string_preimages(text: str) -> List[PyTuple[str, float]]:
+    """Plausible originals the string channel could have produced *text* from.
+
+    Inverts the ``rn -> m`` ligature collapse and single character
+    substitutions under :data:`CHAR_CONFUSIONS`.  Vowel-deletion
+    inverses are omitted for the same candidate-explosion reason as
+    numeric deletions.  Returns ``[(candidate, probability), ...]``
+    sorted by descending probability.
+    """
+    if not text:
+        return []
+    candidates: Dict[str, float] = {}
+    for position, character in enumerate(text):
+        if character.lower() == "m":
+            replacement = "RN" if character.isupper() else "rn"
+            candidate = text[:position] + replacement + text[position + 1:]
+            candidates[candidate] = candidates.get(candidate, 0.0) + _LIGATURE_PRIOR
+        confusable = [i for i, ch in enumerate(text) if ch.lower() in CHAR_CONFUSIONS]
+        for original_char in _CHAR_INVERSE.get(character.lower(), ""):
+            if character.isupper():
+                original_char = original_char.upper()
+            candidate = text[:position] + original_char + text[position + 1:]
+            probability = (
+                _STRING_OP_PRIOR["substitute"]
+                / max(1, len(confusable))
+                / len(CHAR_CONFUSIONS[original_char.lower()])
+            )
+            candidates[candidate] = candidates.get(candidate, 0.0) + probability
+    candidates.pop(text, None)
+    return sorted(candidates.items(), key=lambda item: (-item[1], item[0]))
 
 
 def inject_value_errors(

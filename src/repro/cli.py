@@ -55,6 +55,7 @@ from repro.repair.cqa import consistent_aggregate_answer
 from repro.repair.engine import (
     HEURISTIC_BACKEND,
     ON_INFEASIBLE_MODES,
+    STRATEGIES,
     RepairEngine,
     UnrepairableError,
 )
@@ -133,6 +134,8 @@ def cmd_repair(args: argparse.Namespace) -> int:
         backend=args.backend,
         presolve=not args.no_presolve,
         on_infeasible=args.on_infeasible,
+        strategy=args.strategy,
+        misrepair_budget=args.misrepair_budget,
     )
     if args.explain_infeasible:
         try:
@@ -175,10 +178,29 @@ def cmd_repair(args: argparse.Namespace) -> int:
     ordered = involvement_order(engine.ground_system, outcome.repair.updates)
     for update in ordered:
         print(f"  {update}")
+    if outcome.cascade is not None:
+        report = outcome.cascade
+        print(f"  cascade: {report.resolved_without_milp}/{report.n_violations} "
+              f"violation(s) resolved without the MILP "
+              f"({'exact residue solved' if report.milp_invoked else 'MILP never invoked'})")
+        for tier_stats in report.tiers:
+            print(f"    {tier_stats.tier}: {tier_stats.resolved}/"
+                  f"{tier_stats.attempted} resolved, "
+                  f"{tier_stats.fallthroughs} passed on")
     if args.show_milp:
-        print("\nMILP instance (Figure 4 layout):")
-        print(outcome.translation.format_like_figure4())
+        if outcome.translation is None:
+            print("\n(no MILP instance: the cascade repaired every violation "
+                  "without invoking the MILP)")
+        else:
+            print("\nMILP instance (Figure 4 layout):")
+            print(outcome.translation.format_like_figure4())
     if args.export_mps:
+        if outcome.translation is None:
+            raise CliError(
+                "--export-mps: no MILP instance was built (the cascade "
+                "repaired every violation without it); rerun with "
+                "--strategy exact to force a translation"
+            )
         from repro.milp.mps import write_mps
 
         write_mps(outcome.translation.model, args.export_mps)
@@ -230,6 +252,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
         max_task_retries=args.max_task_retries,
         on_infeasible=args.on_infeasible,
+        strategy=args.strategy,
+        misrepair_budget=args.misrepair_budget,
     )
     for result in report.results:
         line = f"{result.name}: {result.status}"
@@ -374,6 +398,22 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: %(default)s)",
     )
     p_repair.add_argument(
+        "--strategy",
+        choices=list(STRATEGIES),
+        default="exact",
+        help="repair strategy: 'exact' always solves the MILP; 'cascade' "
+             "tries confusion-matrix inversion, equality back-solving and "
+             "a certified greedy tier first, invoking the MILP only on "
+             "the residue (same card-minimality guarantee) "
+             "(default: %(default)s)",
+    )
+    p_repair.add_argument(
+        "--misrepair-budget", type=int, default=0, metavar="N",
+        help="cascade only: accept up to N ambiguous closed-form fixes "
+             "per tier instead of falling through to the next tier "
+             "(default: %(default)s, i.e. any ambiguity falls through)",
+    )
+    p_repair.add_argument(
         "--no-presolve", action="store_true",
         help="disable the MILP presolve pass on the bnb backends "
              "(escape hatch; never changes the repair's optimality)",
@@ -446,6 +486,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[o.value for o in RepairObjective],
         default=RepairObjective.CARDINALITY.value,
         help="minimality semantics (default: the paper's card-minimality)",
+    )
+    p_batch.add_argument(
+        "--strategy",
+        choices=list(STRATEGIES),
+        default="exact",
+        help="repair strategy for every task (a task's own strategy "
+             "field overrides); 'cascade' resolves most violations "
+             "without the MILP (default: %(default)s)",
+    )
+    p_batch.add_argument(
+        "--misrepair-budget", type=int, default=0, metavar="N",
+        help="cascade only: per-tier ambiguity budget "
+             "(default: %(default)s)",
     )
     p_batch.add_argument(
         "--stats", action="store_true",

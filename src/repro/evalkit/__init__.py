@@ -11,8 +11,11 @@
 
 from repro.evalkit.metrics import (
     InterventionCost,
+    MisrepairReport,
     RepairQuality,
     intervention_cost,
+    misrepair_rate,
+    misrepair_report,
     repair_quality,
 )
 from repro.evalkit.runner import SweepCell, aggregate, sweep
@@ -23,6 +26,9 @@ __all__ = [
     "repair_quality",
     "InterventionCost",
     "intervention_cost",
+    "MisrepairReport",
+    "misrepair_report",
+    "misrepair_rate",
     "sweep",
     "aggregate",
     "SweepCell",

@@ -16,7 +16,14 @@ These are made precise here:
   against the "check everything" baseline (every value of the
   document) and the "check violated constraints" baseline (every value
   involved in a violated ground constraint -- the pre-repair state of
-  the art the introduction describes).
+  the art the introduction describes);
+- **mis-repair rate** -- of the repair cascade's *closed-form* fixes
+  (tiers T1/T2, which claim to reconstruct the source value of a
+  specific cell), how many silently diverged from the OCR channel's
+  injected ground truth.  T3/T4 fixes are excluded by design: they
+  promise card-minimality, not source fidelity, and a card-minimal
+  repair may legitimately differ from the source document (the paper's
+  first-proposal-exact rate is below 1 for the same reason).
 """
 
 from __future__ import annotations
@@ -136,3 +143,73 @@ def intervention_cost(
         check_everything=len(database.measure_cells()),
         check_violated=len(violated_cells),
     )
+
+
+# ---------------------------------------------------------------------------
+# Mis-repair rate (cascade honesty metric)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MisrepairReport:
+    """Closed-form cascade fixes audited against injected ground truth.
+
+    A closed-form fix (tier T1 confusion inversion or T2 back-solve)
+    claims to have reconstructed *the source value* of one specific
+    cell.  That claim is falsifiable when the corruption was injected:
+    the fix is a **mis-repair** when it touched a cell that was never
+    corrupted, or wrote a value different from the cell's source value.
+
+    Higher tiers are deliberately out of scope -- T3/T4 certify
+    cardinality-minimality, not source fidelity, so disagreeing with
+    the source there is not a lie (see :data:`misrepair_rate`).
+    """
+
+    #: closed-form (T1/T2) fixes the cascade emitted
+    n_closed_form: int
+    #: of those, fixes contradicting the injected ground truth
+    n_misrepairs: int
+    #: the offending cells, for diagnostics
+    misrepaired_cells: PyTuple[Cell, ...] = ()
+
+    @property
+    def misrepair_rate(self) -> float:
+        """Fraction of closed-form fixes that were wrong (0.0 if none)."""
+        if self.n_closed_form == 0:
+            return 0.0
+        return self.n_misrepairs / self.n_closed_form
+
+
+def misrepair_report(
+    report: "CascadeReport",  # noqa: F821 -- repro.repair.cascade
+    injected: Sequence[InjectedError],
+) -> MisrepairReport:
+    """Audit a cascade's closed-form fixes against *injected* errors.
+
+    *report* is the :class:`~repro.repair.cascade.CascadeReport` from
+    ``run_cascade`` (or ``RepairOutcome.cascade``); *injected* is the
+    ``(cell, old, new)`` list from
+    :func:`~repro.acquisition.ocr.inject_value_errors` -- ``old`` being
+    the source value a truthful closed-form fix must restore.
+    """
+    truth_of: Dict[Cell, float] = {cell: old for cell, old, _ in injected}
+    n_closed_form = 0
+    offenders: List[Cell] = []
+    for fix in report.closed_form_fixes():
+        n_closed_form += 1
+        truth = truth_of.get(fix.cell)
+        if truth is None or float(fix.new_value) != float(truth):
+            offenders.append(fix.cell)
+    return MisrepairReport(
+        n_closed_form=n_closed_form,
+        n_misrepairs=len(offenders),
+        misrepaired_cells=tuple(offenders),
+    )
+
+
+def misrepair_rate(
+    report: "CascadeReport",  # noqa: F821
+    injected: Sequence[InjectedError],
+) -> float:
+    """Shorthand for ``misrepair_report(report, injected).misrepair_rate``."""
+    return misrepair_report(report, injected).misrepair_rate

@@ -81,14 +81,30 @@ class SolveCache:
 
     @staticmethod
     def key_for(
-        model: MILPModel, backend: str, options: Optional[Mapping[str, Any]] = None
+        model: MILPModel,
+        backend: str,
+        options: Optional[Mapping[str, Any]] = None,
+        semantics: Optional[Mapping[str, Any]] = None,
     ) -> CacheKey:
-        """The cache key: backend, canonical options, model fingerprint."""
+        """The cache key: backend, canonical options, model fingerprint.
+
+        *semantics* carries caller-level context that changes what the
+        stored solution *means* without appearing in the model itself
+        -- e.g. the repair strategy and mis-repair budget of a cascade
+        solve (``repro.repair.cascade``), whose residue solution must
+        never be served for a plain ``exact`` request on the same
+        fingerprint.  Unlike backend options, semantics entries are
+        always folded into the key, never filtered by
+        :data:`PERFORMANCE_OPTIONS`.
+        """
         rendered_options = repr(
-            sorted(
-                (name, value)
-                for name, value in (options or {}).items()
-                if name not in PERFORMANCE_OPTIONS
+            (
+                sorted(
+                    (name, value)
+                    for name, value in (options or {}).items()
+                    if name not in PERFORMANCE_OPTIONS
+                ),
+                sorted((semantics or {}).items()),
             )
         )
         return (backend, rendered_options, canonical_fingerprint(model))

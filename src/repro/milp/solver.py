@@ -107,6 +107,13 @@ class SolveStats:
     #: "relax-magnitude" / "relax-repair" for the lexicographic
     #: relaxation passes.  Forensics phases bypass the solve cache.
     phase: str = ""
+    #: Cascade accounting (``strategy="cascade"`` repairs only): which
+    #: tier emitted this record (``"t1-inversion"`` ...), how many
+    #: violated ground rows the tier resolved, and how many it handed
+    #: on to the next tier.  Empty / zero for ordinary solves.
+    tier: str = ""
+    tier_hits: int = 0
+    tier_fallthroughs: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -128,6 +135,9 @@ class SolveStats:
             "gap": self.gap,
             "best_bound": self.best_bound,
             "phase": self.phase,
+            "tier": self.tier,
+            "tier_hits": self.tier_hits,
+            "tier_fallthroughs": self.tier_fallthroughs,
         }
 
     def __str__(self) -> str:
@@ -150,6 +160,10 @@ class SolveStats:
             flags.append(f"anytime(gap={certified})")
         if self.phase:
             flags.append(f"phase:{self.phase}")
+        if self.tier:
+            flags.append(
+                f"{self.tier}:{self.tier_hits}/{self.tier_fallthroughs}"
+            )
         suffix = f" [{', '.join(flags)}]" if flags else ""
         return (
             f"{self.backend}: {self.status} in {self.wall_time * 1000:.2f} ms, "
@@ -218,17 +232,22 @@ def solve_with_stats(
     backend: str = DEFAULT_BACKEND,
     *,
     cache: Optional[SolveCache] = None,
+    cache_semantics: Optional[Dict[str, object]] = None,
     **options,
 ) -> Tuple[Solution, SolveStats]:
     """Solve *model*, returning ``(solution, stats)``.
 
     With a *cache*, the canonical fingerprint of the model is looked up
     first; a hit skips the backend entirely and is flagged in the
-    returned :class:`SolveStats`.
+    returned :class:`SolveStats`.  *cache_semantics* is caller context
+    folded into the key unconditionally (see
+    :meth:`~repro.milp.cache.SolveCache.key_for`): a cascade residue
+    solve and an exact solve of the same fingerprint must not share an
+    entry.
     """
     started = time.perf_counter()
     if cache is not None:
-        key = SolveCache.key_for(model, backend, options)
+        key = SolveCache.key_for(model, backend, options, cache_semantics)
         hit = cache.get(key)
         if hit is not None:
             return hit, _stats_from_solution(

@@ -10,6 +10,10 @@
 - :mod:`repro.repair.heuristic` -- the greedy primal repair over the
   MILP translation: an approximate backend and the incumbent seed for
   the branch-and-bound backends;
+- :mod:`repro.repair.cascade` -- the tiered repair cascade
+  (``strategy="cascade"``): confusion-matrix inversion, equality
+  back-solving and a certified greedy tier resolve most violations
+  without invoking the MILP, which remains as the exact residue tier;
 - :mod:`repro.repair.relax` -- elastic relaxation of infeasible
   instances (``on_infeasible="relax"``): lexicographically minimal
   violations with a structured report, never cached;
@@ -62,9 +66,22 @@ from repro.repair.setminimal import (
 )
 from repro.repair.engine import (
     HEURISTIC_BACKEND,
+    STRATEGIES,
     RepairEngine,
     RepairOutcome,
     UnrepairableError,
+)
+from repro.repair.cascade import (
+    CLOSED_FORM_TIERS,
+    TIERS,
+    CascadeError,
+    CascadeFix,
+    CascadeReport,
+    TierStats,
+    ViolationClass,
+    classify_violation,
+    classify_violations,
+    run_cascade,
 )
 from repro.repair.heuristic import HeuristicResult, greedy_repair
 from repro.repair.batch import (
@@ -108,8 +125,19 @@ __all__ = [
     "practical_big_m",
     "RepairEngine",
     "HEURISTIC_BACKEND",
+    "STRATEGIES",
     "HeuristicResult",
     "greedy_repair",
+    "CascadeError",
+    "CascadeFix",
+    "CascadeReport",
+    "TierStats",
+    "ViolationClass",
+    "classify_violation",
+    "classify_violations",
+    "run_cascade",
+    "TIERS",
+    "CLOSED_FORM_TIERS",
     "RepairObjective",
     "RepairOutcome",
     "UnrepairableError",

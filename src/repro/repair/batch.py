@@ -81,8 +81,9 @@ from repro.faultinject import FaultConfig, chaos_before_task
 from repro.milp.cache import DEFAULT_CACHE_SIZE, SolveCache
 from repro.milp.solver import DEFAULT_BACKEND, FALLBACK_BACKEND, SolveStats
 from repro.relational.database import Database
+from repro.repair.cascade import TIER_EXACT, TIERS
 from repro.repair.checkpoint import CheckpointJournal, task_fingerprint
-from repro.repair.engine import ON_INFEASIBLE_MODES, RepairEngine
+from repro.repair.engine import ON_INFEASIBLE_MODES, STRATEGIES, RepairEngine
 from repro.repair.translation import RepairObjective
 from repro.repair.updates import Repair
 
@@ -108,6 +109,11 @@ class RepairTask:
     objective: RepairObjective = RepairObjective.CARDINALITY
     weights: Optional[Mapping[Cell, float]] = None
     pins: Optional[Mapping[Cell, float]] = None
+    #: Repair strategy override (``"exact"`` / ``"cascade"``); None
+    #: inherits the batch-level default.
+    strategy: Optional[str] = None
+    #: Cascade mis-repair budget override; None inherits the batch's.
+    misrepair_budget: Optional[int] = None
 
 
 @dataclass
@@ -244,6 +250,39 @@ class BatchReport:
     def n_seeded_solves(self) -> int:
         return sum(1 for s in self.all_stats if s.heuristic_seeded)
 
+    @property
+    def cascade_tier_hits(self) -> Dict[str, int]:
+        """Violated rows resolved per cascade tier, batch-wide.
+
+        Synthetic ``backend="cascade"`` records carry T1-T3 counts;
+        the T4 entry counts residual rows that reached a real solver
+        (records stamped ``tier="t4-exact"``, cache hits included).
+        """
+        hits = {tier: 0 for tier in TIERS}
+        for record in self.all_stats:
+            if record.backend == "cascade":
+                hits[record.tier] += record.tier_hits
+            elif record.tier == TIER_EXACT:
+                hits[TIER_EXACT] = hits[TIER_EXACT] + record.tier_hits
+        return hits
+
+    @property
+    def n_milp_free(self) -> int:
+        """Cascade tasks repaired without any real solver record."""
+        count = 0
+        for result in self.results:
+            cascade_records = [
+                s for s in result.stats if s.backend == "cascade"
+            ]
+            if not cascade_records or result.status != "repaired":
+                continue
+            if all(
+                s.backend == "cascade" or s.tier != TIER_EXACT
+                for s in result.stats
+            ):
+                count += 1
+        return count
+
     def aggregate(self) -> Dict[str, float]:
         """The flat numbers the benches tabulate.
 
@@ -272,6 +311,11 @@ class BatchReport:
             "seeded_solves": float(self.n_seeded_solves),
             "wall_time": self.wall_time,
             "solver_seconds": self.solver_seconds,
+            **{
+                f"cascade_{tier}": float(hits)
+                for tier, hits in self.cascade_tier_hits.items()
+            },
+            "milp_free": float(self.n_milp_free),
         }
 
     def summary(self) -> str:
@@ -310,6 +354,8 @@ def _attempt(
     cache: Optional[SolveCache],
     stats_sink: List[SolveStats],
     on_infeasible: str = "raise",
+    strategy: str = "exact",
+    misrepair_budget: int = 0,
 ) -> Tuple[
     str, Optional[Repair], Optional[float], bool, Optional[float],
     Optional[List[Dict]],
@@ -327,6 +373,12 @@ def _attempt(
         weights=task.weights,
         solve_cache=cache,
         on_infeasible=on_infeasible,
+        strategy=task.strategy or strategy,
+        misrepair_budget=(
+            misrepair_budget
+            if task.misrepair_budget is None
+            else task.misrepair_budget
+        ),
     )
     try:
         # Pins may demand values the current (consistent) instance does
@@ -375,6 +427,8 @@ def execute_task(
     retry_fallback: bool = True,
     cache: Optional[SolveCache] = None,
     on_infeasible: str = "raise",
+    strategy: str = "exact",
+    misrepair_budget: int = 0,
 ) -> BatchItemResult:
     """Run one task with budget + fallback-backend semantics.
 
@@ -394,7 +448,8 @@ def execute_task(
     stats: List[SolveStats] = []
     try:
         status, repair, objective, approximate, gap, violations = _attempt(
-            task, primary, timeout, cache, stats, on_infeasible
+            task, primary, timeout, cache, stats, on_infeasible,
+            strategy, misrepair_budget,
         )
         return BatchItemResult(
             index=index,
@@ -430,7 +485,8 @@ def execute_task(
         fallback_stats: List[SolveStats] = []
         try:
             status, repair, objective, approximate, gap, violations = _attempt(
-                task, fallback, timeout, cache, fallback_stats, on_infeasible
+                task, fallback, timeout, cache, fallback_stats, on_infeasible,
+                strategy, misrepair_budget,
             )
             for record in fallback_stats:
                 record.fallback = True
@@ -519,7 +575,10 @@ def _sentinel_exists(sentinel_dir: str, index: int, attempt: int, stage: str) ->
 
 def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
     """Execute one chunk of entries inside a worker."""
-    chunk, default_backend, timeout, retry_fallback, sentinel_dir, on_infeasible = payload
+    (
+        chunk, default_backend, timeout, retry_fallback, sentinel_dir,
+        on_infeasible, strategy, misrepair_budget,
+    ) = payload
     results = []
     for index, attempt, task in chunk:
         _sentinel(sentinel_dir, index, attempt, "start")
@@ -532,6 +591,8 @@ def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
             retry_fallback=retry_fallback,
             cache=_WORKER_CACHE,
             on_infeasible=on_infeasible,
+            strategy=strategy,
+            misrepair_budget=misrepair_budget,
         )
         result.attempts = attempt + 1
         _sentinel(sentinel_dir, index, attempt, "done")
@@ -590,6 +651,8 @@ def _run_generation(
     fault_config: Optional[FaultConfig],
     hard_timeout: Optional[float],
     on_infeasible: str,
+    strategy: str,
+    misrepair_budget: int,
     on_result: Callable[[BatchItemResult], None],
 ) -> Tuple[List[_Entry], bool]:
     """Run one pool lifetime; returns (undelivered entries, pool broke).
@@ -618,6 +681,8 @@ def _run_generation(
                 retry_fallback,
                 sentinel_dir,
                 on_infeasible,
+                strategy,
+                misrepair_budget,
             )
             try:
                 futures[pool.submit(_run_chunk, payload)] = chunk
@@ -681,6 +746,8 @@ def _run_pool(
     hard_timeout: Optional[float],
     fault_config: Optional[FaultConfig],
     on_infeasible: str,
+    strategy: str,
+    misrepair_budget: int,
     on_result: Callable[[BatchItemResult], None],
 ) -> int:
     """Drive the pool to completion through crashes; returns respawn count."""
@@ -721,6 +788,8 @@ def _run_pool(
                 fault_config=fault_config,
                 hard_timeout=hard_timeout,
                 on_infeasible=on_infeasible,
+                strategy=strategy,
+                misrepair_budget=misrepair_budget,
                 on_result=on_result,
             )
             generation += 1
@@ -785,6 +854,8 @@ def repair_batch(
     hard_timeout: Optional[float] = None,
     fault_config: Optional[FaultConfig] = None,
     on_infeasible: str = "raise",
+    strategy: str = "exact",
+    misrepair_budget: int = 0,
 ) -> BatchReport:
     """Repair every task, in parallel when ``workers >= 1``.
 
@@ -811,11 +882,22 @@ def repair_batch(
     :class:`~repro.repair.engine.RepairEngine`: ``"relax"`` turns
     infeasible tasks into ``status="relaxed"`` results carrying their
     violation report instead of ``status="infeasible"``.
+
+    ``strategy`` selects the repair path for every task that does not
+    carry its own override (``"exact"`` or ``"cascade"``, see
+    :mod:`repro.repair.cascade`); ``misrepair_budget`` is the
+    cascade-wide ambiguity allowance forwarded alongside it.  Both are
+    part of the checkpoint identity: a journal written under one
+    strategy is never replayed for another.
     """
     if on_infeasible not in ON_INFEASIBLE_MODES:
         raise ValueError(
             f"on_infeasible must be one of {ON_INFEASIBLE_MODES}, "
             f"got {on_infeasible!r}"
+        )
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"strategy must be one of {STRATEGIES}, got {strategy!r}"
         )
     task_list = list(tasks)
     started = time.perf_counter()
@@ -825,12 +907,19 @@ def repair_batch(
     replayed: Dict[int, BatchItemResult] = {}
     if checkpoint is not None:
         journal = CheckpointJournal(checkpoint)
-        fingerprints = [task_fingerprint(task) for task in task_list]
+        fingerprints = [
+            task_fingerprint(
+                task, strategy=strategy, misrepair_budget=misrepair_budget
+            )
+            for task in task_list
+        ]
         header_meta = {
             "n_tasks": len(task_list),
             "backend": backend,
             "timeout": timeout,
             "on_infeasible": on_infeasible,
+            "strategy": strategy,
+            "misrepair_budget": misrepair_budget,
         }
         if journal.exists() and resume:
             replayed, _ = journal.load_completed(
@@ -871,6 +960,8 @@ def repair_batch(
                         retry_fallback=retry_fallback,
                         cache=cache,
                         on_infeasible=on_infeasible,
+                        strategy=strategy,
+                        misrepair_budget=misrepair_budget,
                     )
                     result.attempts = crashes + 1
                     break
@@ -908,6 +999,8 @@ def repair_batch(
         hard_timeout=hard_timeout,
         fault_config=fault_config,
         on_infeasible=on_infeasible,
+        strategy=strategy,
+        misrepair_budget=misrepair_budget,
         on_result=deliver,
     )
     assert all(result is not None for result in results)

@@ -61,12 +61,35 @@ def _hash_database(digest: "hashlib._Hash", database: Database) -> None:
             digest.update(repr((row.tuple_id, tuple(row.values))).encode("utf-8"))
 
 
-def task_fingerprint(task: "RepairTask") -> str:  # noqa: F821 (circular-safe)
-    """A stable content hash of everything that determines a task's result."""
+def task_fingerprint(
+    task: "RepairTask",  # noqa: F821 (circular-safe)
+    *,
+    strategy: str = "exact",
+    misrepair_budget: int = 0,
+) -> str:
+    """A stable content hash of everything that determines a task's result.
+
+    *strategy* / *misrepair_budget* are the batch-level defaults; the
+    task's own overrides win.  They are part of the identity because a
+    cascade repair and an exact repair of the same instance are
+    different results (different tier provenance, possibly different
+    -- though equally minimal -- update sets), so a journal written
+    under one must not replay for the other.
+    """
     digest = hashlib.sha256()
     digest.update(repr(task.name).encode("utf-8"))
     digest.update(repr(task.backend).encode("utf-8"))
     digest.update(repr(task.objective.value).encode("utf-8"))
+    effective_strategy = getattr(task, "strategy", None) or strategy
+    effective_budget = getattr(task, "misrepair_budget", None)
+    if effective_budget is None:
+        effective_budget = misrepair_budget
+    # Hashed only when non-default so journals from before the cascade
+    # existed keep verifying.
+    if effective_strategy != "exact" or effective_budget != 0:
+        digest.update(
+            repr((effective_strategy, effective_budget)).encode("utf-8")
+        )
     digest.update(
         repr(sorted((task.pins or {}).items())).encode("utf-8")
     )

@@ -45,7 +45,13 @@ from repro.milp.deadline import Deadline
 from repro.milp.iis import IISError, extract_iis
 from repro.milp.model import Solution, SolveStatus
 from repro.milp.solver import DEFAULT_BACKEND, SolveStats, solve_with_stats
-from repro.relational.database import Database
+from repro.relational.database import Database, diff_databases
+from repro.repair.cascade import (
+    TIER_EXACT,
+    CascadeError,
+    CascadeReport,
+    run_cascade,
+)
 from repro.repair.heuristic import greedy_repair
 from repro.repair.relax import RelaxationReport, relax_infeasible
 from repro.repair.translation import (
@@ -56,7 +62,7 @@ from repro.repair.translation import (
     TranslationError,
     translate,
 )
-from repro.repair.updates import Repair, apply_repair
+from repro.repair.updates import AtomicUpdate, Repair, apply_repair
 
 #: The engine-level approximate backend: the greedy primal heuristic
 #: of :mod:`repro.repair.heuristic` instead of an exact MILP solve.
@@ -69,6 +75,12 @@ _SEEDABLE_BACKENDS = frozenset({"bnb", "bnb-simplex"})
 #: What the engine does once the MILP stays INFEASIBLE after every
 #: Big-M escalation (see ``RepairEngine(on_infeasible=...)``).
 ON_INFEASIBLE_MODES = ("raise", "explain", "relax")
+
+#: Repair strategies: ``"exact"`` translates every violation straight
+#: into ``S*(AC)``; ``"cascade"`` runs the tiered cascade of
+#: :mod:`repro.repair.cascade` first and hands only the residue to the
+#: MILP (tier T4).
+STRATEGIES = ("exact", "cascade")
 
 
 class UnrepairableError(InfeasibleSystemError, RuntimeError):
@@ -94,8 +106,11 @@ class RepairOutcome:
 
     repair: Repair
     objective: float
-    translation: MILPTranslation
-    solution: Solution
+    #: The MILP artefacts.  ``None`` for MILP-free cascade repairs
+    #: (``strategy="cascade"`` with an empty residue): no translation
+    #: was ever built and no solver ran.
+    translation: Optional[MILPTranslation] = None
+    solution: Optional[Solution] = None
     escalations: int = 0
     #: SolveStats for every solver call this repair needed (the Big-M
     #: escalation loop may take several).
@@ -112,6 +127,10 @@ class RepairOutcome:
     #: are never cached and never counted as exact repairs.
     relaxed: bool = False
     violations: Optional[RelaxationReport] = None
+    #: Which strategy produced this outcome, and -- for cascades -- the
+    #: per-tier report (fixes, hit/fallthrough/latency counters).
+    strategy: str = "exact"
+    cascade: Optional[CascadeReport] = None
 
     @property
     def cardinality(self) -> int:
@@ -144,6 +163,8 @@ class RepairEngine:
         presolve: bool = True,
         seed_incumbent: bool = True,
         on_infeasible: str = "raise",
+        strategy: str = "exact",
+        misrepair_budget: int = 0,
     ) -> None:
         """``objective`` / ``weights`` select the minimality semantics
         (see :class:`~repro.repair.translation.RepairObjective`); the
@@ -169,13 +190,38 @@ class RepairEngine:
         conflicting ground constraints and pins), or ``"relax"``
         (return a best-effort :class:`RepairOutcome` with
         ``relaxed=True`` and a violation report -- see
-        :mod:`repro.repair.relax`)."""
+        :mod:`repro.repair.relax`).
+
+        ``strategy="cascade"`` runs the tiered repair cascade
+        (:mod:`repro.repair.cascade`) before the MILP: confusion
+        inversion, aggregate back-solving and the certified residue
+        search clear what they can prove, and only the residue reaches
+        the exact backend.  ``misrepair_budget`` bounds how many
+        ambiguous closed-form guesses the cascade may take (default 0:
+        fall through instead of guessing).  The cascade requires the
+        cardinality objective; pins bypass it straight to the exact
+        path."""
         if on_infeasible not in ON_INFEASIBLE_MODES:
             raise ValueError(
                 f"on_infeasible must be one of {ON_INFEASIBLE_MODES}, "
                 f"got {on_infeasible!r}"
             )
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        if misrepair_budget < 0:
+            raise CascadeError(
+                f"misrepair_budget must be >= 0, got {misrepair_budget}"
+            )
+        if strategy == "cascade" and objective is not RepairObjective.CARDINALITY:
+            raise CascadeError(
+                "strategy='cascade' certifies card-minimality only; use "
+                "the exact strategy for weighted objectives"
+            )
         self.on_infeasible = on_infeasible
+        self.strategy = strategy
+        self.misrepair_budget = int(misrepair_budget)
         self.database = database
         self.constraints = list(constraints)
         self.backend = backend
@@ -187,6 +233,19 @@ class RepairEngine:
         self.max_escalations = max_escalations
         self.objective = objective
         self.weights = dict(weights) if weights else None
+        #: Folded into every solve-cache key (see
+        #: :meth:`~repro.milp.cache.SolveCache.key_for`): a cascade
+        #: residue solves a *mutated* working copy under different
+        #: semantics, so its entries must never be served for a plain
+        #: exact request -- and vice versa.
+        self._cache_semantics: Optional[Dict[str, object]] = (
+            None
+            if strategy == "exact"
+            else {
+                "strategy": strategy,
+                "misrepair_budget": self.misrepair_budget,
+            }
+        )
         for constraint in self.constraints:
             constraint.validate(database.schema)
             if not constraint.is_steady(database.schema):
@@ -245,6 +304,12 @@ class RepairEngine:
         when no incumbent exists at all does the engine raise
         :class:`~repro.diagnostics.SolveTimeoutError`.
         """
+        if self.strategy == "cascade" and not pins:
+            # Pins bypass the cascade: the closed-form tiers reason
+            # about channel pre-images and equality rows, not about
+            # operator-imposed values, so a pinned request goes
+            # straight to the exact path below.
+            return self._solve_cascade(time_limit, solver_options)
         big_m_override: Optional[float] = None
         escalations = 0
         stats_start = len(self.solve_stats)
@@ -358,6 +423,132 @@ class RepairEngine:
                 approximate=approximate,
                 gap=solution.gap,
             )
+
+    # ------------------------------------------------------------------
+    # The tiered cascade (strategy="cascade")
+    # ------------------------------------------------------------------
+
+    def _solve_cascade(
+        self, time_limit: Optional[float], solver_options: Dict
+    ) -> RepairOutcome:
+        """Tiers T1-T3 on a working copy, then the exact T4 residue.
+
+        Emits one synthetic :class:`~repro.milp.solver.SolveStats`
+        record per cascade tier (``backend="cascade"``,
+        ``phase="cascade"``, hit/fallthrough counts in the ``tier_*``
+        fields) alongside the real solver records of the residue, which
+        are stamped ``tier="t4-exact"``.  The combined repair (cascade
+        fixes plus residue updates) is re-verified against the full
+        constraint set before being handed back, exactly like an exact
+        repair.
+        """
+        stats_start = len(self.solve_stats)
+        deadline = Deadline(time_limit)
+        working, report = run_cascade(
+            self.database,
+            self.constraints,
+            grounds=self.ground_system,
+            misrepair_budget=self.misrepair_budget,
+        )
+        for tier_stats in report.tiers:
+            self.solve_stats.append(
+                SolveStats(
+                    backend="cascade",
+                    status="tier",
+                    wall_time=tier_stats.wall_time,
+                    phase="cascade",
+                    tier=tier_stats.tier,
+                    tier_hits=tier_stats.resolved,
+                    tier_fallthroughs=tier_stats.fallthroughs,
+                )
+            )
+        escalations = 0
+        translation: Optional[MILPTranslation] = None
+        solution: Optional[Solution] = None
+        approximate = False
+        gap: Optional[float] = None
+        relaxed = False
+        violations: Optional[RelaxationReport] = None
+        final = working
+        if report.milp_invoked:
+            deadline.check("cascade residue solve")
+            child = RepairEngine(
+                working,
+                self.constraints,
+                backend=self.backend,
+                big_m_strategy=self.big_m_strategy,
+                max_escalations=self.max_escalations,
+                objective=self.objective,
+                solve_cache=self.solve_cache,
+                presolve=self.presolve,
+                seed_incumbent=self.seed_incumbent,
+                on_infeasible=self.on_infeasible,
+            )
+            # Steady constraints make the ground system value-
+            # independent, so the system grounded on the original
+            # instance is exactly S(AC) for the working copy too.
+            child._grounding._system = list(self.ground_system)
+            # The residue is solved *under cascade semantics*: its
+            # cache entries must never be served for a plain exact
+            # request (and vice versa).
+            child._cache_semantics = dict(self._cache_semantics or {})
+            outcome = child.find_card_minimal_repair(
+                time_limit=(
+                    deadline.remaining()
+                    if deadline.budget is not None
+                    else None
+                ),
+                **solver_options,
+            )
+            for position, stats in enumerate(outcome.stats):
+                stats.tier = TIER_EXACT
+                # Residual-row count once per repair, not once per
+                # escalation record, so aggregates sum cleanly.
+                stats.tier_hits = report.n_residual if position == 0 else 0
+            self.solve_stats.extend(outcome.stats)
+            escalations = outcome.escalations
+            translation = outcome.translation
+            solution = outcome.solution
+            approximate = outcome.approximate
+            gap = outcome.gap
+            relaxed = outcome.relaxed
+            violations = outcome.violations
+            final = apply_repair(working, outcome.repair)
+        repair = Repair(
+            [
+                AtomicUpdate(relation, tuple_id, attribute, old, new)
+                for relation, tuple_id, attribute, old, new in diff_databases(
+                    self.database, final
+                )
+            ]
+        )
+        if not relaxed and not self.is_consistent(final):
+            raise UnrepairableError(
+                "cascade verification failed: the combined repair leaves "
+                "a ground constraint violated"
+            )
+        logger.info(
+            "cascade repair found: %d update(s), %d/%d violation(s) "
+            "resolved before the MILP%s",
+            repair.cardinality,
+            report.resolved_without_milp,
+            report.n_violations,
+            "" if report.milp_invoked else " (MILP-free)",
+        )
+        return RepairOutcome(
+            repair=repair,
+            objective=float(repair.cardinality),
+            translation=translation,
+            solution=solution,
+            escalations=escalations,
+            stats=self.solve_stats[stats_start:],
+            approximate=approximate,
+            gap=gap,
+            relaxed=relaxed,
+            violations=violations,
+            strategy="cascade",
+            cascade=report,
+        )
 
     # ------------------------------------------------------------------
     # Infeasibility forensics
@@ -578,6 +769,7 @@ class RepairEngine:
             translation.model,
             backend=self.backend,
             cache=self.solve_cache,
+            cache_semantics=self._cache_semantics,
             **options,
         )
         if seeded_objective is not None:

@@ -270,3 +270,76 @@ def test_known_degenerate_tie_agrees():
         name: solve(model, backend=name).objective for name in ALL_BACKENDS
     }
     assert all(v == pytest.approx(1.0) for v in objectives.values()), objectives
+
+
+# ---------------------------------------------------------------------------
+# Cascade vs exact: the tiered strategy is a different *algorithm*, not
+# a different backend, so it gets the same differential treatment --
+# on real repair instances rather than raw models.
+# ---------------------------------------------------------------------------
+
+N_CASCADE_SEEDS = 12
+
+
+@pytest.mark.parametrize(
+    "seed", derived_seeds(N_CASCADE_SEEDS), ids=lambda s: f"cseed{s}"
+)
+@pytest.mark.parametrize("n_errors", [1, 3, 5])
+def test_cascade_matches_exact_optimum(seed, n_errors):
+    """Same cardinality as the exact MILP, and a consistent result.
+
+    The cascade's acceptance rules only ever commit a fix whose
+    cardinality is backed by a proven lower bound, so its final repair
+    must tie the exact backend's optimum exactly -- never merely
+    approximate it.
+    """
+    from repro.acquisition.ocr import inject_value_errors
+    from repro.datasets import generate_cash_budget
+    from repro.repair.engine import RepairEngine
+
+    workload = generate_cash_budget(n_years=2, seed=seed)
+    corrupted, _ = inject_value_errors(
+        workload.ground_truth, n_errors, seed=seed + 1000
+    )
+
+    exact = RepairEngine(
+        corrupted, workload.constraints, backend=PRODUCTION_BACKEND
+    ).find_card_minimal_repair()
+    engine = RepairEngine(
+        corrupted, workload.constraints, strategy="cascade"
+    )
+    outcome = engine.find_card_minimal_repair()
+
+    assert outcome.cardinality == exact.cardinality, (
+        f"cascade changed {outcome.cardinality} cells, exact optimum is "
+        f"{exact.cardinality} {describe_seed(seed)}"
+    )
+    repaired = engine.apply(outcome.repair)
+    assert engine.is_consistent(repaired), (
+        f"cascade repair leaves violations {describe_seed(seed)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "seed", derived_seeds(6), ids=lambda s: f"bseed{s}"
+)
+def test_cascade_agrees_with_own_backend_residue(seed):
+    """Cascade over the from-scratch backend ties the scipy optimum."""
+    from repro.acquisition.ocr import inject_value_errors
+    from repro.datasets import generate_cash_budget
+    from repro.repair.engine import RepairEngine
+
+    workload = generate_cash_budget(n_years=2, seed=seed)
+    corrupted, _ = inject_value_errors(
+        workload.ground_truth, 4, seed=seed + 500
+    )
+    exact = RepairEngine(
+        corrupted, workload.constraints, backend=PRODUCTION_BACKEND
+    ).find_card_minimal_repair()
+    cascade = RepairEngine(
+        corrupted,
+        workload.constraints,
+        strategy="cascade",
+        backend=OWN_BACKEND,
+    ).find_card_minimal_repair()
+    assert cascade.cardinality == exact.cardinality, describe_seed(seed)

@@ -4,7 +4,13 @@ import pytest
 
 from repro.acquisition.ocr import inject_value_errors
 from repro.datasets import generate_cash_budget
-from repro.evalkit.metrics import intervention_cost, repair_quality
+from repro.evalkit.metrics import (
+    MisrepairReport,
+    intervention_cost,
+    misrepair_rate,
+    misrepair_report,
+    repair_quality,
+)
 from repro.evalkit.runner import SweepCell, aggregate, sweep
 from repro.evalkit.tables import ascii_table, format_float
 from repro.repair.engine import RepairEngine
@@ -81,6 +87,78 @@ class TestInterventionCost:
         assert 0 < cost.check_violated <= 20
         assert cost.dart_inspections == 2
         assert cost.saving_vs_everything == pytest.approx(1 - 2 / 20)
+
+
+class TestMisrepairRate:
+    """Goldens for the cascade honesty metric.
+
+    The hand-built reports pin the arithmetic; the seeded golden pins
+    the end-to-end value on a known scenario (a change in the cascade
+    or the channel that starts mis-repairing shows up here first).
+    """
+
+    @staticmethod
+    def fix(tier, cell, new_value):
+        from repro.repair.cascade import CascadeFix
+
+        return CascadeFix(
+            tier=tier, cell=cell, old_value=0.0, new_value=new_value
+        )
+
+    @staticmethod
+    def report(fixes):
+        from repro.repair.cascade import CascadeReport
+
+        return CascadeReport(budget=0, fixes=list(fixes))
+
+    def test_truthful_fix_scores_zero(self):
+        cell = ("CashBudget", 0, "Value")
+        report = self.report([self.fix("t1-inversion", cell, 220.0)])
+        audit = misrepair_report(report, [(cell, 220.0, 250.0)])
+        assert audit == MisrepairReport(n_closed_form=1, n_misrepairs=0)
+        assert audit.misrepair_rate == 0.0
+
+    def test_wrong_value_is_a_misrepair(self):
+        cell = ("CashBudget", 0, "Value")
+        report = self.report([self.fix("t2-backsolve", cell, 225.0)])
+        audit = misrepair_report(report, [(cell, 220.0, 250.0)])
+        assert audit.n_misrepairs == 1
+        assert audit.misrepaired_cells == (cell,)
+        assert audit.misrepair_rate == 1.0
+
+    def test_uninjected_cell_is_a_misrepair(self):
+        injected_cell = ("CashBudget", 0, "Value")
+        other_cell = ("CashBudget", 7, "Value")
+        report = self.report([self.fix("t1-inversion", other_cell, 42.0)])
+        audit = misrepair_report(report, [(injected_cell, 220.0, 250.0)])
+        assert audit.n_misrepairs == 1
+
+    def test_higher_tiers_are_not_scored(self):
+        cell = ("CashBudget", 0, "Value")
+        report = self.report(
+            [
+                self.fix("t3-greedy", cell, 999.0),
+                self.fix("t4-exact", cell, 999.0),
+            ]
+        )
+        audit = misrepair_report(report, [(cell, 220.0, 250.0)])
+        assert audit == MisrepairReport(n_closed_form=0, n_misrepairs=0)
+        assert audit.misrepair_rate == 0.0
+
+    def test_no_fixes_rate_is_zero(self):
+        assert self.report([]).closed_form_fixes() == []
+        assert misrepair_rate(self.report([]), []) == 0.0
+
+    def test_seeded_golden_scenario(self):
+        """End-to-end: run the real cascade and audit it."""
+        from repro.repair.cascade import run_cascade
+
+        workload = generate_cash_budget(n_years=2, seed=7)
+        corrupted, injected = inject_value_errors(
+            workload.ground_truth, 3, seed=1007
+        )
+        _, report = run_cascade(corrupted, workload.constraints)
+        assert misrepair_rate(report, injected) == 0.0
 
 
 class TestRunner:

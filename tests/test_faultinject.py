@@ -273,9 +273,13 @@ def test_chaos_sweep_never_crashes_and_accounts_exactly(
     ]
     chaos = FaultConfig(seed=chaos_seed, kill_rate=0.3)
     checkpoint = tmp_path / f"chaos-{chaos_seed}.jsonl"
+    # The CI cascade lane reruns this sweep with the tiered strategy
+    # (REPRO_BATCH_STRATEGY=cascade): same chaos, same invariants.
+    strategy = os.environ.get("REPRO_BATCH_STRATEGY", "exact")
     report = repair_batch(
         tasks, workers=None, fault_config=chaos,
         checkpoint=str(checkpoint), max_task_retries=2, retry_backoff=0.0,
+        strategy=strategy,
     )
     # 1. No crash, every task classified.
     assert len(report.results) == len(tasks)
@@ -299,7 +303,9 @@ def test_chaos_sweep_never_crashes_and_accounts_exactly(
         assert by_index[result.index]["status"] == result.status
     # And a resume replays it verbatim -- chaos config gone, nothing
     # re-runs, aggregates identical minus elapsed time.
-    resumed = repair_batch(tasks, workers=None, checkpoint=str(checkpoint))
+    resumed = repair_batch(
+        tasks, workers=None, checkpoint=str(checkpoint), strategy=strategy
+    )
     assert resumed.n_resumed == len(tasks)
     a = {k: v for k, v in report.aggregate().items() if k != "wall_time"}
     b = {k: v for k, v in resumed.aggregate().items() if k != "wall_time"}
