@@ -1,19 +1,28 @@
 """The MILP hot-path benchmark: the tracked perf trajectory.
 
-Runs every scenario twice per branch-and-bound backend:
+Runs every scenario in up to three modes per branch-and-bound backend:
 
 - **legacy** -- the pre-overhaul solve path: no presolve, cold node
-  LPs, most-fractional branching, Bland pricing, no incumbent seed;
-- **current** -- the defaults after the overhaul: presolve, warm
-  starts (simplex backend), pseudo-cost branching, Dantzig pricing,
-  heuristic incumbent seeding.
+  LPs, most-fractional branching, Bland pricing, no incumbent seed,
+  dense arrays;
+- **current** -- the PR 2 defaults: presolve, warm starts (simplex
+  backend), pseudo-cost branching, Dantzig pricing, heuristic
+  incumbent seeding -- still on the dense lowering and per-call
+  ``linprog`` node solves;
+- **sparse** -- today's defaults: everything above plus the CSR
+  sparse core (revised simplex / persistent HiGHS node LPs) and
+  root + node cutting planes.
 
-Both modes must produce the *same* objective on every scenario (the
-optimisations are performance-only); the speedup is the geometric mean
-of per-scenario wall-clock ratios.  Results land in ``BENCH_milp.json``
-at the repository root -- machine-readable, one entry per scenario with
-nodes / pivots / wall-clock -- so the trajectory is diffable from this
-PR onward.
+All modes must produce the *same* objective on every scenario (the
+optimisations are performance-only); each upgrade's speedup is the
+geometric mean of per-scenario wall-clock ratios.  The e4/e5 scaling
+scenarios additionally get their own ``sparse`` geomean
+(``sparse_scaling_geomean``), the number the perf acceptance gate
+tracks.  The *legacy* mode is skipped on the e5 scenarios -- it takes
+minutes there and its trajectory is already pinned by the smaller
+scenarios.  Results land in ``BENCH_milp.json`` at the repository root
+-- machine-readable, one entry per scenario with nodes / pivots /
+wall-clock -- so the trajectory is diffable from this PR onward.
 
 Run directly (CI does)::
 
@@ -44,7 +53,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_milp.json"
 
 #: Per-mode solver options.  "legacy" reproduces the pre-overhaul
-#: search exactly; "current" is what a caller gets by default.
+#: search exactly; "current" is the PR 2 default (dense arrays);
+#: "sparse" is what a caller gets by default today.
 MODES = {
     "legacy": dict(
         presolve=False,
@@ -52,6 +62,8 @@ MODES = {
         branching="most-fractional",
         pricing="bland",
         seed_incumbent=False,
+        sparse=False,
+        cuts=False,
     ),
     "current": dict(
         presolve=True,
@@ -59,6 +71,17 @@ MODES = {
         branching="pseudocost",
         pricing="dantzig",
         seed_incumbent=True,
+        sparse=False,
+        cuts=False,
+    ),
+    "sparse": dict(
+        presolve=True,
+        warm_start=True,
+        branching="pseudocost",
+        pricing="dantzig",
+        seed_incumbent=True,
+        sparse=True,
+        cuts=True,
     ),
 }
 
@@ -68,11 +91,25 @@ BACKENDS = ["bnb", "bnb-simplex"]
 #: minimum wall time is recorded (robust to scheduler noise).
 REPEATS = 3
 
+#: The e4/e5 scaling scenarios: the perf gate tracks the sparse-core
+#: geomean on exactly this subset.
+SCALING_SCENARIOS = frozenset(
+    {
+        "cash_budget_y3_e4",
+        "cash_budget_y3_e5",
+        "catalog_c8_e4",
+        "catalog_c12_e5",
+    }
+)
+
+#: Scenarios too large for the legacy mode (minutes per solve).
+SKIP_LEGACY = frozenset({"cash_budget_y3_e5", "catalog_c12_e5"})
+
 
 def scenarios():
     """(name, corrupted database, constraints) triples, small to large."""
     cases = []
-    for n_years, n_errors, seed in [(1, 2, 11), (2, 3, 23), (3, 4, 37)]:
+    for n_years, n_errors, seed in [(1, 2, 11), (2, 3, 23), (3, 4, 37), (3, 5, 43)]:
         workload = generate_cash_budget(n_years=n_years, seed=seed)
         corrupted, _ = inject_value_errors(
             workload.ground_truth, n_errors, seed=seed + 1
@@ -80,7 +117,7 @@ def scenarios():
         cases.append(
             (f"cash_budget_y{n_years}_e{n_errors}", corrupted, workload.constraints)
         )
-    for n_categories, n_errors, seed in [(4, 2, 51), (8, 4, 67)]:
+    for n_categories, n_errors, seed in [(4, 2, 51), (8, 4, 67), (12, 5, 83)]:
         workload = generate_catalog(n_categories=n_categories, seed=seed)
         corrupted, _ = inject_value_errors(
             workload.ground_truth, n_errors, seed=seed + 1
@@ -92,16 +129,18 @@ def scenarios():
 
 
 def run_one(
-    database, constraints, backend: str, mode: Dict
+    database, constraints, backend: str, mode: Dict, repeats: int = REPEATS
 ) -> Dict[str, float]:
     solver_options = {
         "presolve": mode["presolve"],
         "warm_start": mode["warm_start"],
         "branching": mode["branching"],
         "pricing": mode["pricing"],
+        "sparse": mode["sparse"],
+        "cuts": mode["cuts"],
     }
     best: Optional[Dict[str, float]] = None
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         engine = RepairEngine(
             database,
             constraints,
@@ -125,61 +164,86 @@ def run_one(
     return best
 
 
+def _geomean(ratios: List[float]) -> float:
+    return math.exp(statistics.fmean(math.log(r) for r in ratios))
+
+
 def main() -> int:
     results: List[Dict] = []
     diverged = False
     for name, database, constraints in scenarios():
         entry: Dict = {"scenario": name, "backends": {}}
+        # The e5 scenarios take 10+ seconds per dense run; one repeat
+        # is enough there (min-of-N is a small-scenario noise guard).
+        repeats = 1 if name in SKIP_LEGACY else REPEATS
         for backend in BACKENDS:
             modes: Dict[str, Dict[str, float]] = {}
             for mode_name, mode in MODES.items():
-                modes[mode_name] = run_one(database, constraints, backend, mode)
-            ratio = modes["legacy"]["wall_time"] / max(
-                modes["current"]["wall_time"], 1e-9
-            )
-            same = (
-                abs(modes["legacy"]["objective"] - modes["current"]["objective"])
-                <= 1e-9
-            )
+                if mode_name == "legacy" and name in SKIP_LEGACY:
+                    continue
+                modes[mode_name] = run_one(
+                    database, constraints, backend, mode, repeats=repeats
+                )
+            objectives = [m["objective"] for m in modes.values()]
+            same = max(objectives) - min(objectives) <= 1e-9
             if not same:
                 diverged = True
+                detail = " ".join(
+                    f"{mode_name}={record['objective']}"
+                    for mode_name, record in modes.items()
+                )
                 print(
-                    f"OBJECTIVE DIVERGENCE: {name}/{backend}: "
-                    f"legacy={modes['legacy']['objective']} "
-                    f"current={modes['current']['objective']}",
+                    f"OBJECTIVE DIVERGENCE: {name}/{backend}: {detail}",
                     file=sys.stderr,
                 )
-            entry["backends"][backend] = {
-                "legacy": modes["legacy"],
-                "current": modes["current"],
-                "speedup": ratio,
-                "objectives_match": same,
-            }
+            record: Dict = dict(modes)
+            if "legacy" in modes:
+                record["speedup"] = modes["legacy"]["wall_time"] / max(
+                    modes["current"]["wall_time"], 1e-9
+                )
+            record["sparse_speedup"] = modes["current"]["wall_time"] / max(
+                modes["sparse"]["wall_time"], 1e-9
+            )
+            record["objectives_match"] = same
+            entry["backends"][backend] = record
             print(
                 f"{name:28s} {backend:12s} "
-                f"legacy {modes['legacy']['wall_time'] * 1000:8.2f} ms "
-                f"({modes['legacy']['nodes']:4d} nodes, "
-                f"{modes['legacy']['pivots']:6d} pivots)  "
-                f"current {modes['current']['wall_time'] * 1000:8.2f} ms "
-                f"({modes['current']['nodes']:4d} nodes, "
-                f"{modes['current']['pivots']:6d} pivots)  "
-                f"{ratio:5.2f}x"
+                f"current {modes['current']['wall_time'] * 1000:9.2f} ms "
+                f"({modes['current']['nodes']:4d} nodes)  "
+                f"sparse {modes['sparse']['wall_time'] * 1000:8.2f} ms "
+                f"({modes['sparse']['nodes']:4d} nodes)  "
+                f"{record['sparse_speedup']:5.2f}x"
             )
         results.append(entry)
 
     summary = {}
     for backend in BACKENDS:
-        ratios = [entry["backends"][backend]["speedup"] for entry in results]
+        legacy_ratios = [
+            entry["backends"][backend]["speedup"]
+            for entry in results
+            if "speedup" in entry["backends"][backend]
+        ]
+        sparse_ratios = [
+            entry["backends"][backend]["sparse_speedup"] for entry in results
+        ]
+        scaling_ratios = [
+            entry["backends"][backend]["sparse_speedup"]
+            for entry in results
+            if entry["scenario"] in SCALING_SCENARIOS
+        ]
         summary[backend] = {
-            "geomean_speedup": math.exp(statistics.fmean(math.log(r) for r in ratios)),
-            "min_speedup": min(ratios),
-            "max_speedup": max(ratios),
+            "geomean_speedup": _geomean(legacy_ratios),
+            "min_speedup": min(legacy_ratios),
+            "max_speedup": max(legacy_ratios),
+            "sparse_geomean_speedup": _geomean(sparse_ratios),
+            "sparse_scaling_geomean": _geomean(scaling_ratios),
         }
         print(
-            f"{backend}: geomean speedup "
-            f"{summary[backend]['geomean_speedup']:.2f}x "
-            f"(min {summary[backend]['min_speedup']:.2f}x, "
-            f"max {summary[backend]['max_speedup']:.2f}x)"
+            f"{backend}: sparse geomean "
+            f"{summary[backend]['sparse_geomean_speedup']:.2f}x over current "
+            f"(scaling subset {summary[backend]['sparse_scaling_geomean']:.2f}x); "
+            f"legacy->current geomean "
+            f"{summary[backend]['geomean_speedup']:.2f}x"
         )
 
     payload = {

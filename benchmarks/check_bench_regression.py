@@ -1,0 +1,132 @@
+"""The MILP bench regression gate.
+
+Compares a freshly produced ``BENCH_milp.json`` against the committed
+baseline and fails (exit 1) when any geomean speedup regressed by more
+than the tolerance (default 10%).  Geomeans -- not raw wall-clock --
+are the gated quantity: each one is a *ratio* of two modes measured on
+the same host in the same process, so host speed divides out and the
+gate is meaningful on noisy CI runners.
+
+Also writes a per-scenario markdown table (``--table``) that CI uploads
+as an artifact, so a failing run shows exactly which scenario moved.
+
+Usage::
+
+    cp BENCH_milp.json bench_baseline.json      # the committed numbers
+    PYTHONPATH=src python benchmarks/bench_milp.py
+    python benchmarks/check_bench_regression.py \
+        --baseline bench_baseline.json --fresh BENCH_milp.json \
+        --table bench_table.md
+
+A metric present only in the fresh file (schema growth) is reported
+but never gated; a metric present only in the baseline is a hard
+failure (the bench silently stopped measuring something).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+#: Relative slowdown beyond which the gate fails (0.10 == 10%).
+DEFAULT_TOLERANCE = 0.10
+
+#: Summary metrics under gate -- all "bigger is better" speedup ratios.
+GATED_METRICS = (
+    "geomean_speedup",
+    "sparse_geomean_speedup",
+    "sparse_scaling_geomean",
+)
+
+
+def load(path: Path) -> Dict:
+    with path.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def scenario_table(fresh: Dict) -> str:
+    """A markdown per-scenario table of the fresh run."""
+    lines = [
+        "| scenario | backend | current (ms) | sparse (ms) | sparse speedup | match |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for entry in fresh.get("scenarios", []):
+        for backend, record in entry.get("backends", {}).items():
+            current = record.get("current", {}).get("wall_time", float("nan"))
+            sparse = record.get("sparse", {}).get("wall_time", float("nan"))
+            ratio = record.get("sparse_speedup", float("nan"))
+            match = "yes" if record.get("objectives_match") else "**NO**"
+            lines.append(
+                f"| {entry['scenario']} | {backend} "
+                f"| {current * 1000:.2f} | {sparse * 1000:.2f} "
+                f"| {ratio:.2f}x | {match} |"
+            )
+    lines.append("")
+    lines.append("| backend | metric | value |")
+    lines.append("|---|---|---:|")
+    for backend, metrics in fresh.get("summary", {}).items():
+        for metric, value in metrics.items():
+            lines.append(f"| {backend} | {metric} | {value:.3f} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--fresh", type=Path, required=True)
+    parser.add_argument("--table", type=Path, default=None)
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    if args.table is not None:
+        args.table.write_text(scenario_table(fresh), encoding="utf-8")
+        print(f"wrote {args.table}")
+
+    failures: List[str] = []
+    if not fresh.get("all_objectives_match", False):
+        failures.append("fresh run reports objective divergence between modes")
+
+    for backend, base_metrics in baseline.get("summary", {}).items():
+        fresh_metrics = fresh.get("summary", {}).get(backend)
+        if fresh_metrics is None:
+            failures.append(f"{backend}: missing from fresh summary")
+            continue
+        for metric in GATED_METRICS:
+            if metric not in base_metrics:
+                continue  # baseline predates this metric: nothing to gate
+            if metric not in fresh_metrics:
+                failures.append(f"{backend}/{metric}: dropped from fresh run")
+                continue
+            base_value = float(base_metrics[metric])
+            fresh_value = float(fresh_metrics[metric])
+            floor = base_value * (1.0 - args.tolerance)
+            verdict = "ok" if fresh_value >= floor else "REGRESSED"
+            print(
+                f"{backend:12s} {metric:24s} baseline {base_value:7.3f}  "
+                f"fresh {fresh_value:7.3f}  floor {floor:7.3f}  {verdict}"
+            )
+            if fresh_value < floor:
+                failures.append(
+                    f"{backend}/{metric}: {fresh_value:.3f} < "
+                    f"{floor:.3f} (baseline {base_value:.3f} "
+                    f"- {args.tolerance:.0%})"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

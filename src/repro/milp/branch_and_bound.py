@@ -27,8 +27,19 @@ bounds are *not* stored as full arrays: each node keeps a delta chain
 root arrays and materialises bounds only when a cold LP needs them.
 
 The LP relaxation backend is pluggable: ``"simplex"`` uses the
-from-scratch solver in :mod:`repro.milp.simplex`, ``"scipy"`` uses
-``scipy.optimize.linprog`` (HiGHS).  Both see exactly the same arrays.
+from-scratch solver, ``"scipy"`` uses HiGHS.  Both see exactly the
+same arrays.
+
+The **sparse core** (default, ``sparse=True``) runs the whole search
+on CSR blocks (:mod:`repro.milp.sparse`): the ``simplex`` backend
+becomes the revised simplex (:mod:`repro.milp.revised`) with
+factorized-basis warm starts, and the ``scipy`` backend keeps one
+persistent HiGHS instance per tree (:mod:`repro.milp.node_lp`)
+instead of rebuilding ``linprog`` inputs at every node.  ``cuts=True``
+additionally tightens the root with Gomory + cover rounds and pools
+node-scoped cover cuts keyed by each node's fixed-variable set
+(:mod:`repro.milp.cuts`).  ``sparse=False`` preserves the pre-overhaul
+dense path bit-for-bit.
 """
 
 from __future__ import annotations
@@ -36,19 +47,40 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.milp.cuts import CutPool, FixedSet, cover_cuts, root_cut_loop
 from repro.milp.deadline import Deadline
-from repro.milp.lowering import DenseArrays, lower_model
+from repro.milp.lowering import DenseArrays, lower_model, lower_model_sparse
 from repro.milp.model import MILPModel, Solution, SolveStatus
-from repro.milp.presolve import PresolveResult, presolve_arrays
+from repro.milp.node_lp import (
+    PersistentNodeLP,
+    persistent_available,
+    solve_lp_linprog,
+)
+from repro.milp.presolve import PresolveResult, presolve_arrays, presolve_sparse
+from repro.milp.revised import solve_lp_sparse
 from repro.milp.simplex import LPResult, PRICING_DANTZIG, solve_lp
-from repro.milp.warmstart import TreeNodeState, WarmStartTree, WarmStartUnavailable
+from repro.milp.sparse import SparseArrays
+from repro.milp.warmstart import (
+    SparseWarmStartTree,
+    TreeNodeState,
+    WarmStartTree,
+    WarmStartUnavailable,
+)
 
 INF = math.inf
+
+#: Caps on node-level cut separation: stop pooling once this many cuts
+#: are stored / this many nodes have been explored (separation cost
+#: stops paying for itself deep in the tree).
+NODE_CUT_POOL_CAP = 64
+NODE_CUT_NODE_CAP = 500
+NODE_CUTS_PER_NODE = 4
 
 #: Integrality tolerance: a relaxation value within this of an integer
 #: counts as integral.
@@ -94,6 +126,16 @@ def _materialise_bounds(
                 lower[node.index] = node.value
         node = node.parent
     return lower, upper
+
+
+def _fixed_set(delta: Optional[_BoundDelta]) -> FixedSet:
+    """A node's identity for cut scoping: its branching decisions."""
+    decisions = set()
+    node = delta
+    while node is not None:
+        decisions.add((node.index, node.side, node.value))
+        node = node.parent
+    return frozenset(decisions)
 
 
 def _bounds_of_variable(
@@ -190,7 +232,9 @@ def _select_branch_variable(
 class _Node:
     delta: Optional[_BoundDelta]
     lp: LPResult
-    state: Optional[TreeNodeState]
+    #: Warm-start state: :class:`TreeNodeState` (dense tree) or
+    #: :class:`~repro.milp.warmstart.SparseNodeState` (sparse tree).
+    state: Optional[object]
 
 
 LPSolver = Callable[[DenseArrays, np.ndarray, np.ndarray], LPResult]
@@ -252,6 +296,8 @@ def solve_branch_and_bound(
     pricing: str = PRICING_DANTZIG,
     incumbent: Optional[Sequence[float]] = None,
     time_limit: Optional[float] = None,
+    sparse: bool = True,
+    cuts: bool = True,
 ) -> Solution:
     """Solve *model* to optimality by branch-and-bound.
 
@@ -281,7 +327,16 @@ def solve_branch_and_bound(
       (``"dantzig"`` default, ``"bland"`` for the pre-overhaul rule);
     - ``incumbent`` -- a full-space feasible point (e.g. from the
       repair heuristic) used as the initial upper bound so pruning
-      starts at node 1.  Infeasible seeds are silently ignored.
+      starts at node 1.  Infeasible seeds are silently ignored;
+    - ``sparse`` -- run the search on CSR blocks with the revised
+      simplex / persistent-HiGHS node solvers (default); ``False``
+      selects the pre-overhaul dense path;
+    - ``cuts`` -- (sparse path only) Gomory + cover rounds at the root
+      and a node-scoped cover-cut pool keyed by fixed-variable sets.
+
+    Per-phase wall-clock seconds are reported in ``stats`` as
+    ``phase_lower`` / ``phase_presolve`` / ``phase_root_lp`` /
+    ``phase_cuts`` / ``phase_bnb``.
     """
     if lp_backend not in _LP_BACKENDS:
         raise ValueError(
@@ -293,29 +348,31 @@ def solve_branch_and_bound(
             f"unknown branching rule {branching!r}; choose from "
             f"{list(BRANCHING_RULES)}"
         )
-    if lp_backend == "simplex":
-        def relax(arrays: DenseArrays, lower: np.ndarray, upper: np.ndarray) -> LPResult:
-            return solve_lp(
-                arrays.costs,
-                a_ub=arrays.a_ub,
-                b_ub=arrays.b_ub,
-                a_eq=arrays.a_eq,
-                b_eq=arrays.b_eq,
-                lower=lower,
-                upper=upper,
-                pricing=pricing,
-            )
-    else:
-        relax = _LP_BACKENDS[lp_backend]
-
     deadline = Deadline(time_limit)
-    arrays = lower_model(model)
     stats: Dict[str, float] = {}
+
+    mark = time.perf_counter()
+    sparse_root: Optional[SparseArrays] = None
+    if sparse:
+        sparse_root = lower_model_sparse(model)
+        arrays = sparse_root.to_dense_arrays()
+    else:
+        arrays = lower_model(model)
+    stats["phase_lower"] = time.perf_counter() - mark
 
     reduction: Optional[PresolveResult] = None
     work = arrays
+    sparse_work: Optional[SparseArrays] = sparse_root
     if presolve:
-        reduction = presolve_arrays(arrays)
+        mark = time.perf_counter()
+        if sparse:
+            assert sparse_root is not None
+            reduction, sparse_reduced = presolve_sparse(sparse_root)
+            if sparse_reduced is not None:
+                sparse_work = sparse_reduced
+        else:
+            reduction = presolve_arrays(arrays)
+        stats["phase_presolve"] = time.perf_counter() - mark
         stats.update(reduction.stats.as_solution_stats())
         if reduction.status == "infeasible":
             stats.update({"nodes": 0.0, "lp_iterations": 0.0})
@@ -345,8 +402,16 @@ def solve_branch_and_bound(
                 pricing=pricing,
                 incumbent=incumbent,
                 time_limit=deadline.remaining(),
+                sparse=sparse,
+                cuts=cuts,
             )
         work = reduction.arrays
+    if sparse:
+        assert sparse_work is not None
+        # Every consumer below (bounds, costs, integral set) works on
+        # the same attributes either way; in sparse mode the shared
+        # node arrays are the CSR blocks.
+        work = sparse_work
 
     # Seed the incumbent from a caller-supplied feasible point.
     incumbent_x: Optional[np.ndarray] = None
@@ -377,15 +442,124 @@ def solve_branch_and_bound(
             return math.ceil(bound - 1e-6)
         return bound
 
-    tree: Optional[WarmStartTree] = None
+    # ------------------------------------------------------------------
+    # Root cutting planes (sparse path): tighten the shared arrays with
+    # globally valid Gomory + cover rounds before any node is created,
+    # and open a pool for node-scoped cuts found during the search.
+    # ------------------------------------------------------------------
+    pool: Optional[CutPool] = None
+    lp_iterations = 0
+    if sparse and cuts:
+        mark = time.perf_counter()
+        cut_result = root_cut_loop(work, pricing=pricing)
+        stats["phase_cuts"] = time.perf_counter() - mark
+        stats["cut_rounds"] = float(cut_result.rounds)
+        stats["cuts_gomory"] = float(cut_result.gomory_count)
+        stats["cuts_cover"] = float(cut_result.cover_count)
+        lp_iterations += cut_result.lp_iterations
+        if cut_result.cuts:
+            work = cut_result.arrays
+        pool = CutPool()
+
+    # ------------------------------------------------------------------
+    # The per-node relaxation solver.  ``fixed`` carries the node's
+    # branching decisions so pooled subtree cuts can be applied.
+    # ------------------------------------------------------------------
+    node_lp: Optional[PersistentNodeLP] = None
+    if sparse:
+        if lp_backend == "simplex":
+            def relax(
+                arrays: SparseArrays,
+                lower: np.ndarray,
+                upper: np.ndarray,
+                fixed: FixedSet = frozenset(),
+            ) -> LPResult:
+                target = arrays
+                if pool is not None and fixed:
+                    extra = pool.cuts_for(fixed)
+                    if extra:
+                        target = arrays.with_extra_ub_rows(
+                            [cut.as_row_dict() for cut in extra],
+                            [cut.rhs for cut in extra],
+                        )
+                return solve_lp_sparse(target, lower, upper, pricing=pricing)
+        elif persistent_available():
+            node_lp = PersistentNodeLP(work)
+
+            def relax(
+                arrays: SparseArrays,
+                lower: np.ndarray,
+                upper: np.ndarray,
+                fixed: FixedSet = frozenset(),
+            ) -> LPResult:
+                assert node_lp is not None
+                extra = pool.cuts_for(fixed) if (pool is not None and fixed) else []
+                if extra:
+                    return node_lp.solve(
+                        lower,
+                        upper,
+                        extra_rows=[cut.as_row_dict() for cut in extra],
+                        extra_rhs=[cut.rhs for cut in extra],
+                    )
+                return node_lp.solve(lower, upper)
+        else:
+            def relax(
+                arrays: SparseArrays,
+                lower: np.ndarray,
+                upper: np.ndarray,
+                fixed: FixedSet = frozenset(),
+            ) -> LPResult:
+                target = arrays
+                if pool is not None and fixed:
+                    extra = pool.cuts_for(fixed)
+                    if extra:
+                        target = arrays.with_extra_ub_rows(
+                            [cut.as_row_dict() for cut in extra],
+                            [cut.rhs for cut in extra],
+                        )
+                return solve_lp_linprog(target, lower, upper)
+    else:
+        if lp_backend == "simplex":
+            def relax(
+                arrays: DenseArrays,
+                lower: np.ndarray,
+                upper: np.ndarray,
+                fixed: FixedSet = frozenset(),
+            ) -> LPResult:
+                return solve_lp(
+                    arrays.costs,
+                    a_ub=arrays.a_ub,
+                    b_ub=arrays.b_ub,
+                    a_eq=arrays.a_eq,
+                    b_eq=arrays.b_eq,
+                    lower=lower,
+                    upper=upper,
+                    pricing=pricing,
+                )
+        else:
+            _base_relax = _LP_BACKENDS[lp_backend]
+
+            def relax(
+                arrays: DenseArrays,
+                lower: np.ndarray,
+                upper: np.ndarray,
+                fixed: FixedSet = frozenset(),
+            ) -> LPResult:
+                return _base_relax(arrays, lower, upper)
+
+    tree: Optional[object] = None
     if warm_start and lp_backend == "simplex":
-        try:
-            tree = WarmStartTree(work)
-        except WarmStartUnavailable:
-            tree = None
+        if sparse:
+            tree = SparseWarmStartTree(work, pricing=pricing)
+        else:
+            try:
+                tree = WarmStartTree(work)
+            except WarmStartUnavailable:
+                tree = None
 
     counter = itertools.count()
-    root_state: Optional[TreeNodeState] = None
+    mark = time.perf_counter()
+    root_state: Optional[object] = None
     if tree is not None:
         root, root_state = tree.solve_root()
         if root.status == "iteration_limit" and root_state is None:
@@ -393,13 +567,15 @@ def solve_branch_and_bound(
             root = relax(work, work.lower, work.upper)
     else:
         root = relax(work, work.lower, work.upper)
+    stats["phase_root_lp"] = time.perf_counter() - mark
     nodes_explored = 1
-    lp_iterations = root.iterations
+    lp_iterations += root.iterations
     warm_hits = 0
     warm_fallbacks = 0
     pruned_by_incumbent = 0
     #: Best open node bound at an early (budget) exit; None = proven.
     interrupted_bound: Optional[float] = None
+    search_mark = time.perf_counter()
 
     def finish(status: SolveStatus) -> Solution:
         stats.update(
@@ -411,6 +587,13 @@ def solve_branch_and_bound(
                 "pruned_by_incumbent": float(pruned_by_incumbent),
             }
         )
+        stats["phase_bnb"] = time.perf_counter() - search_mark
+        if pool is not None:
+            stats["node_cuts_pooled"] = float(len(pool))
+        if node_lp is not None:
+            stats["node_lp_solves"] = float(node_lp.solves)
+        if sparse and isinstance(tree, SparseWarmStartTree):
+            stats["refactorizations"] = float(tree.engine.refactorizations)
         if deadline.expired:
             stats["deadline_expired"] = 1.0
         if status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE_GAP):
@@ -484,6 +667,25 @@ def solve_branch_and_bound(
         value = lp.x[branch_index]
         node_low, node_high = _bounds_of_variable(work, node.delta, branch_index)
         parent_objective = lp.objective if lp.objective is not None else bound
+        node_fixed: FixedSet = frozenset()
+        if pool is not None:
+            node_fixed = _fixed_set(node.delta)
+            if (
+                node.delta is not None
+                and len(pool) < NODE_CUT_POOL_CAP
+                and nodes_explored <= NODE_CUT_NODE_CAP
+            ):
+                # Separate cover cuts under this node's bound box; they
+                # are valid for (and pooled under) exactly its subtree.
+                sep_lower, sep_upper = _materialise_bounds(work, node.delta)
+                for cut in cover_cuts(
+                    work,
+                    lp.x,
+                    sep_lower,
+                    sep_upper,
+                    max_cuts=NODE_CUTS_PER_NODE,
+                ):
+                    pool.add(node_fixed, cut)
         for direction in ("down", "up"):
             if direction == "down":
                 side, branch_bound = "upper", float(math.floor(value))
@@ -494,7 +696,10 @@ def solve_branch_and_bound(
                 if branch_bound > node_high:
                     continue
             child_delta = _BoundDelta(node.delta, branch_index, side, branch_bound)
-            child_state: Optional[TreeNodeState] = None
+            child_fixed: FixedSet = frozenset()
+            if pool is not None:
+                child_fixed = node_fixed | {(branch_index, side, branch_bound)}
+            child_state: Optional[object] = None
             if tree is not None and node.state is not None:
                 child, child_state = tree.solve_child(
                     node.state, branch_index, side, branch_bound
@@ -504,12 +709,12 @@ def solve_branch_and_bound(
                     warm_fallbacks += 1
                     lp_iterations += child.iterations
                     child_lower, child_upper = _materialise_bounds(work, child_delta)
-                    child = relax(work, child_lower, child_upper)
+                    child = relax(work, child_lower, child_upper, child_fixed)
                 else:
                     warm_hits += 1
             else:
                 child_lower, child_upper = _materialise_bounds(work, child_delta)
-                child = relax(work, child_lower, child_upper)
+                child = relax(work, child_lower, child_upper, child_fixed)
             nodes_explored += 1
             lp_iterations += child.iterations
             if child.status != "optimal":

@@ -46,7 +46,16 @@ CacheKey = Tuple[str, str, str]
 #: ``repro.milp.solver.solve_with_stats`` -- and those verdicts hold
 #: under every budget.
 PERFORMANCE_OPTIONS = frozenset(
-    {"incumbent", "presolve", "warm_start", "branching", "pricing", "time_limit"}
+    {
+        "incumbent",
+        "presolve",
+        "warm_start",
+        "branching",
+        "pricing",
+        "time_limit",
+        "sparse",
+        "cuts",
+    }
 )
 
 

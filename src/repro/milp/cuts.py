@@ -1,0 +1,494 @@
+"""Cutting planes over the sparse MILP core.
+
+Two cut families, both separated from LP relaxation optima and both
+expressed as ``<=`` rows in the *structural* variable space so they
+append directly onto :class:`~repro.milp.sparse.SparseArrays`:
+
+**Gomory mixed-integer (GMI) cuts** read fractional rows straight out
+of the revised simplex basis (:meth:`RevisedSimplex.tableau_row`).
+For a basic integer variable with fractional value ``b`` and tableau
+row ``x_B + sum alpha_j x_j``, nonbasic variables are shifted to their
+active bound (``t_j = x_j - l_j`` at lower, ``u_j - x_j`` at upper) and
+the standard GMI coefficients applied::
+
+    integer t_j:     f_j           if f_j <= f0 else f0 (1-f_j)/(1-f0)
+    continuous t_j:  abar_j        if abar_j >= 0 else f0 (-abar_j)/(1-f0)
+
+with ``f0 = frac(b)``.  Row slacks picked up along the way are
+substituted back through their defining rows, so the emitted cut only
+mentions structural columns.  Cuts derived at the *root* bound box are
+globally valid; cuts derived under branching bounds are valid only in
+that subtree and are stored in the :class:`CutPool` keyed by the
+node's fixed-variable set.
+
+**Cover cuts** target the big-M link rows that presolve already
+tightens: each ``<=`` row is projected onto its binary support (other
+columns are relaxed to their worst-case bound contribution, negative
+binary coefficients are complemented away), and a greedy
+most-fractional cover ``C`` with ``sum a_j > rhs`` yields
+``sum_{j in C} x_j <= |C| - 1`` when the LP point violates it.
+
+The **root cut loop** (:func:`root_cut_loop`) alternates separation
+and re-solves until no violated cut is found (or the round/count caps
+hit), returning the extended arrays shared by the whole search tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.milp.revised import (
+    AT_LOWER,
+    AT_UPPER,
+    BASIC,
+    IS_FREE,
+    PRICING_DANTZIG,
+    RevisedSimplex,
+)
+from repro.milp.simplex import LPResult
+from repro.milp.sparse import SparseArrays
+
+INF = math.inf
+
+#: Only separate GMI cuts from rows at least this fractional.
+GOMORY_MIN_FRACTION = 0.01
+#: A cut must be violated by at least this much to be kept.
+VIOLATION_TOL = 1e-6
+#: Reject cuts whose coefficient dynamic range exceeds this.
+MAX_DYNAMISM = 1e7
+#: Stricter dynamism cap for GMI cuts.  Their coefficients come out of
+#: a factorized tableau row: on big-M models the row mixes O(1) entries
+#: with entries of magnitude ``big_m * machine_eps`` that are pure
+#: floating-point noise, and the GMI formula happily turns that noise
+#: into a (slightly invalid) cut.  A wide coefficient spread is the
+#: reliable symptom, so GMI cuts are held to a much tighter range than
+#: the combinatorial (exact +/-1) cover cuts.
+GOMORY_MAX_DYNAMISM = 1e4
+#: Coefficients below this are absorbed into the RHS (bounds permitting).
+DROP_TOL = 1e-9
+#: Coefficients below this fraction of the cut's largest coefficient
+#: are likewise absorbed -- they are below the noise floor of the
+#: tableau arithmetic that produced the cut.
+RELATIVE_DROP = 1e-6
+
+#: Default caps for the root loop.
+MAX_ROUNDS = 8
+MAX_CUTS_PER_ROUND = 20
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One valid inequality ``sum coefficients . x <= rhs``."""
+
+    coefficients: Tuple[Tuple[int, float], ...]  # sorted (index, coeff)
+    rhs: float
+    family: str  # "gomory" | "cover"
+
+    def as_row_dict(self) -> Dict[int, float]:
+        return dict(self.coefficients)
+
+    def violation(self, x: np.ndarray) -> float:
+        lhs = sum(c * x[j] for j, c in self.coefficients)
+        return lhs - self.rhs
+
+    def signature(self) -> Tuple:
+        """Dedup key: coefficients and RHS rounded to 9 places."""
+        return (
+            tuple((j, round(c, 9)) for j, c in self.coefficients),
+            round(self.rhs, 9),
+        )
+
+
+def _make_cut(
+    coefficients: Dict[int, float],
+    rhs: float,
+    family: str,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> Optional[Cut]:
+    """Clean up a raw ``<=`` inequality into a :class:`Cut`.
+
+    Near-zero coefficients are absorbed into the RHS (relaxing by the
+    worst-case bound contribution keeps the cut valid); cuts with an
+    unbounded tiny-coefficient column, an empty support, or extreme
+    coefficient dynamism are rejected.
+    """
+    largest = max((abs(c) for c in coefficients.values()), default=0.0)
+    drop_below = max(DROP_TOL, RELATIVE_DROP * largest)
+    kept: Dict[int, float] = {}
+    adjusted_rhs = rhs
+    for j, c in coefficients.items():
+        if abs(c) <= drop_below:
+            if c == 0.0:
+                continue
+            # Dropping c*x_j from the LHS stays valid iff the RHS is
+            # relaxed by max(c*x_j) over the box.
+            worst = c * (upper[j] if c > 0.0 else lower[j])
+            if not np.isfinite(worst):
+                return None
+            adjusted_rhs -= worst
+            continue
+        kept[j] = c
+    if not kept:
+        return None
+    magnitudes = [abs(c) for c in kept.values()]
+    limit = GOMORY_MAX_DYNAMISM if family == "gomory" else MAX_DYNAMISM
+    if max(magnitudes) / min(magnitudes) > limit:
+        return None
+    return Cut(
+        coefficients=tuple(sorted(kept.items())),
+        rhs=float(adjusted_rhs),
+        family=family,
+    )
+
+
+# ----------------------------------------------------------------------
+# Gomory mixed-integer cuts
+# ----------------------------------------------------------------------
+
+
+def gomory_cuts(
+    engine: RevisedSimplex,
+    *,
+    max_cuts: int = MAX_CUTS_PER_ROUND,
+    int_tol: float = 1e-6,
+) -> List[Cut]:
+    """Derive GMI cuts from the engine's current optimal basis."""
+    arrays = engine.arrays
+    n, m, m_ub = engine.n, engine.m, engine.m_ub
+    integral = np.zeros(n, dtype=bool)
+    integral[list(arrays.integral)] = True
+    lo, hi = engine.lo, engine.hi
+    status = engine.status
+
+    # Integer columns only qualify for the integer GMI coefficient when
+    # their bounds are integral (guaranteed post-presolve; checked
+    # anyway because validity depends on it).
+    int_ok = np.zeros(n, dtype=bool)
+    for j in np.flatnonzero(integral):
+        lo_ok = not np.isfinite(lo[j]) or abs(lo[j] - round(lo[j])) <= int_tol
+        hi_ok = not np.isfinite(hi[j]) or abs(hi[j] - round(hi[j])) <= int_tol
+        int_ok[j] = lo_ok and hi_ok
+
+    candidates: List[Tuple[float, int]] = []
+    for row in range(m):
+        basic = int(engine.basic[row])
+        if basic >= n or not integral[basic]:
+            continue
+        value = float(engine.xB[row])
+        fraction = value - math.floor(value)
+        if min(fraction, 1.0 - fraction) < GOMORY_MIN_FRACTION:
+            continue
+        candidates.append((min(fraction, 1.0 - fraction), row))
+    # Most fractional rows first: they give the deepest cuts.
+    candidates.sort(reverse=True)
+
+    cuts: List[Cut] = []
+    for _, row in candidates:
+        if len(cuts) >= max_cuts:
+            break
+        alpha, _rho = engine.tableau_row(row)
+        b_bar = float(engine.xB[row])
+        f0 = b_bar - math.floor(b_bar)
+
+        # t-space pass: gamma_j over shifted nonbasics.
+        terms: List[Tuple[int, float, float, float]] = []  # (j, gamma, delta, bound)
+        valid = True
+        for j in np.flatnonzero(np.abs(alpha) > DROP_TOL):
+            j = int(j)
+            code = status[j]
+            if code == BASIC:
+                continue
+            if lo[j] >= hi[j]:  # fixed: t_j == 0 contributes nothing
+                continue
+            if code == IS_FREE:
+                # A free nonbasic breaks the t_j >= 0 premise.
+                valid = False
+                break
+            if code == AT_LOWER:
+                delta, bound = 1.0, float(lo[j])
+                a_bar = float(alpha[j])
+            else:
+                delta, bound = -1.0, float(hi[j])
+                a_bar = -float(alpha[j])
+            if j < n and int_ok[j]:
+                f_j = a_bar - math.floor(a_bar)
+                if f_j <= f0 + 1e-12:
+                    gamma = f_j
+                else:
+                    gamma = f0 * (1.0 - f_j) / (1.0 - f0)
+            else:
+                if a_bar >= 0.0:
+                    gamma = a_bar
+                else:
+                    gamma = f0 * (-a_bar) / (1.0 - f0)
+            if gamma > DROP_TOL:
+                terms.append((j, gamma, delta, bound))
+        if not valid or not terms:
+            continue
+
+        # Back-substitute to structural space:
+        #   sum gamma_j t_j >= f0,  t_j = delta_j (x_j - bound_j)
+        coefficients: Dict[int, float] = {}
+        rhs_ge = f0
+        ok = True
+        for j, gamma, delta, bound in terms:
+            c = gamma * delta
+            rhs_ge += c * bound
+            if j < n:
+                coefficients[j] = coefficients.get(j, 0.0) + c
+            elif j < n + m_ub:
+                # ub-row slack: s_i = b_i - A_i x.
+                i = j - n
+                cols, vals = arrays.a_ub.row(i)
+                for column, coefficient in zip(cols, vals):
+                    coefficients[int(column)] = (
+                        coefficients.get(int(column), 0.0) - c * float(coefficient)
+                    )
+                rhs_ge -= c * float(arrays.b_ub[i])
+            else:
+                # eq slacks and artificials are fixed -- filtered above.
+                ok = False
+                break
+        if not ok:
+            continue
+        # >= form to <= form.
+        cut = _make_cut(
+            {j: -c for j, c in coefficients.items()},
+            -rhs_ge,
+            "gomory",
+            lo[:n],
+            hi[:n],
+        )
+        if cut is not None:
+            cuts.append(cut)
+    return cuts
+
+
+# ----------------------------------------------------------------------
+# Cover cuts
+# ----------------------------------------------------------------------
+
+
+def cover_cuts(
+    arrays: SparseArrays,
+    x: np.ndarray,
+    lower: Optional[np.ndarray] = None,
+    upper: Optional[np.ndarray] = None,
+    *,
+    max_cuts: int = MAX_CUTS_PER_ROUND,
+    max_row_nnz: int = 64,
+) -> List[Cut]:
+    """Greedy knapsack-cover separation over the ``<=`` rows.
+
+    Non-binary columns in a row are relaxed to their worst-case bound
+    contribution (how the big-M link rows become knapsacks on their
+    binary indicators); negative binary coefficients are complemented.
+    """
+    lo = arrays.lower if lower is None else lower
+    hi = arrays.upper if upper is None else upper
+    integral = np.zeros(arrays.n, dtype=bool)
+    integral[list(arrays.integral)] = True
+    binary = integral & (lo == 0.0) & (hi == 1.0)
+
+    cuts: List[Cut] = []
+    for i in range(arrays.m_ub):
+        if len(cuts) >= max_cuts:
+            break
+        cols, vals = arrays.a_ub.row(i)
+        if cols.shape[0] == 0 or cols.shape[0] > max_row_nnz:
+            continue
+        rhs = float(arrays.b_ub[i])
+        items: List[Tuple[int, float, bool]] = []  # (index, weight, complemented)
+        usable = True
+        has_binary = False
+        for column, coefficient in zip(cols, vals):
+            j = int(column)
+            a = float(coefficient)
+            if binary[j]:
+                has_binary = True
+                if a > 0.0:
+                    items.append((j, a, False))
+                else:
+                    # a*x = a - a*(1-x): complement to weight -a > 0.
+                    items.append((j, -a, True))
+                    rhs -= a
+            else:
+                # Relax to the smallest possible contribution.
+                best = a * (lo[j] if a > 0.0 else hi[j])
+                if not np.isfinite(best):
+                    usable = False
+                    break
+                rhs -= best
+        if not usable or not has_binary or len(items) < 2:
+            continue
+        total = sum(weight for _, weight, _ in items)
+        if total <= rhs + VIOLATION_TOL:
+            continue  # no cover exists
+
+        # Greedy cover: most-fractional-first (largest complemented LP
+        # value), weight as tie-break.
+        def tilde(item: Tuple[int, float, bool]) -> float:
+            j, _, complemented = item
+            value = float(x[j])
+            return 1.0 - value if complemented else value
+
+        ordered = sorted(items, key=lambda item: (-tilde(item), -item[1]))
+        cover: List[Tuple[int, float, bool]] = []
+        cover_weight = 0.0
+        for item in ordered:
+            cover.append(item)
+            cover_weight += item[1]
+            if cover_weight > rhs + VIOLATION_TOL:
+                break
+        if cover_weight <= rhs + VIOLATION_TOL:
+            continue
+        violation = sum(tilde(item) for item in cover) - (len(cover) - 1)
+        if violation <= VIOLATION_TOL:
+            continue
+
+        coefficients: Dict[int, float] = {}
+        cut_rhs = float(len(cover) - 1)
+        for j, _, complemented in cover:
+            if complemented:
+                coefficients[j] = coefficients.get(j, 0.0) - 1.0
+                cut_rhs -= 1.0
+            else:
+                coefficients[j] = coefficients.get(j, 0.0) + 1.0
+        cut = _make_cut(coefficients, cut_rhs, "cover", lo, hi)
+        if cut is not None:
+            cuts.append(cut)
+    return cuts
+
+
+# ----------------------------------------------------------------------
+# The cut pool
+# ----------------------------------------------------------------------
+
+
+#: A node's identity for cut scoping: the set of branching decisions
+#: fixed on its path, as ``(index, side, value)`` entries.
+FixedSet = FrozenSet[Tuple[int, str, float]]
+
+
+class CutPool:
+    """Cuts keyed by the branching context they are valid under.
+
+    The empty key holds globally valid cuts (root GMI / cover).  A cut
+    stored under key ``K`` may be applied at any node whose
+    fixed-variable set is a superset of ``K`` -- exactly the subtree
+    below the node that derived it.
+    """
+
+    def __init__(self) -> None:
+        self._cuts: Dict[FixedSet, List[Cut]] = {}
+        self._signatures: set = set()
+
+    def add(self, key: FixedSet, cut: Cut) -> bool:
+        signature = (key, cut.signature())
+        if signature in self._signatures:
+            return False
+        self._signatures.add(signature)
+        self._cuts.setdefault(key, []).append(cut)
+        return True
+
+    def cuts_for(self, fixed: FixedSet) -> List[Cut]:
+        """Every pooled cut valid at a node with fixed set *fixed*."""
+        out: List[Cut] = []
+        for key, cuts in self._cuts.items():
+            if key <= fixed:
+                out.extend(cuts)
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(cuts) for cuts in self._cuts.values())
+
+
+# ----------------------------------------------------------------------
+# The root cut loop
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RootCutResult:
+    """Outcome of :func:`root_cut_loop`."""
+
+    arrays: SparseArrays  # base arrays extended with the applied cuts
+    lp: LPResult  # relaxation optimum of the extended arrays
+    cuts: List[Cut] = field(default_factory=list)
+    rounds: int = 0
+    lp_iterations: int = 0
+    gomory_count: int = 0
+    cover_count: int = 0
+
+
+def root_cut_loop(
+    arrays: SparseArrays,
+    *,
+    max_rounds: int = MAX_ROUNDS,
+    max_cuts_per_round: int = MAX_CUTS_PER_ROUND,
+    max_total_cuts: Optional[int] = None,
+    pricing: str = PRICING_DANTZIG,
+    max_iterations: int = 50_000,
+) -> RootCutResult:
+    """Tighten the root relaxation by repeated separate-and-resolve.
+
+    Returns the extended arrays (base + applied cut rows) and the final
+    root LP.  When the first relaxation is already integral, infeasible
+    or unbounded, the arrays come back untouched.
+    """
+    if max_total_cuts is None:
+        max_total_cuts = max(arrays.m_ub + arrays.m_eq, 32)
+    result = RootCutResult(arrays=arrays, lp=LPResult(status="infeasible"))
+    seen: set = set()
+    for _round in range(max_rounds + 1):
+        engine = RevisedSimplex(
+            result.arrays, pricing=pricing, max_iterations=max_iterations
+        )
+        lp = engine.solve()
+        result.lp = lp
+        result.lp_iterations += lp.iterations
+        if lp.status != "optimal" or _round == max_rounds:
+            return result
+        assert lp.x is not None
+        if len(result.cuts) >= max_total_cuts:
+            return result
+
+        integral = list(arrays.integral)
+        fractional = [
+            j for j in integral if abs(lp.x[j] - round(lp.x[j])) > 1e-6
+        ]
+        if not fractional:
+            return result  # relaxation already integral: nothing to cut
+
+        fresh: List[Cut] = []
+        budget = min(
+            max_cuts_per_round, max_total_cuts - len(result.cuts)
+        )
+        for cut in gomory_cuts(engine, max_cuts=budget) + cover_cuts(
+            result.arrays, lp.x, max_cuts=budget
+        ):
+            if cut.violation(lp.x) <= VIOLATION_TOL:
+                continue
+            signature = cut.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            fresh.append(cut)
+            if len(fresh) >= budget:
+                break
+        if not fresh:
+            return result
+        result.cuts.extend(fresh)
+        result.gomory_count += sum(1 for c in fresh if c.family == "gomory")
+        result.cover_count += sum(1 for c in fresh if c.family == "cover")
+        result.rounds += 1
+        result.arrays = result.arrays.with_extra_ub_rows(
+            [cut.as_row_dict() for cut in fresh],
+            [cut.rhs for cut in fresh],
+        )
+    return result

@@ -493,3 +493,24 @@ def presolve_arrays(arrays: DenseArrays) -> PresolveResult:
         stats=stats,
         arrays=reduced,
     )
+
+
+def presolve_sparse(arrays) -> Tuple[PresolveResult, Optional[object]]:
+    """Presolve a sparse-lowered problem (:class:`SparseArrays`).
+
+    The fixpoint loop itself runs on the dense view -- presolve is a
+    one-shot pass whose cost is dwarfed by the search, and the dense
+    reductions are battle-tested -- but both endpoints stay sparse:
+    the caller hands in CSR blocks and, when the problem survives with
+    status ``"reduced"``, gets the reduced problem back as
+    :class:`SparseArrays` (second element; ``None`` otherwise).  The
+    :class:`PresolveResult` keeps its usual dense ``arrays`` field so
+    ``restore``/``reduce_point`` behave identically.
+    """
+    from repro.milp.sparse import SparseArrays
+
+    result = presolve_arrays(arrays.to_dense_arrays())
+    reduced: Optional[SparseArrays] = None
+    if result.status == "reduced" and result.arrays is not None:
+        reduced = SparseArrays.from_dense_arrays(result.arrays)
+    return result, reduced

@@ -36,21 +36,36 @@ def solve_scipy(model: MILPModel, *, time_limit: float = 300.0) -> Solution:
     lower = np.array([v.lower for v in model.variables])
     upper = np.array([v.upper for v in model.variables])
 
+    # The constraint block goes to HiGHS as a scipy.sparse CSR matrix
+    # built straight from the model's coefficient dicts: the grounded
+    # DART instances are ~3 nonzeros per row, so densifying them both
+    # wasted memory and made HiGHS re-sparsify on entry.  An empty
+    # (0, n) block is skipped outright instead of being passed as a
+    # degenerate dense array.
     constraints: List[LinearConstraint] = []
     if model.constraints:
-        rows = np.zeros((model.n_constraints, n))
+        from scipy.sparse import csr_matrix
+
+        row_ids: List[int] = []
+        col_ids: List[int] = []
+        data: List[float] = []
         lo = np.zeros(model.n_constraints)
         hi = np.zeros(model.n_constraints)
         for i, constraint in enumerate(model.constraints):
-            for index, coefficient in constraint.expr.coefficients.items():
-                rows[i, index] = coefficient
+            for index, coefficient in sorted(constraint.expr.coefficients.items()):
+                row_ids.append(i)
+                col_ids.append(index)
+                data.append(float(coefficient))
             if constraint.sense is Sense.LE:
                 lo[i], hi[i] = -np.inf, constraint.rhs
             elif constraint.sense is Sense.GE:
                 lo[i], hi[i] = constraint.rhs, np.inf
             else:
                 lo[i] = hi[i] = constraint.rhs
-        constraints.append(LinearConstraint(rows, lo, hi))
+        matrix = csr_matrix(
+            (data, (row_ids, col_ids)), shape=(model.n_constraints, n)
+        )
+        constraints.append(LinearConstraint(matrix, lo, hi))
 
     result = milp(
         c=costs,

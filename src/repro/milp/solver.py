@@ -114,6 +114,17 @@ class SolveStats:
     tier: str = ""
     tier_hits: int = 0
     tier_fallthroughs: int = 0
+    #: Per-phase wall-clock seconds from the branch-and-bound backends
+    #: (lowering / presolve / root LP / root cuts / tree search); empty
+    #: for backends that do not report phases (plain ``scipy``).
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    #: Cutting-plane accounting (sparse branch-and-bound only): applied
+    #: root cuts by family plus node-scoped pooled cuts.
+    cuts_gomory: int = 0
+    cuts_cover: int = 0
+    node_cuts: int = 0
+    #: Basis refactorizations performed by the revised simplex.
+    refactorizations: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -138,6 +149,11 @@ class SolveStats:
             "tier": self.tier,
             "tier_hits": self.tier_hits,
             "tier_fallthroughs": self.tier_fallthroughs,
+            "phase_times": dict(self.phase_times),
+            "cuts_gomory": self.cuts_gomory,
+            "cuts_cover": self.cuts_cover,
+            "node_cuts": self.node_cuts,
+            "refactorizations": self.refactorizations,
         }
 
     def __str__(self) -> str:
@@ -158,6 +174,17 @@ class SolveStats:
         if self.status == "feasible_gap":
             certified = "?" if self.gap is None else f"{self.gap:g}"
             flags.append(f"anytime(gap={certified})")
+        if self.cuts_gomory or self.cuts_cover or self.node_cuts:
+            flags.append(
+                f"cuts:g{self.cuts_gomory}/c{self.cuts_cover}"
+                f"/n{self.node_cuts}"
+            )
+        if self.phase_times:
+            rendered = " ".join(
+                f"{name.removeprefix('phase_')}={seconds * 1000:.1f}ms"
+                for name, seconds in sorted(self.phase_times.items())
+            )
+            flags.append(f"phases[{rendered}]")
         if self.phase:
             flags.append(f"phase:{self.phase}")
         if self.tier:
@@ -209,6 +236,11 @@ def _stats_from_solution(
         )
     )
     best_bound = solution.stats.get("best_bound")
+    phase_times = {
+        key: float(value)
+        for key, value in solution.stats.items()
+        if key.startswith("phase_")
+    }
     return SolveStats(
         backend=backend,
         status=solution.status.value,
@@ -224,6 +256,11 @@ def _stats_from_solution(
         warm_start_fallbacks=int(solution.stats.get("warm_start_fallbacks", 0)),
         gap=solution.gap,
         best_bound=None if best_bound is None else float(best_bound),
+        phase_times=phase_times,
+        cuts_gomory=int(solution.stats.get("cuts_gomory", 0)),
+        cuts_cover=int(solution.stats.get("cuts_cover", 0)),
+        node_cuts=int(solution.stats.get("node_cuts_pooled", 0)),
+        refactorizations=int(solution.stats.get("refactorizations", 0)),
     )
 
 

@@ -40,14 +40,17 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.milp.lowering import DenseArrays
+from repro.milp.revised import BasisSnapshot, RevisedSimplex
 from repro.milp.simplex import (
     FEAS_TOL,
     LPResult,
     PIVOT_TOL,
+    PRICING_DANTZIG,
     _run_dual_simplex,
     _run_simplex,
     _Tableau,
 )
+from repro.milp.sparse import SparseArrays
 
 INF = math.inf
 
@@ -283,3 +286,90 @@ class WarmStartTree:
             bound_rhs=bound_rhs,
         )
         return result, state
+
+
+# ----------------------------------------------------------------------
+# Sparse warm starts over the revised simplex
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SparseNodeState:
+    """One node's basis snapshot plus its materialised bound box.
+
+    Unlike :class:`TreeNodeState` (which copies the full dense tableau
+    per node), this is a handful of index arrays and a shared basis
+    factorization -- cheap enough to keep for every open node.
+    """
+
+    snapshot: BasisSnapshot
+    lower: np.ndarray
+    upper: np.ndarray
+
+
+class SparseWarmStartTree:
+    """Fixed-structure warm starts backed by :class:`RevisedSimplex`.
+
+    The dense tree encodes bound changes as RHS edits on explicit bound
+    rows, which is why it demands finite bounds everywhere.  The
+    revised simplex handles bounds implicitly (nonbasic-at-bound
+    statuses), so a branching decision is just a new bound box under
+    the parent's basis: :meth:`RevisedSimplex.install` restores the
+    snapshot, one FTRAN recomputes the basic values, and a couple of
+    dual pivots restore feasibility.  Free variables are fine -- no
+    :class:`WarmStartUnavailable` cases.
+    """
+
+    def __init__(
+        self,
+        arrays: SparseArrays,
+        *,
+        max_iterations: int = 50_000,
+        pricing: str = PRICING_DANTZIG,
+    ) -> None:
+        self.arrays = arrays
+        self.engine = RevisedSimplex(
+            arrays, max_iterations=max_iterations, pricing=pricing
+        )
+
+    def solve_root(self) -> Tuple[LPResult, Optional[SparseNodeState]]:
+        """Cold-solve the root relaxation and snapshot its basis."""
+        result = self.engine.solve()
+        if result.status != "optimal":
+            return result, None
+        return result, SparseNodeState(
+            snapshot=self.engine.snapshot(),
+            lower=self.arrays.lower.astype(float).copy(),
+            upper=self.arrays.upper.astype(float).copy(),
+        )
+
+    def solve_child(
+        self,
+        parent: SparseNodeState,
+        index: int,
+        side: str,
+        value: float,
+        *,
+        iteration_budget: int = 2_000,
+    ) -> Tuple[LPResult, Optional[SparseNodeState]]:
+        """Re-solve with one bound tightened against the parent basis.
+
+        Same contract as :meth:`WarmStartTree.solve_child`: ``state`` is
+        ``None`` for infeasible children and iteration-capped solves
+        (``result.status`` distinguishes the two; the caller cold-solves
+        the latter).
+        """
+        lower = parent.lower.copy()
+        upper = parent.upper.copy()
+        if side == "upper":
+            upper[index] = min(upper[index], value)
+        else:
+            lower[index] = max(lower[index], value)
+        if not self.engine.install(parent.snapshot, lower, upper):
+            return LPResult(status="infeasible"), None
+        result = self.engine.resolve_dual(iteration_budget=iteration_budget)
+        if result.status != "optimal":
+            return result, None
+        return result, SparseNodeState(
+            snapshot=self.engine.snapshot(), lower=lower, upper=upper
+        )

@@ -1,0 +1,145 @@
+"""Validity and integration tests for the cutting-plane layer.
+
+The cardinal rule of cutting planes: a cut may never exclude an
+integer-feasible point.  These tests enforce it by exhaustive
+enumeration on small boxes, then check the solver-level guarantees --
+objectives identical with cuts on and off, and the root bound never
+worse with cuts on.
+"""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.milp.branch_and_bound import solve_branch_and_bound
+from repro.milp.cuts import Cut, CutPool, cover_cuts, root_cut_loop
+from repro.milp.lowering import lower_model_sparse
+from repro.milp.model import MILPModel, SolveStatus, VarType
+
+from tests.test_differential_backends import random_grounded_milp
+
+
+def random_integer_model(seed: int) -> MILPModel:
+    rng = random.Random(seed)
+    n = rng.randint(2, 5)
+    model = MILPModel(f"int{seed}")
+    xs = [
+        model.add_variable(f"x{i}", VarType.INTEGER, lower=0, upper=rng.randint(1, 4))
+        for i in range(n)
+    ]
+    for _ in range(rng.randint(1, 4)):
+        expr = sum((rng.randint(-4, 6) * x for x in xs), start=0)
+        model.add_constraint(expr <= rng.randint(0, 14))
+    model.set_objective(sum((rng.randint(-5, 5) * x for x in xs), start=0))
+    return model
+
+
+def enumerate_feasible_points(model: MILPModel):
+    boxes = [range(int(v.lower), int(v.upper) + 1) for v in model.variables]
+    for point in itertools.product(*boxes):
+        x = np.array(point, dtype=float)
+        if model.check_feasible(x):
+            yield x
+
+
+class TestCutValidity:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_root_cuts_never_exclude_integer_points(self, seed):
+        model = random_integer_model(seed)
+        result = root_cut_loop(lower_model_sparse(model))
+        if not result.cuts:
+            pytest.skip("no cuts separated for this seed")
+        for x in enumerate_feasible_points(model):
+            for cut in result.cuts:
+                assert cut.violation(x) <= 1e-7, (seed, cut.family)
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_root_bound_never_worse_with_cuts(self, seed):
+        model = random_integer_model(seed)
+        arrays = lower_model_sparse(model)
+        from repro.milp.revised import solve_lp_sparse
+
+        plain = solve_lp_sparse(arrays)
+        result = root_cut_loop(arrays)
+        if plain.status != "optimal" or result.lp.status != "optimal":
+            pytest.skip("relaxation not optimal")
+        assert result.lp.objective >= plain.objective - 1e-7
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_node_cover_cuts_respect_node_bounds(self, seed):
+        # Cover cuts separated under tightened bounds stay valid for
+        # every integer point inside that box.
+        model = random_integer_model(seed + 200)
+        arrays = lower_model_sparse(model)
+        from repro.milp.revised import solve_lp_sparse
+
+        lower = arrays.lower.copy()
+        upper = arrays.upper.copy()
+        upper[0] = min(upper[0], 1.0)  # a branching-style tightening
+        lp = solve_lp_sparse(arrays, lower, upper)
+        if lp.status != "optimal":
+            pytest.skip("tightened relaxation infeasible")
+        cuts = cover_cuts(arrays, lp.x, lower, upper, max_cuts=8)
+        if not cuts:
+            pytest.skip("no cover cuts for this seed")
+        for x in enumerate_feasible_points(model):
+            if x[0] > upper[0]:
+                continue  # outside the node's box: cut need not hold
+            for cut in cuts:
+                assert cut.violation(x) <= 1e-7
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_objectives_match_with_and_without_cuts(self, seed):
+        model = random_grounded_milp(seed)
+        with_cuts = solve_branch_and_bound(model)
+        without = solve_branch_and_bound(model, cuts=False)
+        assert with_cuts.status is without.status
+        if without.status is SolveStatus.OPTIMAL:
+            assert with_cuts.objective == pytest.approx(
+                without.objective, abs=1e-6
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_objectives_match_without_presolve(self, seed):
+        # presolve=False leaves the wide big-M rows in place -- the
+        # hostile regime for numerically invalid Gomory cuts.
+        model = random_grounded_milp(seed)
+        with_cuts = solve_branch_and_bound(model, presolve=False)
+        without = solve_branch_and_bound(model, presolve=False, cuts=False)
+        assert with_cuts.status is without.status
+        if without.status is SolveStatus.OPTIMAL:
+            assert with_cuts.objective == pytest.approx(
+                without.objective, abs=1e-6
+            )
+
+
+class TestCutPool:
+    def test_scoping_by_fixed_set(self):
+        pool = CutPool()
+        globally = Cut(coefficients=((0, 1.0),), rhs=1.0, family="cover")
+        scoped = Cut(coefficients=((1, 1.0),), rhs=0.0, family="cover")
+        pool.add(frozenset(), globally)
+        key = frozenset({(3, "upper", 1.0)})
+        pool.add(key, scoped)
+        # Root (no decisions): only the global cut.
+        assert pool.cuts_for(frozenset()) == [globally]
+        # Inside the subtree: both.
+        node = frozenset({(3, "upper", 1.0), (5, "lower", 2.0)})
+        assert sorted(c.rhs for c in pool.cuts_for(node)) == [0.0, 1.0]
+        # A different branch never sees the scoped cut.
+        other = frozenset({(3, "upper", 2.0)})
+        assert pool.cuts_for(other) == [globally]
+
+    def test_duplicate_cuts_are_rejected(self):
+        pool = CutPool()
+        cut = Cut(coefficients=((0, 1.0), (1, 1.0)), rhs=1.0, family="cover")
+        assert pool.add(frozenset(), cut)
+        assert not pool.add(frozenset(), cut)
+        assert len(pool) == 1
+        # Same cut under a different key is a distinct pool entry.
+        assert pool.add(frozenset({(0, "upper", 0.0)}), cut)
+        assert len(pool) == 2
