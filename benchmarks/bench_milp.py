@@ -20,7 +20,17 @@ scenarios additionally get their own ``sparse`` geomean
 (``sparse_scaling_geomean``), the number the perf acceptance gate
 tracks.  The *legacy* mode is skipped on the e5 scenarios -- it takes
 minutes there and its trajectory is already pinned by the smaller
-scenarios.  Results land in ``BENCH_milp.json`` at the repository root
+scenarios.
+
+The small/medium scenarios additionally time the exact-arithmetic
+certification layer (``repro.milp.certify``): the same repair with
+``certify=True`` vs ``certify=False`` on today's defaults, summarised
+as ``certify_overhead_geomean`` per backend.  That ratio is gated by
+``check_bench_regression.py`` against the committed baseline -- a
+fresh overhead more than 10% above it fails, catching a certification
+layer that has started taxing the hot path.
+
+Results land in ``BENCH_milp.json`` at the repository root
 -- machine-readable, one entry per scenario with nodes / pivots /
 wall-clock -- so the trajectory is diffable from this PR onward.
 
@@ -105,6 +115,12 @@ SCALING_SCENARIOS = frozenset(
 #: Scenarios too large for the legacy mode (minutes per solve).
 SKIP_LEGACY = frozenset({"cash_budget_y3_e5", "catalog_c12_e5"})
 
+#: Scenarios excluded from the certify-overhead measurement.  The e5
+#: scenarios dominate bench wall-clock and certification cost scales
+#: with the same model size as the solve itself, so the small/medium
+#: subset pins the overhead ratio at a fraction of the bench budget.
+SKIP_CERTIFY = SKIP_LEGACY
+
 
 def scenarios():
     """(name, corrupted database, constraints) triples, small to large."""
@@ -141,12 +157,17 @@ def run_one(
     }
     best: Optional[Dict[str, float]] = None
     for _ in range(repeats):
+        # certify=False: the mode timings track the *solver* trajectory
+        # and must stay comparable with baselines recorded before the
+        # certification layer existed.  Certification's own cost is
+        # measured separately by :func:`run_certify_overhead`.
         engine = RepairEngine(
             database,
             constraints,
             backend=backend,
             presolve=mode["presolve"],
             seed_incumbent=mode["seed_incumbent"],
+            certify=False,
         )
         started = time.perf_counter()
         outcome = engine.find_card_minimal_repair(**solver_options)
@@ -162,6 +183,55 @@ def run_one(
             best = record
     assert best is not None
     return best
+
+
+def run_certify_overhead(
+    database, constraints, backend: str, repeats: int = REPEATS
+) -> Dict[str, float]:
+    """Wall-clock cost of exact certification on today's default path.
+
+    Times the same repair twice on the sparse (default) mode -- once
+    with the rational re-verification layer on (the default) and once
+    with ``certify=False`` -- and reports the on/off ratio.  Min-of-N
+    on each side before taking the ratio, the same scheduler-noise
+    guard as the mode timings.  Both sides must agree on the objective:
+    certification is verification-only and never changes the answer on
+    a clean instance.
+    """
+    mode = MODES["sparse"]
+    solver_options = {
+        "presolve": mode["presolve"],
+        "warm_start": mode["warm_start"],
+        "branching": mode["branching"],
+        "pricing": mode["pricing"],
+        "sparse": mode["sparse"],
+        "cuts": mode["cuts"],
+    }
+    timings: Dict[bool, float] = {}
+    objectives: Dict[bool, float] = {}
+    for certify in (True, False):
+        best = math.inf
+        for _ in range(repeats):
+            engine = RepairEngine(
+                database,
+                constraints,
+                backend=backend,
+                presolve=mode["presolve"],
+                seed_incumbent=mode["seed_incumbent"],
+                certify=certify,
+            )
+            started = time.perf_counter()
+            outcome = engine.find_card_minimal_repair(**solver_options)
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+            objectives[certify] = outcome.objective
+        timings[certify] = best
+    return {
+        "certified_wall_time": timings[True],
+        "uncertified_wall_time": timings[False],
+        "certify_overhead": timings[True] / max(timings[False], 1e-9),
+        "objectives_match": abs(objectives[True] - objectives[False]) <= 1e-9,
+    }
 
 
 def _geomean(ratios: List[float]) -> float:
@@ -205,14 +275,31 @@ def main() -> int:
                 modes["sparse"]["wall_time"], 1e-9
             )
             record["objectives_match"] = same
+            if name not in SKIP_CERTIFY:
+                certify = run_certify_overhead(
+                    database, constraints, backend, repeats=repeats
+                )
+                if not certify["objectives_match"]:
+                    diverged = True
+                    print(
+                        f"OBJECTIVE DIVERGENCE: {name}/{backend}: "
+                        "certify-on vs certify-off",
+                        file=sys.stderr,
+                    )
+                record["certify"] = certify
             entry["backends"][backend] = record
+            overhead = (
+                f"  certify {record['certify']['certify_overhead']:5.2f}x"
+                if "certify" in record
+                else ""
+            )
             print(
                 f"{name:28s} {backend:12s} "
                 f"current {modes['current']['wall_time'] * 1000:9.2f} ms "
                 f"({modes['current']['nodes']:4d} nodes)  "
                 f"sparse {modes['sparse']['wall_time'] * 1000:8.2f} ms "
                 f"({modes['sparse']['nodes']:4d} nodes)  "
-                f"{record['sparse_speedup']:5.2f}x"
+                f"{record['sparse_speedup']:5.2f}x{overhead}"
             )
         results.append(entry)
 
@@ -231,19 +318,27 @@ def main() -> int:
             for entry in results
             if entry["scenario"] in SCALING_SCENARIOS
         ]
+        certify_ratios = [
+            entry["backends"][backend]["certify"]["certify_overhead"]
+            for entry in results
+            if "certify" in entry["backends"][backend]
+        ]
         summary[backend] = {
             "geomean_speedup": _geomean(legacy_ratios),
             "min_speedup": min(legacy_ratios),
             "max_speedup": max(legacy_ratios),
             "sparse_geomean_speedup": _geomean(sparse_ratios),
             "sparse_scaling_geomean": _geomean(scaling_ratios),
+            "certify_overhead_geomean": _geomean(certify_ratios),
         }
         print(
             f"{backend}: sparse geomean "
             f"{summary[backend]['sparse_geomean_speedup']:.2f}x over current "
             f"(scaling subset {summary[backend]['sparse_scaling_geomean']:.2f}x); "
             f"legacy->current geomean "
-            f"{summary[backend]['geomean_speedup']:.2f}x"
+            f"{summary[backend]['geomean_speedup']:.2f}x; "
+            f"certify overhead geomean "
+            f"{summary[backend]['certify_overhead_geomean']:.2f}x"
         )
 
     payload = {

@@ -7,6 +7,12 @@ are the gated quantity: each one is a *ratio* of two modes measured on
 the same host in the same process, so host speed divides out and the
 gate is meaningful on noisy CI runners.
 
+The certification overhead (``certify_overhead_geomean``) is a
+*smaller-is-better* ratio (certify-on wall time over certify-off wall
+time, geomean across the small/medium scenarios), so its gate points
+the other way: a fresh overhead more than 10% *above* the committed
+baseline fails -- certification started taxing the hot path.
+
 Also writes a per-scenario markdown table (``--table``) that CI uploads
 as an artifact, so a failing run shows exactly which scenario moved.
 
@@ -41,6 +47,12 @@ GATED_METRICS = (
     "sparse_scaling_geomean",
 )
 
+#: Summary metrics under gate where *smaller* is better -- overhead
+#: ratios.  The gate inverts: a fresh value more than ``tolerance``
+#: above the baseline fails.  Same-host on/off ratios, so runner speed
+#: divides out exactly as for the speedup metrics.
+OVERHEAD_METRICS = ("certify_overhead_geomean",)
+
 
 def load(path: Path) -> Dict:
     with path.open(encoding="utf-8") as handle:
@@ -50,19 +62,21 @@ def load(path: Path) -> Dict:
 def scenario_table(fresh: Dict) -> str:
     """A markdown per-scenario table of the fresh run."""
     lines = [
-        "| scenario | backend | current (ms) | sparse (ms) | sparse speedup | match |",
-        "|---|---|---:|---:|---:|---|",
+        "| scenario | backend | current (ms) | sparse (ms) | sparse speedup | certify | match |",
+        "|---|---|---:|---:|---:|---:|---|",
     ]
     for entry in fresh.get("scenarios", []):
         for backend, record in entry.get("backends", {}).items():
             current = record.get("current", {}).get("wall_time", float("nan"))
             sparse = record.get("sparse", {}).get("wall_time", float("nan"))
             ratio = record.get("sparse_speedup", float("nan"))
+            certify = record.get("certify", {}).get("certify_overhead")
+            overhead = "-" if certify is None else f"{certify:.2f}x"
             match = "yes" if record.get("objectives_match") else "**NO**"
             lines.append(
                 f"| {entry['scenario']} | {backend} "
                 f"| {current * 1000:.2f} | {sparse * 1000:.2f} "
-                f"| {ratio:.2f}x | {match} |"
+                f"| {ratio:.2f}x | {overhead} | {match} |"
             )
     lines.append("")
     lines.append("| backend | metric | value |")
@@ -118,6 +132,31 @@ def main(argv: List[str] | None = None) -> int:
                     f"{backend}/{metric}: {fresh_value:.3f} < "
                     f"{floor:.3f} (baseline {base_value:.3f} "
                     f"- {args.tolerance:.0%})"
+                )
+
+        # Overhead metrics gate in the opposite direction: smaller is
+        # better, so the bound is a ceiling above the baseline rather
+        # than a floor below it.  The baseline-predates / dropped
+        # semantics mirror the speedup metrics exactly.
+        for metric in OVERHEAD_METRICS:
+            if metric not in base_metrics:
+                continue  # baseline predates this metric: nothing to gate
+            if metric not in fresh_metrics:
+                failures.append(f"{backend}/{metric}: dropped from fresh run")
+                continue
+            base_value = float(base_metrics[metric])
+            fresh_value = float(fresh_metrics[metric])
+            ceiling = base_value * (1.0 + args.tolerance)
+            verdict = "ok" if fresh_value <= ceiling else "REGRESSED"
+            print(
+                f"{backend:12s} {metric:24s} baseline {base_value:7.3f}  "
+                f"fresh {fresh_value:7.3f}  ceiling {ceiling:7.3f}  {verdict}"
+            )
+            if fresh_value > ceiling:
+                failures.append(
+                    f"{backend}/{metric}: {fresh_value:.3f} > "
+                    f"{ceiling:.3f} (baseline {base_value:.3f} "
+                    f"+ {args.tolerance:.0%})"
                 )
 
     if failures:

@@ -136,6 +136,7 @@ def cmd_repair(args: argparse.Namespace) -> int:
         on_infeasible=args.on_infeasible,
         strategy=args.strategy,
         misrepair_budget=args.misrepair_budget,
+        certify=args.certify,
     )
     if args.explain_infeasible:
         try:
@@ -178,6 +179,8 @@ def cmd_repair(args: argparse.Namespace) -> int:
     ordered = involvement_order(engine.ground_system, outcome.repair.updates)
     for update in ordered:
         print(f"  {update}")
+    if outcome.certificate is not None:
+        print(f"  certificate: {outcome.certificate}")
     if outcome.cascade is not None:
         report = outcome.cascade
         print(f"  cascade: {report.resolved_without_milp}/{report.n_violations} "
@@ -227,6 +230,12 @@ def cmd_repair(args: argparse.Namespace) -> int:
         print("\nsolve statistics:")
         for record in engine.solve_stats:
             print(f"  {record}")
+        certified = sum(1 for s in engine.solve_stats if s.certified is True)
+        degraded = sum(1 for s in engine.solve_stats if s.degraded)
+        rejected = sum(s.cuts_rejected for s in engine.solve_stats)
+        print(f"  certification: {certified}/{len(engine.solve_stats)} "
+              f"solve(s) certified, {degraded} ladder-degraded, "
+              f"{rejected} cut(s) rejected")
     return 0
 
 
@@ -254,6 +263,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         on_infeasible=args.on_infeasible,
         strategy=args.strategy,
         misrepair_budget=args.misrepair_budget,
+        certify=args.certify,
     )
     for result in report.results:
         line = f"{result.name}: {result.status}"
@@ -267,6 +277,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
             line += f" [anytime: within {result.gap:g} of optimal]"
         if result.fallback_taken:
             line += f" [fell back to {result.backend_used}]"
+        if result.certified is False or result.status == "uncertified":
+            line += " [UNCERTIFIED]"
+        if any(s.degraded for s in result.stats):
+            line += " [ladder-degraded]"
         if result.resumed:
             line += " [resumed from checkpoint]"
         if result.error and not result.ok:
@@ -414,6 +428,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: %(default)s, i.e. any ambiguity falls through)",
     )
     p_repair.add_argument(
+        "--certify", action=argparse.BooleanOptionalAction, default=True,
+        help="verify the repair in exact rational arithmetic against the "
+             "grounded constraints (and let the numerics governor "
+             "re-solve down its degradation ladder on failure); "
+             "--no-certify skips the check (default: on)",
+    )
+    p_repair.add_argument(
         "--no-presolve", action="store_true",
         help="disable the MILP presolve pass on the bnb backends "
              "(escape hatch; never changes the repair's optimality)",
@@ -499,6 +520,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--misrepair-budget", type=int, default=0, metavar="N",
         help="cascade only: per-tier ambiguity budget "
              "(default: %(default)s)",
+    )
+    p_batch.add_argument(
+        "--certify", action=argparse.BooleanOptionalAction, default=True,
+        help="exact-arithmetic certification of every task's repair; "
+             "uncertified or ladder-degraded results are never written "
+             "to the checkpoint journal (default: on)",
     )
     p_batch.add_argument(
         "--stats", action="store_true",

@@ -44,6 +44,12 @@ The taxonomy:
     A batch worker process died (crash, OOM kill) while running a
     task; raised in-process by the sequential path when fault
     injection simulates the same event.
+``NumericInstabilityError``
+    Every rung of the numerics degradation ladder produced an answer
+    that failed exact-arithmetic certification (see
+    :mod:`repro.milp.certify`).  The details carry the per-rung
+    certificate failures; retrying on the alternate backend is allowed
+    (a genuinely different code path may still certify).
 
 Retry policy lives with the taxonomy: :func:`is_retryable_on_fallback`
 says whether retrying a failure on the alternate MILP backend can
@@ -143,6 +149,18 @@ class WorkerCrashError(DiagnosticError):
     code = "worker_crash"
 
 
+class NumericInstabilityError(DiagnosticError):
+    """The whole degradation ladder failed exact certification.
+
+    Raised by :func:`repro.milp.solver.solve_with_stats` under
+    ``certify=True`` only after every rung — down to the independent
+    scipy backend — returned an answer the exact-arithmetic certifier
+    rejected.  ``details["ladder"]`` records the per-rung failures.
+    """
+
+    code = "numeric_instability"
+
+
 #: Codes whose failures are deterministic properties of the *input*:
 #: retrying them on the alternate MILP backend cannot succeed.
 _INPUT_ERROR_CODES = frozenset(
@@ -177,6 +195,8 @@ def classify_failure(error: BaseException) -> str:
         return "unbounded"
     if isinstance(error, WorkerCrashError):
         return "crashed"
+    if isinstance(error, NumericInstabilityError):
+        return "uncertified"
     return "error"
 
 

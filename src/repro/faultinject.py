@@ -39,6 +39,16 @@ deterministically-chosen ground constraint, so the task is provably
 unrepairable *and the injector knows the exact conflict* -- the IIS
 and relaxation tests verify the explanation against the injection
 record rather than against themselves.
+
+A fifth family drives the certification machinery
+(:mod:`repro.milp.certify`): :func:`inject_numeric_noise` perturbs a
+MILP with numerically hostile transformations that **provably preserve
+the answer** -- power-of-two row scaling (exact in binary floating
+point), a ``1 + 2^-40`` relative nudge on a big-M-sized coefficient
+(far below the feasibility tolerance), and an RHS shift that straddles
+the solver's tolerance band.  A certified solver must still return the
+same repairs; a drifting one trips the exact-arithmetic check and the
+numerics governor's degradation ladder.
 """
 
 from __future__ import annotations
@@ -89,6 +99,10 @@ class FaultConfig:
     #: known exact conflict) with this per-task probability.
     contradiction_rate: float = 0.0
     contradiction_tasks: Optional[frozenset] = None
+    #: Perturb a task's MILP with numerically hostile (but
+    #: answer-preserving) noise with this per-task probability -- see
+    #: :func:`inject_numeric_noise`.
+    numeric_noise_rate: float = 0.0
 
     def chance(self, event: str, index: int, attempt: int = 0) -> float:
         """The deterministic uniform draw for one injection decision."""
@@ -277,6 +291,133 @@ def inject_contradiction(
     return ContradictionInjection(
         ground=ground, pins=pins, bumped=bumped, amount=margin
     )
+
+
+#: Row-scale factor for injected ill-conditioning.  A power of two, so
+#: multiplying every coefficient and the RHS is *exact* in binary
+#: floating point: the scaled row has the identical feasible set, only
+#: worse conditioning.
+NOISE_ROW_SCALE = 2.0 ** 20
+
+#: Relative nudge applied to one large coefficient: ``1 + 2^-40`` is a
+#: ~1e-12 relative perturbation -- orders of magnitude below the 1e-6
+#: feasibility tolerance, so the answer is unchanged, but the row
+#: becomes near-degenerate against its unperturbed twin constraints.
+NOISE_NEAR_DEGENERATE = 1.0 + 2.0 ** -40
+
+#: RHS shift that lands inside the solver's tolerance band (just under
+#: the 1e-6 feasibility tolerance), exercising exactly the straddle
+#: region where naive float comparisons flip.
+NOISE_RHS_STRADDLE = 5e-7
+
+
+@dataclass(frozen=True)
+class NumericNoiseInjection:
+    """One perturbation planted by :func:`inject_numeric_noise`."""
+
+    #: "row-scale" | "near-degenerate" | "rhs-straddle"
+    kind: str
+    #: Index of the perturbed constraint row in the model.
+    row: int
+    #: Name of the perturbed constraint ("" when unnamed).
+    constraint: str
+    #: The factor (row-scale / near-degenerate) or shift (rhs-straddle).
+    amount: float
+
+
+def inject_numeric_noise(
+    model: "MILPModel",  # noqa: F821
+    *,
+    seed: int = 0,
+    index: int = 0,
+) -> Tuple["MILPModel", List[NumericNoiseInjection]]:  # noqa: F821
+    """A noisy copy of *model* whose exact answer is unchanged.
+
+    Applies all three noise families to deterministically-chosen rows
+    (pure function of ``(seed, index)``): scales one row by
+    :data:`NOISE_ROW_SCALE` (power of two -- bit-exact, so the feasible
+    set is untouched), multiplies the largest-magnitude coefficient of
+    another row by :data:`NOISE_NEAR_DEGENERATE` (~1e-12 relative), and
+    shifts a third row's RHS by :data:`NOISE_RHS_STRADDLE` *into* the
+    feasible side (LE up, GE down; EQ rows are skipped, a shifted EQ
+    would genuinely change the answer).  The original model is never
+    mutated.  Returns the noisy model plus the injection record the
+    chaos tests verify certification against.
+    """
+    from repro.milp.model import Constraint, MILPModel, Sense
+
+    noisy = MILPModel(model.name)
+    for variable in model.variables:
+        noisy.add_variable(
+            variable.name, variable.var_type, variable.lower, variable.upper
+        )
+    for constraint in model.constraints:
+        noisy.add_constraint(
+            Constraint(
+                constraint.expr.copy(),
+                constraint.sense,
+                constraint.rhs,
+                constraint.name,
+            )
+        )
+    noisy.set_objective(model.objective)
+
+    injections: List[NumericNoiseInjection] = []
+    rows = noisy.constraints
+    if not rows:
+        return noisy, injections
+    config = FaultConfig(seed=seed)
+
+    def pick(event: str, candidates: List[int]) -> int:
+        draw = config.chance(event, index)
+        return candidates[int(draw * len(candidates)) % len(candidates)]
+
+    all_rows = list(range(len(rows)))
+
+    # Family 1: ill-conditioned row scaling (exact).
+    row = pick("noise-row-scale", all_rows)
+    target = rows[row]
+    for var_index in list(target.expr.coefficients):
+        target.expr.coefficients[var_index] *= NOISE_ROW_SCALE
+    target.rhs *= NOISE_ROW_SCALE
+    injections.append(
+        NumericNoiseInjection("row-scale", row, target.name, NOISE_ROW_SCALE)
+    )
+
+    # Family 2: near-degenerate nudge on the row's big-M-sized
+    # coefficient (the largest magnitude present).
+    row = pick("noise-near-degenerate", all_rows)
+    target = rows[row]
+    if target.expr.coefficients:
+        var_index = max(
+            target.expr.coefficients,
+            key=lambda i: (abs(target.expr.coefficients[i]), -i),
+        )
+        target.expr.coefficients[var_index] *= NOISE_NEAR_DEGENERATE
+        injections.append(
+            NumericNoiseInjection(
+                "near-degenerate", row, target.name, NOISE_NEAR_DEGENERATE
+            )
+        )
+
+    # Family 3: tolerance-straddling RHS shift, always loosening (into
+    # the feasible side) so the optimal repairs are preserved.
+    inequality_rows = [
+        i for i in all_rows if rows[i].sense is not Sense.EQ
+    ]
+    if inequality_rows:
+        row = pick("noise-rhs-straddle", inequality_rows)
+        target = rows[row]
+        shift = (
+            NOISE_RHS_STRADDLE
+            if target.sense is Sense.LE
+            else -NOISE_RHS_STRADDLE
+        )
+        target.rhs += shift
+        injections.append(
+            NumericNoiseInjection("rhs-straddle", row, target.name, shift)
+        )
+    return noisy, injections
 
 
 def contradict_tasks(

@@ -53,7 +53,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.milp.cuts import CutPool, FixedSet, cover_cuts, root_cut_loop
+from repro.milp.cuts import (
+    CutPool,
+    FixedSet,
+    cover_cuts,
+    cut_rejected_by_witness,
+    root_cut_loop,
+)
 from repro.milp.deadline import Deadline
 from repro.milp.lowering import DenseArrays, lower_model, lower_model_sparse
 from repro.milp.model import MILPModel, Solution, SolveStatus
@@ -449,13 +455,20 @@ def solve_branch_and_bound(
     # ------------------------------------------------------------------
     pool: Optional[CutPool] = None
     lp_iterations = 0
+    cuts_rejected = 0
+    numeric_drift = 0.0
     if sparse and cuts:
         mark = time.perf_counter()
-        cut_result = root_cut_loop(work, pricing=pricing)
+        # The seeded incumbent doubles as the exact-arithmetic witness
+        # for cut admission: any separated cut that would exclude a
+        # known integer-feasible point is provably invalid.
+        witnesses = [incumbent_x] if incumbent_x is not None else None
+        cut_result = root_cut_loop(work, pricing=pricing, witnesses=witnesses)
         stats["phase_cuts"] = time.perf_counter() - mark
         stats["cut_rounds"] = float(cut_result.rounds)
         stats["cuts_gomory"] = float(cut_result.gomory_count)
         stats["cuts_cover"] = float(cut_result.cover_count)
+        cuts_rejected += cut_result.rejected
         lp_iterations += cut_result.lp_iterations
         if cut_result.cuts:
             work = cut_result.arrays
@@ -570,6 +583,7 @@ def solve_branch_and_bound(
     stats["phase_root_lp"] = time.perf_counter() - mark
     nodes_explored = 1
     lp_iterations += root.iterations
+    numeric_drift = max(numeric_drift, root.rhs_violation)
     warm_hits = 0
     warm_fallbacks = 0
     pruned_by_incumbent = 0
@@ -588,12 +602,16 @@ def solve_branch_and_bound(
             }
         )
         stats["phase_bnb"] = time.perf_counter() - search_mark
+        if numeric_drift > 0.0:
+            stats["numeric_drift"] = numeric_drift
         if pool is not None:
             stats["node_cuts_pooled"] = float(len(pool))
+            stats["cuts_rejected"] = float(cuts_rejected)
         if node_lp is not None:
             stats["node_lp_solves"] = float(node_lp.solves)
         if sparse and isinstance(tree, SparseWarmStartTree):
             stats["refactorizations"] = float(tree.engine.refactorizations)
+            stats["bland_fallbacks"] = float(tree.engine.bland_fallbacks)
         if deadline.expired:
             stats["deadline_expired"] = 1.0
         if status not in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE_GAP):
@@ -678,6 +696,15 @@ def solve_branch_and_bound(
                 # Separate cover cuts under this node's bound box; they
                 # are valid for (and pooled under) exactly its subtree.
                 sep_lower, sep_upper = _materialise_bounds(work, node.delta)
+                # A node cut only claims validity inside this subtree's
+                # bound box, so the incumbent witness applies exactly
+                # when it lives in that box.
+                node_witnesses = None
+                if incumbent_x is not None and bool(
+                    np.all(incumbent_x >= sep_lower - 1e-9)
+                    and np.all(incumbent_x <= sep_upper + 1e-9)
+                ):
+                    node_witnesses = [incumbent_x]
                 for cut in cover_cuts(
                     work,
                     lp.x,
@@ -685,6 +712,9 @@ def solve_branch_and_bound(
                     sep_upper,
                     max_cuts=NODE_CUTS_PER_NODE,
                 ):
+                    if cut_rejected_by_witness(cut, node_witnesses):
+                        cuts_rejected += 1
+                        continue
                     pool.add(node_fixed, cut)
         for direction in ("down", "up"):
             if direction == "down":
@@ -717,6 +747,7 @@ def solve_branch_and_bound(
                 child = relax(work, child_lower, child_upper, child_fixed)
             nodes_explored += 1
             lp_iterations += child.iterations
+            numeric_drift = max(numeric_drift, child.rhs_violation)
             if child.status != "optimal":
                 continue
             assert child.objective is not None

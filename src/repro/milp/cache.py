@@ -15,6 +15,15 @@ verbatim.  Cached
 by every consumer in this repository; ``get`` hands back the stored
 object without copying.
 
+Certification hygiene: because :data:`PERFORMANCE_OPTIONS` are excluded
+from keys, a solve that the numerics governor re-ran down its
+degradation ladder (pricing/cuts/sparse disabled) would land on the
+*pristine* fingerprint.  ``solve_with_stats(certify=True)`` therefore
+only ever stores results from the first, as-requested ladder rung, and
+re-certifies every hit on read — an uncertified or ladder-degraded
+answer can never be served under the pristine key (see
+:mod:`repro.milp.certify`).
+
 Thread-safety: a single lock guards the underlying ``OrderedDict``, so
 one cache instance may be shared by concurrent threads.  Across
 *processes* each worker holds its own instance (see

@@ -424,6 +424,33 @@ class RootCutResult:
     lp_iterations: int = 0
     gomory_count: int = 0
     cover_count: int = 0
+    #: Cuts rejected at admission by the exact witness replay.
+    rejected: int = 0
+
+
+def cut_rejected_by_witness(
+    cut: Cut, witnesses: Optional[Sequence[np.ndarray]]
+) -> bool:
+    """Exact admission gate: does *cut* exclude a known integer point?
+
+    Each witness is an integer-feasible point of the model (in the
+    cut's variable space).  A valid cut may only remove fractional
+    points, so excluding a witness proves the cut wrong — the replay
+    runs in rational arithmetic (:func:`repro.milp.certify.
+    cut_excludes_point`) so the tableau noise that produced the bad
+    cut cannot also hide it.  The test is one-sided: it never
+    *validates* a cut, it only vetoes provably invalid ones, so a
+    witness that is itself slightly off can at worst drop a valid cut
+    (a performance loss, never a correctness loss).
+    """
+    if not witnesses:
+        return False
+    from repro.milp.certify import cut_excludes_point
+
+    return any(
+        cut_excludes_point(cut.coefficients, cut.rhs, witness)
+        for witness in witnesses
+    )
 
 
 def root_cut_loop(
@@ -434,12 +461,15 @@ def root_cut_loop(
     max_total_cuts: Optional[int] = None,
     pricing: str = PRICING_DANTZIG,
     max_iterations: int = 50_000,
+    witnesses: Optional[Sequence[np.ndarray]] = None,
 ) -> RootCutResult:
     """Tighten the root relaxation by repeated separate-and-resolve.
 
     Returns the extended arrays (base + applied cut rows) and the final
     root LP.  When the first relaxation is already integral, infeasible
-    or unbounded, the arrays come back untouched.
+    or unbounded, the arrays come back untouched.  *witnesses* are
+    integer-feasible points used to veto provably invalid cuts on
+    admission (see :func:`cut_rejected_by_witness`).
     """
     if max_total_cuts is None:
         max_total_cuts = max(arrays.m_ub + arrays.m_eq, 32)
@@ -478,6 +508,9 @@ def root_cut_loop(
             if signature in seen:
                 continue
             seen.add(signature)
+            if cut_rejected_by_witness(cut, witnesses):
+                result.rejected += 1
+                continue
             fresh.append(cut)
             if len(fresh) >= budget:
                 break

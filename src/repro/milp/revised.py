@@ -226,6 +226,10 @@ class RevisedSimplex:
 
         self.iterations = 0
         self.refactorizations = 0
+        #: Pricing runs that tripped the anti-cycling trigger and
+        #: switched to Bland's rule mid-solve — a numerics health
+        #: signal surfaced through SolveStats.
+        self.bland_fallbacks = 0
         self._norms: Optional[np.ndarray] = None
         self._solved_once = False
 
@@ -420,6 +424,7 @@ class RevisedSimplex:
                     degenerate_run += 1
                     if degenerate_run > cycle_threshold:
                         use_bland = True  # probable cycling: go anti-cycling
+                        self.bland_fallbacks += 1
                 else:
                     degenerate_run = 0
         return "iteration_limit"

@@ -63,6 +63,15 @@ class LPResult:
     def is_optimal(self) -> bool:
         return self.status == "optimal"
 
+    @property
+    def numerically_clean(self) -> bool:
+        """No infeasibility drift beyond ``FEAS_TOL`` was observed.
+
+        The numerics governor treats an unclean LP as a reason to
+        distrust (and re-certify) everything derived from its basis.
+        """
+        return self.rhs_violation == 0.0
+
 
 class _Tableau:
     """The working tableau ``[B^-1 A | B^-1 b]`` plus the basis list."""

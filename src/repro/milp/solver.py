@@ -24,8 +24,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.diagnostics import NumericInstabilityError
 from repro.milp.branch_and_bound import solve_branch_and_bound
 from repro.milp.cache import SolveCache
+from repro.milp.certify import Certificate, NumericsGovernor, certify_solution
 from repro.milp.model import MILPModel, Solution, SolveStatus
 from repro.milp.scipy_backend import solve_scipy
 
@@ -125,6 +127,29 @@ class SolveStats:
     node_cuts: int = 0
     #: Basis refactorizations performed by the revised simplex.
     refactorizations: int = 0
+    #: Exact-arithmetic certification (``certify=True`` solves only):
+    #: ``certified`` is None when certification was off, True/False
+    #: otherwise; ``certification`` names the verification level
+    #: ("milp" / "not-applicable").  ``certification_failures`` counts
+    #: ladder rungs whose answer the certifier rejected before this
+    #: one passed.
+    certified: Optional[bool] = None
+    certification: str = ""
+    certification_failures: int = 0
+    #: Separated cuts rejected at admission because they excluded an
+    #: integer-feasible witness point (exact rational replay).
+    cuts_rejected: int = 0
+    #: Degradation-ladder accounting: every rung walked for this solve
+    #: (``["as-requested"]`` when the first answer certified), and
+    #: whether the returned answer came from a degraded rung.
+    ladder_steps: List[str] = field(default_factory=list)
+    degraded: bool = False
+    #: Pricing runs that tripped the anti-cycling trigger and fell
+    #: back to Bland's rule inside the revised simplex.
+    bland_fallbacks: int = 0
+    #: Largest basic-variable bound drift the LP cores observed beyond
+    #: their feasibility tolerance (0.0 for numerically clean solves).
+    numeric_drift: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -154,6 +179,14 @@ class SolveStats:
             "cuts_cover": self.cuts_cover,
             "node_cuts": self.node_cuts,
             "refactorizations": self.refactorizations,
+            "certified": self.certified,
+            "certification": self.certification,
+            "certification_failures": self.certification_failures,
+            "cuts_rejected": self.cuts_rejected,
+            "ladder_steps": list(self.ladder_steps),
+            "degraded": self.degraded,
+            "bland_fallbacks": self.bland_fallbacks,
+            "numeric_drift": self.numeric_drift,
         }
 
     def __str__(self) -> str:
@@ -185,6 +218,17 @@ class SolveStats:
                 for name, seconds in sorted(self.phase_times.items())
             )
             flags.append(f"phases[{rendered}]")
+        if self.certified is not None:
+            verdict = "ok" if self.certified else "FAILED"
+            flags.append(f"certified:{verdict}")
+        if self.degraded:
+            flags.append(f"ladder:{'>'.join(self.ladder_steps)}")
+        if self.cuts_rejected:
+            flags.append(f"cuts-rejected:{self.cuts_rejected}")
+        if self.bland_fallbacks:
+            flags.append(f"bland-fallbacks:{self.bland_fallbacks}")
+        if self.numeric_drift:
+            flags.append(f"drift:{self.numeric_drift:g}")
         if self.phase:
             flags.append(f"phase:{self.phase}")
         if self.tier:
@@ -261,6 +305,9 @@ def _stats_from_solution(
         cuts_cover=int(solution.stats.get("cuts_cover", 0)),
         node_cuts=int(solution.stats.get("node_cuts_pooled", 0)),
         refactorizations=int(solution.stats.get("refactorizations", 0)),
+        cuts_rejected=int(solution.stats.get("cuts_rejected", 0)),
+        bland_fallbacks=int(solution.stats.get("bland_fallbacks", 0)),
+        numeric_drift=float(solution.stats.get("numeric_drift", 0.0)),
     )
 
 
@@ -270,6 +317,7 @@ def solve_with_stats(
     *,
     cache: Optional[SolveCache] = None,
     cache_semantics: Optional[Dict[str, object]] = None,
+    certify: bool = False,
     **options,
 ) -> Tuple[Solution, SolveStats]:
     """Solve *model*, returning ``(solution, stats)``.
@@ -281,7 +329,21 @@ def solve_with_stats(
     :meth:`~repro.milp.cache.SolveCache.key_for`): a cascade residue
     solve and an exact solve of the same fingerprint must not share an
     entry.
+
+    With ``certify=True`` every answer is replayed against the original
+    model in exact rational arithmetic (:mod:`repro.milp.certify`).  A
+    rejected answer is re-solved down the numerics degradation ladder
+    (:class:`~repro.milp.certify.NumericsGovernor`) with the suspect
+    artifact disabled; only results from the pristine first rung are
+    ever cached, cache hits are re-certified before being trusted, and
+    an exhausted ladder raises
+    :class:`~repro.diagnostics.NumericInstabilityError`.
     """
+    if certify:
+        return _solve_certified(
+            model, backend, cache=cache, cache_semantics=cache_semantics,
+            **options,
+        )
     started = time.perf_counter()
     if cache is not None:
         key = SolveCache.key_for(model, backend, options, cache_semantics)
@@ -297,4 +359,84 @@ def solve_with_stats(
         solution = solve(model, backend=backend, **options)
     return solution, _stats_from_solution(
         model, backend, solution, time.perf_counter() - started, False
+    )
+
+
+def _certified_stats(
+    model: MILPModel,
+    backend: str,
+    solution: Solution,
+    wall_time: float,
+    cache_hit: bool,
+    certificate: Certificate,
+    steps: List[str],
+    rejected_rungs: int,
+) -> SolveStats:
+    stats = _stats_from_solution(model, backend, solution, wall_time, cache_hit)
+    stats.certified = certificate.certified
+    stats.certification = certificate.level
+    stats.certification_failures = rejected_rungs
+    stats.ladder_steps = list(steps)
+    stats.degraded = len(steps) > 1
+    return stats
+
+
+def _solve_certified(
+    model: MILPModel,
+    backend: str,
+    *,
+    cache: Optional[SolveCache],
+    cache_semantics: Optional[Dict[str, object]],
+    **options,
+) -> Tuple[Solution, SolveStats]:
+    """The ``certify=True`` body of :func:`solve_with_stats`.
+
+    Cache hygiene: performance-only options are excluded from cache
+    keys (:data:`~repro.milp.cache.PERFORMANCE_OPTIONS`), so a
+    ladder-degraded re-solve would land on the *pristine* fingerprint.
+    Only the first ("as-requested") rung may therefore populate the
+    cache — a degraded or uncertified answer never does.
+    """
+    started = time.perf_counter()
+    key = None
+    if cache is not None:
+        key = SolveCache.key_for(model, backend, options, cache_semantics)
+        hit = cache.get(key)
+        if hit is not None:
+            # Never trust a cached answer blindly: re-certify on read.
+            # A failing hit is treated as absent and re-solved fresh
+            # (it cannot be *proven* wrong from here, but it is no
+            # longer proven right either).
+            certificate = certify_solution(model, hit)
+            if certificate.certified:
+                return hit, _certified_stats(
+                    model, backend, hit, time.perf_counter() - started,
+                    True, certificate, ["as-requested"], 0,
+                )
+
+    governor = NumericsGovernor(backend, options)
+    steps: List[str] = []
+    rung_failures: List[Dict[str, object]] = []
+    for step, step_backend, step_options in governor.steps():
+        steps.append(step)
+        solution = solve(model, backend=step_backend, **step_options)
+        certificate = certify_solution(model, solution)
+        if certificate.certified:
+            if (
+                cache is not None
+                and step == "as-requested"
+                and solution.status in _CACHEABLE_STATUSES
+            ):
+                cache.put(key, solution)
+            return solution, _certified_stats(
+                model, step_backend, solution,
+                time.perf_counter() - started, False, certificate, steps,
+                len(rung_failures),
+            )
+        rung_failures.append({"step": step, **certificate.as_dict()})
+    raise NumericInstabilityError(
+        f"no rung of the numerics ladder produced a certifiable answer "
+        f"for backend {backend!r} ({len(rung_failures)} rung(s) rejected)",
+        backend=backend,
+        ladder=rung_failures,
     )

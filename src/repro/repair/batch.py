@@ -138,6 +138,11 @@ class BatchItemResult:
     attempts: int = 1
     #: True when this result was replayed from a checkpoint journal.
     resumed: bool = False
+    #: Exact-arithmetic certification verdict of the delivered repair:
+    #: True (certified), False (rejected -- the task then surfaces as
+    #: ``status="uncertified"``), or None (certification off, or not
+    #: applicable: consistent / failed tasks carry no repair to check).
+    certified: Optional[bool] = None
     error: Optional[str] = None
     wall_time: float = 0.0
     stats: List[SolveStats] = field(default_factory=list)
@@ -204,6 +209,27 @@ class BatchReport:
     @property
     def n_resumed(self) -> int:
         return sum(1 for r in self.results if r.resumed)
+
+    @property
+    def n_certified(self) -> int:
+        """Tasks whose delivered repair carries an exact certificate."""
+        return sum(1 for r in self.results if r.certified is True)
+
+    @property
+    def n_uncertified(self) -> int:
+        """Tasks whose repair failed certification on every ladder rung."""
+        return sum(
+            1
+            for r in self.results
+            if r.certified is False or r.status == "uncertified"
+        )
+
+    @property
+    def n_degraded(self) -> int:
+        """Tasks where the numerics governor stepped down its ladder."""
+        return sum(
+            1 for r in self.results if any(s.degraded for s in r.stats)
+        )
 
     @property
     def all_stats(self) -> List[SolveStats]:
@@ -309,6 +335,12 @@ class BatchReport:
             "warm_start_hits": float(self.total_warm_start_hits),
             "warm_start_fallbacks": float(self.total_warm_start_fallbacks),
             "seeded_solves": float(self.n_seeded_solves),
+            "certified": float(self.n_certified),
+            "uncertified": float(self.n_uncertified),
+            "degraded": float(self.n_degraded),
+            "cuts_rejected": float(
+                sum(s.cuts_rejected for s in self.all_stats)
+            ),
             "wall_time": self.wall_time,
             "solver_seconds": self.solver_seconds,
             **{
@@ -320,6 +352,12 @@ class BatchReport:
 
     def summary(self) -> str:
         extras = ""
+        if self.n_certified:
+            extras += f", {self.n_certified} certified"
+        if self.n_uncertified:
+            extras += f", {self.n_uncertified} UNCERTIFIED"
+        if self.n_degraded:
+            extras += f", {self.n_degraded} ladder-degraded"
         if self.n_approximate:
             extras += f", {self.n_approximate} approximate"
         if self.n_relaxed:
@@ -356,9 +394,10 @@ def _attempt(
     on_infeasible: str = "raise",
     strategy: str = "exact",
     misrepair_budget: int = 0,
+    certify: bool = True,
 ) -> Tuple[
     str, Optional[Repair], Optional[float], bool, Optional[float],
-    Optional[List[Dict]],
+    Optional[List[Dict]], Optional[bool],
 ]:
     """One engine run on one backend; may raise for the retry logic.
 
@@ -379,13 +418,14 @@ def _attempt(
             if task.misrepair_budget is None
             else task.misrepair_budget
         ),
+        certify=certify,
     )
     try:
         # Pins may demand values the current (consistent) instance does
         # not have, so the consistency short-circuit only applies to
         # pin-free tasks.
         if not task.pins and engine.is_consistent():
-            return "consistent", None, None, False, None, None
+            return "consistent", None, None, False, None, None, None
         outcome = engine.find_card_minimal_repair(pins=task.pins, time_limit=timeout)
     finally:
         stats_sink.extend(engine.solve_stats)
@@ -399,6 +439,7 @@ def _attempt(
         outcome.approximate,
         outcome.gap,
         violations,
+        outcome.certified,
     )
 
 
@@ -429,6 +470,7 @@ def execute_task(
     on_infeasible: str = "raise",
     strategy: str = "exact",
     misrepair_budget: int = 0,
+    certify: bool = True,
 ) -> BatchItemResult:
     """Run one task with budget + fallback-backend semantics.
 
@@ -447,9 +489,11 @@ def execute_task(
     primary = task.backend or default_backend
     stats: List[SolveStats] = []
     try:
-        status, repair, objective, approximate, gap, violations = _attempt(
-            task, primary, timeout, cache, stats, on_infeasible,
-            strategy, misrepair_budget,
+        status, repair, objective, approximate, gap, violations, certified = (
+            _attempt(
+                task, primary, timeout, cache, stats, on_infeasible,
+                strategy, misrepair_budget, certify,
+            )
         )
         return BatchItemResult(
             index=index,
@@ -463,6 +507,7 @@ def execute_task(
             wall_time=time.perf_counter() - started,
             stats=stats,
             violations=violations,
+            certified=certified,
         )
     except Exception as primary_error:
         primary_status = classify_failure(primary_error)
@@ -484,9 +529,11 @@ def execute_task(
             )
         fallback_stats: List[SolveStats] = []
         try:
-            status, repair, objective, approximate, gap, violations = _attempt(
-                task, fallback, timeout, cache, fallback_stats, on_infeasible,
-                strategy, misrepair_budget,
+            status, repair, objective, approximate, gap, violations, certified = (
+                _attempt(
+                    task, fallback, timeout, cache, fallback_stats, on_infeasible,
+                    strategy, misrepair_budget, certify,
+                )
             )
             for record in fallback_stats:
                 record.fallback = True
@@ -505,6 +552,7 @@ def execute_task(
                 wall_time=time.perf_counter() - started,
                 stats=stats,
                 violations=violations,
+                certified=certified,
             )
         except Exception as fallback_error:
             for record in fallback_stats:
@@ -577,7 +625,7 @@ def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
     """Execute one chunk of entries inside a worker."""
     (
         chunk, default_backend, timeout, retry_fallback, sentinel_dir,
-        on_infeasible, strategy, misrepair_budget,
+        on_infeasible, strategy, misrepair_budget, certify,
     ) = payload
     results = []
     for index, attempt, task in chunk:
@@ -593,6 +641,7 @@ def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
             on_infeasible=on_infeasible,
             strategy=strategy,
             misrepair_budget=misrepair_budget,
+            certify=certify,
         )
         result.attempts = attempt + 1
         _sentinel(sentinel_dir, index, attempt, "done")
@@ -653,6 +702,7 @@ def _run_generation(
     on_infeasible: str,
     strategy: str,
     misrepair_budget: int,
+    certify: bool,
     on_result: Callable[[BatchItemResult], None],
 ) -> Tuple[List[_Entry], bool]:
     """Run one pool lifetime; returns (undelivered entries, pool broke).
@@ -683,6 +733,7 @@ def _run_generation(
                 on_infeasible,
                 strategy,
                 misrepair_budget,
+                certify,
             )
             try:
                 futures[pool.submit(_run_chunk, payload)] = chunk
@@ -748,6 +799,7 @@ def _run_pool(
     on_infeasible: str,
     strategy: str,
     misrepair_budget: int,
+    certify: bool,
     on_result: Callable[[BatchItemResult], None],
 ) -> int:
     """Drive the pool to completion through crashes; returns respawn count."""
@@ -790,6 +842,7 @@ def _run_pool(
                 on_infeasible=on_infeasible,
                 strategy=strategy,
                 misrepair_budget=misrepair_budget,
+                certify=certify,
                 on_result=on_result,
             )
             generation += 1
@@ -856,6 +909,7 @@ def repair_batch(
     on_infeasible: str = "raise",
     strategy: str = "exact",
     misrepair_budget: int = 0,
+    certify: bool = True,
 ) -> BatchReport:
     """Repair every task, in parallel when ``workers >= 1``.
 
@@ -889,6 +943,14 @@ def repair_batch(
     cascade-wide ambiguity allowance forwarded alongside it.  Both are
     part of the checkpoint identity: a journal written under one
     strategy is never replayed for another.
+
+    ``certify`` (default on) makes every engine verify its repair in
+    exact rational arithmetic (:mod:`repro.milp.certify`) and lets the
+    numerics governor re-solve down its degradation ladder on a
+    certification failure.  Results that are uncertified or that only
+    exist because the ladder degraded the solve are **never written to
+    the checkpoint journal**: a resumed run must re-derive them from
+    scratch rather than replay a numerically suspect answer.
     """
     if on_infeasible not in ON_INFEASIBLE_MODES:
         raise ValueError(
@@ -920,6 +982,7 @@ def repair_batch(
             "on_infeasible": on_infeasible,
             "strategy": strategy,
             "misrepair_budget": misrepair_budget,
+            "certify": certify,
         }
         if journal.exists() and resume:
             replayed, _ = journal.load_completed(
@@ -935,7 +998,19 @@ def repair_batch(
         results[index] = result
 
     def deliver(result: BatchItemResult) -> None:
-        if journal is not None:
+        # Certification hygiene (mirrors the solve cache): the journal
+        # is replayed verbatim on resume, so an uncertified or
+        # ladder-degraded result must never be persisted -- the resumed
+        # run re-solves it instead of inheriting a suspect answer.
+        journal_worthy = not (
+            certify
+            and (
+                result.status == "uncertified"
+                or result.certified is False
+                or any(s.degraded for s in result.stats)
+            )
+        )
+        if journal is not None and journal_worthy:
             journal.append_result(result, fingerprints[result.index])
         results[result.index] = result
 
@@ -962,6 +1037,7 @@ def repair_batch(
                         on_infeasible=on_infeasible,
                         strategy=strategy,
                         misrepair_budget=misrepair_budget,
+                        certify=certify,
                     )
                     result.attempts = crashes + 1
                     break
@@ -1001,6 +1077,7 @@ def repair_batch(
         on_infeasible=on_infeasible,
         strategy=strategy,
         misrepair_budget=misrepair_budget,
+        certify=certify,
         on_result=deliver,
     )
     assert all(result is not None for result in results)

@@ -137,6 +137,7 @@ def result_to_record(result: "BatchItemResult", fingerprint: str) -> Dict[str, A
         ],
         "stats": [s.as_dict() for s in result.stats],
         "violations": result.violations,
+        "certified": result.certified,
     }
 
 
@@ -172,6 +173,7 @@ def record_to_result(record: Dict[str, Any]) -> "BatchItemResult":  # noqa: F821
         wall_time=float(record.get("wall_time", 0.0)),
         stats=stats,
         violations=record.get("violations"),
+        certified=record.get("certified"),
         resumed=True,
     )
 

@@ -37,10 +37,12 @@ from repro.constraints.grounding import (
 )
 from repro.diagnostics import (
     InfeasibleSystemError,
+    NumericInstabilityError,
     SolveTimeoutError,
     UnboundedObjectiveError,
 )
 from repro.milp.cache import SolveCache
+from repro.milp.certify import Certificate, certify_database, certify_repair
 from repro.milp.deadline import Deadline
 from repro.milp.iis import IISError, extract_iis
 from repro.milp.model import Solution, SolveStatus
@@ -131,6 +133,16 @@ class RepairOutcome:
     #: per-tier report (fixes, hit/fallthrough/latency counters).
     strategy: str = "exact"
     cascade: Optional[CascadeReport] = None
+    #: Exact-arithmetic certification (:mod:`repro.milp.certify`):
+    #: True when the repaired document was re-verified against the
+    #: paper-level ground constraints in rationals, None when
+    #: certification was off (``certify=False``) or not applicable
+    #: (relaxed outcomes intentionally violate constraints).  A repair
+    #: with ``certified=False`` is never returned -- the engine
+    #: escalates or raises instead.  ``certificate`` carries the
+    #: document-level evidence.
+    certified: Optional[bool] = None
+    certificate: Optional[Certificate] = None
 
     @property
     def cardinality(self) -> int:
@@ -165,6 +177,7 @@ class RepairEngine:
         on_infeasible: str = "raise",
         strategy: str = "exact",
         misrepair_budget: int = 0,
+        certify: bool = True,
     ) -> None:
         """``objective`` / ``weights`` select the minimality semantics
         (see :class:`~repro.repair.translation.RepairObjective`); the
@@ -200,7 +213,16 @@ class RepairEngine:
         ambiguous closed-form guesses the cascade may take (default 0:
         fall through instead of guessing).  The cascade requires the
         cardinality objective; pins bypass it straight to the exact
-        path."""
+        path.
+
+        ``certify`` (default True) makes every answer self-verifying:
+        solver incumbents are replayed against the original MILP in
+        exact rational arithmetic with the numerics degradation ladder
+        behind them (:mod:`repro.milp.certify`), and the final repaired
+        document is independently re-checked against the paper-level
+        ground constraints -- so a bug anywhere in lowering, presolve,
+        cuts or warm starts surfaces as a typed failure instead of a
+        silently wrong repair."""
         if on_infeasible not in ON_INFEASIBLE_MODES:
             raise ValueError(
                 f"on_infeasible must be one of {ON_INFEASIBLE_MODES}, "
@@ -222,6 +244,7 @@ class RepairEngine:
         self.on_infeasible = on_infeasible
         self.strategy = strategy
         self.misrepair_budget = int(misrepair_budget)
+        self.certify = bool(certify)
         self.database = database
         self.constraints = list(constraints)
         self.backend = backend
@@ -405,6 +428,24 @@ class RepairEngine:
                 big_m_override = translation.big_m * 100.0
                 escalations += 1
                 continue
+            certificate: Optional[Certificate] = None
+            if self.certify:
+                # Document-level exactness gate, independent of the
+                # MILP-level certificate inside solve_with_stats: the
+                # repaired cells are replayed against the paper-level
+                # ground constraints in rationals, so even a bug in
+                # the translation itself cannot escape.
+                certificate = certify_repair(translation, repair)
+                if not certificate.certified:
+                    if escalations >= self.max_escalations:
+                        raise NumericInstabilityError(
+                            "repair failed exact-arithmetic document "
+                            "certification even after Big-M escalation",
+                            certificate=certificate.as_dict(),
+                        )
+                    big_m_override = translation.big_m * 100.0
+                    escalations += 1
+                    continue
             approximate = solution.status is SolveStatus.FEASIBLE_GAP
             logger.info(
                 "%s repair found: objective=%g, %d update(s), "
@@ -422,6 +463,8 @@ class RepairEngine:
                 stats=self.solve_stats[stats_start:],
                 approximate=approximate,
                 gap=solution.gap,
+                certified=certificate.certified if certificate else None,
+                certificate=certificate,
             )
 
     # ------------------------------------------------------------------
@@ -483,6 +526,7 @@ class RepairEngine:
                 presolve=self.presolve,
                 seed_incumbent=self.seed_incumbent,
                 on_infeasible=self.on_infeasible,
+                certify=self.certify,
             )
             # Steady constraints make the ground system value-
             # independent, so the system grounded on the original
@@ -527,6 +571,19 @@ class RepairEngine:
                 "cascade verification failed: the combined repair leaves "
                 "a ground constraint violated"
             )
+        certificate: Optional[Certificate] = None
+        if self.certify and not relaxed:
+            # T3-T4 exactness gate: the finished working database is
+            # replayed against every ground constraint in rationals --
+            # the closed-form tiers mutate cells outside any MILP, so
+            # only a database-level certificate covers them all.
+            certificate = certify_database(self.ground_system, final)
+            if not certificate.certified:
+                raise NumericInstabilityError(
+                    "cascade repair failed exact-arithmetic database "
+                    "certification",
+                    certificate=certificate.as_dict(),
+                )
         logger.info(
             "cascade repair found: %d update(s), %d/%d violation(s) "
             "resolved before the MILP%s",
@@ -548,6 +605,8 @@ class RepairEngine:
             violations=violations,
             strategy="cascade",
             cascade=report,
+            certified=certificate.certified if certificate else None,
+            certificate=certificate,
         )
 
     # ------------------------------------------------------------------
@@ -770,6 +829,7 @@ class RepairEngine:
             backend=self.backend,
             cache=self.solve_cache,
             cache_semantics=self._cache_semantics,
+            certify=self.certify,
             **options,
         )
         if seeded_objective is not None:
