@@ -1,4 +1,4 @@
-"""The MILP bench regression gate.
+"""The bench regression gate.
 
 Compares a freshly produced ``BENCH_milp.json`` against the committed
 baseline and fails (exit 1) when any geomean speedup regressed by more
@@ -27,6 +27,11 @@ Usage::
 A metric present only in the fresh file (schema growth) is reported
 but never gated; a metric present only in the baseline is a hard
 failure (the bench silently stopped measuring something).
+
+The same gate also serves ``BENCH_service.json`` (from
+``bench_service.py``): its summary uses the same per-backend shape, so
+CI runs this script once per benchmark pair.  Its gated metric is
+``warm_hit_rate``; the latency percentiles ride along ungated.
 """
 
 from __future__ import annotations
@@ -45,6 +50,10 @@ GATED_METRICS = (
     "geomean_speedup",
     "sparse_geomean_speedup",
     "sparse_scaling_geomean",
+    # BENCH_service.json: fraction of warm-run solve requests served
+    # from cache.  Baseline is 1.0 by construction, so any drop at all
+    # trips the 10% gate -- a drop means the store stopped serving.
+    "warm_hit_rate",
 )
 
 #: Summary metrics under gate where *smaller* is better -- overhead

@@ -1,0 +1,280 @@
+"""Seeded chaos soak for the repair service.
+
+One seed drives the full gauntlet the service claims to survive:
+
+1. **reference** -- a clean run on a fresh store records the ground
+   truth repairs for the corpus;
+2. **crash** -- a child incarnation of this very script runs the same
+   corpus against a fresh store + journal and ``SIGKILL``\\ s itself
+   after delivering two results (a worst-case torn shutdown: no
+   ``atexit``, no flushes beyond what the store/journal already
+   guaranteed);
+3. **sabotage** -- the parent then appends garbage to the journal
+   (:func:`~repro.faultinject.torn_write`) and flips one committed
+   store row's payload under a now-stale checksum
+   (:func:`~repro.faultinject.corrupt_store_row`);
+4. **restart** -- a new service resumes over the wreckage *with a
+   sick scipy backend injected* (dispatches to the primary die with
+   probability ``sick_rate``), and must still complete every task with
+   repairs identical to the reference, evicting the corrupted row and
+   discarding the torn journal tail along the way;
+5. **drain** -- a final incarnation takes a ``SIGTERM`` mid-batch,
+   finishes only its in-flight work, persists a pending manifest, and
+   a successor completes the remainder -- again bit-identical.
+
+Everything is derived from ``--seed``, so a CI matrix over seeds walks
+different corruption victims, fault schedules, and jitter without any
+flakiness.  A JSON report (``--out``) records each phase for artifact
+upload; exit status is non-zero when any phase breaks the invariants.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/soak_service.py --seed 1 \\
+        --out soak_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.acquisition.ocr import inject_value_errors
+from repro.datasets import generate_cash_budget
+from repro.faultinject import FaultConfig, corrupt_store_row, torn_write
+from repro.repair.batch import RepairTask
+from repro.repair.checkpoint import CheckpointJournal
+from repro.repair.service import RepairService, ServiceConfig
+
+N_UNIQUE = 4
+N_ERRORS = 2
+#: Results the crash incarnation delivers before SIGKILLing itself.
+KILL_AFTER = 2
+SICK_RATE = 0.5
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def build_corpus(seed: int) -> List[RepairTask]:
+    workload = generate_cash_budget(n_years=2, seed=seed)
+    databases = []
+    for offset in range(N_UNIQUE):
+        corrupted, _ = inject_value_errors(
+            workload.ground_truth, N_ERRORS, seed=seed + offset
+        )
+        databases.append(corrupted)
+    databases.append(databases[0].copy())  # one duplicate
+    return [
+        RepairTask(
+            database=database,
+            constraints=workload.constraints,
+            name=f"doc{index}",
+        )
+        for index, database in enumerate(databases)
+    ]
+
+
+def signature(report) -> List[str]:
+    """Bitwise identity: name, status and the full repair text."""
+    return [f"{r.name}:{r.status}:{r.repair}" for r in report.results]
+
+
+def objective_signature(report) -> List[str]:
+    """Optimality identity: name, status and the certified objective.
+
+    A sick primary backend reroutes solves to the fallback, which may
+    break ties between equally-optimal repairs differently -- so after
+    rerouting, the invariant is the objective value, not the literal
+    cell choices.  (Replayed and cache-served results stay bitwise; the
+    drain phase checks that stronger form.)
+    """
+    return [
+        f"{r.name}:{r.status}:"
+        f"{'-' if r.objective is None else format(r.objective, '.9g')}"
+        for r in report.results
+    ]
+
+
+def crashy_incarnation(args: argparse.Namespace) -> int:
+    """Child mode: run the corpus, SIGKILL self after KILL_AFTER rows."""
+    service = RepairService(
+        ServiceConfig(store=args.store, checkpoint=args.checkpoint)
+    )
+    delivered = {"n": 0}
+    original = service._deliver
+
+    def deliver_then_die(*a, **kw):
+        out = original(*a, **kw)
+        delivered["n"] += 1
+        if delivered["n"] >= KILL_AFTER:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return out
+
+    service._deliver = deliver_then_die
+    service.run(build_corpus(args.seed))
+    return 3  # unreachable unless the corpus shrank below KILL_AFTER
+
+
+def run_soak(args: argparse.Namespace) -> int:
+    phases: Dict[str, Dict] = {}
+    failures: List[str] = []
+    tasks = build_corpus(args.seed)
+
+    with tempfile.TemporaryDirectory(prefix="soak-service-") as tmp:
+        # Phase 1: reference run, pristine conditions.
+        with RepairService(
+            ServiceConfig(store=str(Path(tmp) / "ref.db"))
+        ) as ref_service:
+            ref_report = ref_service.run(tasks)
+        reference = signature(ref_report)
+        ref_objectives = objective_signature(ref_report)
+        phases["reference"] = {"signature": reference}
+        if len(reference) != len(tasks):
+            failures.append("reference run incomplete")
+
+        store = str(Path(tmp) / "soak.db")
+        checkpoint = str(Path(tmp) / "soak.journal")
+
+        # Phase 2: a child incarnation dies by SIGKILL mid-run.
+        child = subprocess.run(
+            [
+                sys.executable, __file__, "--phase", "crashy",
+                "--seed", str(args.seed),
+                "--store", store, "--checkpoint", checkpoint,
+            ],
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            capture_output=True, text=True, timeout=300,
+        )
+        phases["crash"] = {"returncode": child.returncode}
+        if child.returncode != -signal.SIGKILL:
+            failures.append(
+                f"crash child exited {child.returncode}, wanted "
+                f"{-signal.SIGKILL}; stderr: {child.stderr[-500:]}"
+            )
+
+        # Phase 3: sabotage the survivors.
+        phases["sabotage"] = {
+            "torn_bytes": torn_write(checkpoint, seed=args.seed),
+            "corrupted_key": corrupt_store_row(store, seed=args.seed),
+        }
+
+        # Phase 4: restart over the wreckage with a sick primary backend.
+        chaos = FaultConfig(
+            seed=args.seed, sick_backend="scipy", sick_rate=SICK_RATE
+        )
+        with RepairService(ServiceConfig(
+            store=store, checkpoint=checkpoint, fault_config=chaos,
+        )) as survivor:
+            report = survivor.run(tasks, resume=True)
+            # First scan may still find the sabotaged row (if neither
+            # replay nor rerouting ever read it, lazy eviction never
+            # fired) -- finding and evicting it IS the self-heal.  The
+            # rescan after that must be spotless.
+            integrity = survivor.integrity_report()
+            rescan = survivor.integrity_report()
+            phases["restart"] = {
+                "objectives_match":
+                    objective_signature(report) == ref_objectives,
+                "resumed": sum(1 for r in report.results if r.resumed),
+                "fallbacks": sum(
+                    1 for r in report.results if r.fallback_taken
+                ),
+                "breakers": survivor.health()["breakers"],
+                "integrity": integrity.as_dict(),
+                "rescan": rescan.as_dict(),
+                # Would raise CheckpointError if resume had appended
+                # past the torn tail instead of truncating it first.
+                "journal_records_after_restart":
+                    len(CheckpointJournal(checkpoint).load().records),
+            }
+        if not phases["restart"]["objectives_match"]:
+            failures.append("restart produced different repair objectives")
+        if phases["restart"]["resumed"] == 0:
+            failures.append("restart replayed nothing from the journal")
+        sabotaged = phases["sabotage"]["corrupted_key"]
+        stray = [k for k in integrity.evicted_keys if k != sabotaged]
+        if stray or integrity.sqlite_verdict != "ok":
+            failures.append(
+                f"integrity scan evicted rows we never sabotaged: {integrity}"
+            )
+        if not rescan.ok:
+            failures.append(f"store dirty after self-heal: {rescan}")
+
+        # Phase 5: SIGTERM drain, then a successor finishes the rest.
+        drain_store = str(Path(tmp) / "drain.db")
+        drain_journal = str(Path(tmp) / "drain.journal")
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            drainee = RepairService(ServiceConfig(
+                store=drain_store, checkpoint=drain_journal,
+            ))
+            drainee.install_signal_handlers()
+            for task in tasks:
+                drainee.submit(task)
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(0)  # let the handler run before dispatch
+            completed_before = drainee.process_pending()
+            pending = drainee.drain()
+            drainee.close()
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        manifest = Path(drain_journal + ".pending")
+        phases["drain"] = {
+            "completed_before_drain": completed_before,
+            "pending_after_drain": pending,
+            "manifest_exists": manifest.exists(),
+        }
+        if completed_before >= len(tasks) or not pending:
+            failures.append("SIGTERM did not stop the batch early")
+        if not manifest.exists():
+            failures.append("drain wrote no pending manifest")
+        with RepairService(ServiceConfig(
+            store=drain_store, checkpoint=drain_journal,
+        )) as successor:
+            final = signature(successor.run(tasks, resume=True))
+        phases["drain"]["final_matches"] = final == reference
+        if final != reference:
+            failures.append("post-drain completion differs from reference")
+
+    payload = {
+        "soak": "service",
+        "seed": args.seed,
+        "n_tasks": len(tasks),
+        "phases": phases,
+        "failures": failures,
+        "ok": not failures,
+    }
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out}")
+    for name, detail in phases.items():
+        print(f"{name}: {json.dumps(detail, default=str)[:200]}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("soak:", "ok" if not failures else "FAILED")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="soak_report.json")
+    parser.add_argument("--phase", choices=("soak", "crashy"), default="soak")
+    parser.add_argument("--store", help="(crashy phase) store path")
+    parser.add_argument("--checkpoint", help="(crashy phase) journal path")
+    args = parser.parse_args()
+    if args.phase == "crashy":
+        return crashy_incarnation(args)
+    return run_soak(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,8 +26,15 @@ Commands:
   an approximate repair with a certified gap, else a fallback to the
   alternate MILP backend), ``--cache`` sizes the LRU solve cache,
   ``--checkpoint`` journals completed tasks so an interrupted run
-  resumes instead of restarting, and the run ends with the batch
-  report (solves, cache hits, nodes, pivots, wall time);
+  resumes instead of restarting, ``--store`` backs every cache with a
+  durable result store so duplicate documents are free across runs,
+  and the run ends with the batch report (solves, cache hits, nodes,
+  pivots, wall time);
+- ``serve <dir> [<dir> ...]`` -- run the corpus through the repair
+  *service* (:mod:`repro.repair.service`): durable store, per-backend
+  circuit breakers, checkpoint-journal crash recovery
+  (``require_certified`` replay), graceful drain on SIGTERM, and a
+  health/integrity summary at the end;
 - ``answers <dir> --function f --args a,b`` -- consistent query
   answering: the glb/lub of an aggregation function over all
   card-minimal repairs;
@@ -256,6 +263,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         timeout=args.timeout,
         cache_size=args.cache,
+        store=args.store,
         backend=args.backend,
         checkpoint=args.checkpoint,
         resume=not args.no_resume,
@@ -301,6 +309,79 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"repaired instances written under {out_root}")
     print(report.summary())
     return 0 if report.n_failed == 0 else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.repair.service import RepairService, ServiceConfig
+
+    tasks = []
+    for directory in args.directories:
+        _, _, constraints, database = _load_project(directory)
+        tasks.append(
+            RepairTask(
+                database=database,
+                constraints=constraints,
+                name=str(directory),
+                objective=RepairObjective(args.objective),
+            )
+        )
+    config = ServiceConfig(
+        store=args.store,
+        checkpoint=args.checkpoint,
+        backend=args.backend,
+        timeout=args.timeout,
+        cache_size=args.cache,
+        on_infeasible=args.on_infeasible,
+        strategy=args.strategy,
+        misrepair_budget=args.misrepair_budget,
+        certify=args.certify,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        max_task_retries=args.max_task_retries,
+    )
+    with RepairService(config) as service:
+        service.install_signal_handlers()
+        report = service.run(tasks, resume=not args.no_resume)
+        for result in report.results:
+            line = f"{result.name}: {result.status}"
+            if result.status == "repaired":
+                line += f" ({result.cardinality} value(s) changed)"
+            if result.fallback_taken:
+                line += f" [rerouted to {result.backend_used}]"
+            if result.resumed:
+                line += " [replayed from journal]"
+            if result.error and not result.ok:
+                line += f" -- {result.error}"
+            print(line)
+        health = service.health()
+        print(report.summary())
+        breakers = health["breakers"] or {}
+        if breakers:
+            rendered = ", ".join(f"{b}={s}" for b, s in breakers.items())
+            print(f"breakers: {rendered}")
+        if health["store"] is not None:
+            store_info = health["store"]
+            print(
+                f"store: {store_info['rows']} row(s), "
+                f"{store_info['hits']} hit(s) / {store_info['misses']} miss(es), "
+                f"{store_info['corrupt_evictions']} corrupt eviction(s), "
+                f"{store_info['corrupt_recoveries']} rebuild(s)"
+            )
+        if args.integrity_scan:
+            integrity = service.integrity_report()
+            if integrity is None:
+                print("integrity: no store configured")
+            else:
+                print(
+                    f"integrity: {integrity.rows_checked} row(s) checked, "
+                    f"{integrity.rows_evicted} evicted, "
+                    f"sqlite={integrity.sqlite_verdict} "
+                    f"({'OK' if integrity.ok else 'REPAIRED'})"
+                )
+        if service.draining:
+            print("drained: stopped on request; pending manifest written")
+    incomplete = report.n_tasks < len(tasks)
+    return 0 if report.n_failed == 0 and not incomplete else 1
 
 
 def cmd_answers(args: argparse.Namespace) -> int:
@@ -543,6 +624,12 @@ def build_parser() -> argparse.ArgumentParser:
              "interrupted run stopped",
     )
     p_batch.add_argument(
+        "--store",
+        help="durable result store (SQLite) backing every solve cache; "
+             "certified solutions persist across runs, so re-repairing "
+             "an unchanged corpus does zero MILP solves",
+    )
+    p_batch.add_argument(
         "--no-resume", action="store_true",
         help="ignore an existing checkpoint journal and start over "
              "(the journal is truncated)",
@@ -561,6 +648,92 @@ def build_parser() -> argparse.ArgumentParser:
              "violation report (default: %(default)s)",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = subparsers.add_parser(
+        "serve",
+        help="run a corpus through the durable repair service "
+             "(store + breakers + journal recovery + graceful drain)",
+    )
+    p_serve.add_argument("directories", nargs="+")
+    p_serve.add_argument(
+        "--store",
+        help="durable result store (SQLite); certified solutions "
+             "persist across service restarts",
+    )
+    p_serve.add_argument(
+        "--checkpoint",
+        help="checkpoint journal; a restarted service replays certified "
+             "results and re-solves only the uncertified tail",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="primary MILP backend; a sick backend's circuit breaker "
+             "shifts traffic to the alternate (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task solve deadline in seconds",
+    )
+    p_serve.add_argument(
+        "--cache", type=int, default=DEFAULT_CACHE_SIZE,
+        help="in-memory LRU tier size in front of the store "
+             "(default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--objective",
+        choices=[o.value for o in RepairObjective],
+        default=RepairObjective.CARDINALITY.value,
+        help="minimality semantics (default: the paper's card-minimality)",
+    )
+    p_serve.add_argument(
+        "--strategy",
+        choices=list(STRATEGIES),
+        default="exact",
+        help="repair strategy (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--misrepair-budget", type=int, default=0, metavar="N",
+        help="cascade only: per-tier ambiguity budget (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--certify", action=argparse.BooleanOptionalAction, default=True,
+        help="exact-arithmetic certification; only certified results "
+             "enter the store or the journal (default: on)",
+    )
+    p_serve.add_argument(
+        "--on-infeasible",
+        choices=list(ON_INFEASIBLE_MODES),
+        default="raise",
+        help="per-task behaviour when no repair exists "
+             "(default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive backend failures before its circuit breaker "
+             "opens (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open breaker waits before a half-open probe "
+             "(default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--max-task-retries", type=int, default=2,
+        help="crash retries per backend before it counts as a backend "
+             "failure (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore an existing checkpoint journal and start over",
+    )
+    p_serve.add_argument(
+        "--integrity-scan", action="store_true",
+        help="run the store's row-by-row integrity scan after the corpus "
+             "and print the verdict",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_answers = subparsers.add_parser(
         "answers", help="consistent query answering over card-minimal repairs"

@@ -50,6 +50,23 @@ The taxonomy:
     :mod:`repro.milp.certify`).  The details carry the per-rung
     certificate failures; retrying on the alternate backend is allowed
     (a genuinely different code path may still certify).
+``StoreCorruptError``
+    The durable result store (:mod:`repro.repair.store`) detected
+    damage it could not transparently self-heal -- a bad row is
+    normally just evicted and re-solved, so this surfaces only when
+    the store *file* itself is unusable.  Always retryable: the store
+    rebuilds itself and the solve proceeds cacheless.
+``OverloadedError``
+    The repair service's intake queue is above its admission watermark
+    (:mod:`repro.repair.service`).  Carries ``retry_after`` seconds in
+    its details -- the caller should back off and resubmit, never
+    block: bounded backpressure instead of unbounded memory.
+``BreakerOpenError``
+    Every backend that could run the task currently has an open
+    circuit breaker (:mod:`repro.repair.service`): recent dispatches
+    to it failed, and the cooldown has not elapsed.  Transient by
+    construction -- a half-open probe re-closes the breaker as soon as
+    the backend recovers.
 
 Retry policy lives with the taxonomy: :func:`is_retryable_on_fallback`
 says whether retrying a failure on the alternate MILP backend can
@@ -161,6 +178,36 @@ class NumericInstabilityError(DiagnosticError):
     code = "numeric_instability"
 
 
+class StoreCorruptError(DiagnosticError):
+    """The durable result store is damaged beyond row-level self-healing."""
+
+    code = "store_corrupt"
+
+
+class OverloadedError(DiagnosticError):
+    """The service intake queue is above its admission watermark.
+
+    ``retry_after`` (seconds) tells the caller when resubmission is
+    likely to be admitted; it is also stored in ``details``.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0, **details: Any) -> None:
+        super().__init__(message, retry_after=retry_after, **details)
+        self.retry_after = float(retry_after)
+
+
+class BreakerOpenError(DiagnosticError):
+    """Every eligible backend's circuit breaker is currently open."""
+
+    code = "breaker_open"
+
+    def __init__(self, message: str, *, retry_after: float = 1.0, **details: Any) -> None:
+        super().__init__(message, retry_after=retry_after, **details)
+        self.retry_after = float(retry_after)
+
+
 #: Codes whose failures are deterministic properties of the *input*:
 #: retrying them on the alternate MILP backend cannot succeed.
 _INPUT_ERROR_CODES = frozenset(
@@ -197,6 +244,12 @@ def classify_failure(error: BaseException) -> str:
         return "crashed"
     if isinstance(error, NumericInstabilityError):
         return "uncertified"
+    if isinstance(error, StoreCorruptError):
+        return "store_corrupt"
+    if isinstance(error, OverloadedError):
+        return "overloaded"
+    if isinstance(error, BreakerOpenError):
+        return "breaker_open"
     return "error"
 
 

@@ -40,6 +40,18 @@ unrepairable *and the injector knows the exact conflict* -- the IIS
 and relaxation tests verify the explanation against the injection
 record rather than against themselves.
 
+A sixth family drives the durable-service machinery
+(:mod:`repro.repair.service` / :mod:`repro.repair.store`):
+``sick_backend``/``sick_rate`` make dispatches to one named MILP
+backend die (:func:`chaos_backend_dispatch` raises
+:class:`~repro.diagnostics.WorkerCrashError`, the same shape a
+segfaulting HiGHS produces), which is what opens a circuit breaker;
+and :func:`corrupt_store_row` / :func:`torn_write` damage the
+content-addressed result store on disk -- a payload overwritten under
+a stale checksum, and a torn trailing write -- so the integrity-scan
+and self-healing paths are exercised against *real* corruption, not
+mocks.
+
 A fifth family drives the certification machinery
 (:mod:`repro.milp.certify`): :func:`inject_numeric_noise` perturbs a
 MILP with numerically hostile transformations that **provably preserve
@@ -103,6 +115,14 @@ class FaultConfig:
     #: answer-preserving) noise with this per-task probability -- see
     #: :func:`inject_numeric_noise`.
     numeric_noise_rate: float = 0.0
+    #: Sick-backend fault: dispatches routed to this MILP backend die
+    #: with this probability (a worker-crash shape, like segfaulting
+    #: native code inside one solver only).  ``None`` disables the
+    #: family regardless of the rate.
+    sick_backend: Optional[str] = None
+    sick_rate: float = 0.0
+    sick_tasks: Optional[frozenset] = None
+    sick_attempts: Optional[frozenset] = None
 
     def chance(self, event: str, index: int, attempt: int = 0) -> float:
         """The deterministic uniform draw for one injection decision."""
@@ -150,6 +170,95 @@ def chaos_before_task(
         and config.should("hang", config.hang_rate, index, attempt)
     ):
         time.sleep(config.hang_seconds)
+
+
+def chaos_backend_dispatch(
+    config: Optional[FaultConfig],
+    backend: str,
+    index: int,
+    attempt: int,
+) -> None:
+    """Kill this dispatch iff the sick-backend fault fires for it.
+
+    Called by the repair service just before handing a task to a
+    chosen MILP backend.  A strike raises
+    :class:`~repro.diagnostics.WorkerCrashError` -- the same failure
+    shape a segfault in that backend's native code produces -- so the
+    caller's circuit breaker sees a genuine backend death, while every
+    *other* backend keeps working (that asymmetry is the whole point:
+    traffic must shift, not stop).
+    """
+    if config is None or config.sick_backend is None:
+        return
+    if backend != config.sick_backend:
+        return
+    if config.sick_tasks is not None and index not in config.sick_tasks:
+        return
+    if config.sick_attempts is not None and attempt not in config.sick_attempts:
+        return
+    if config.should("sick", config.sick_rate, index, attempt):
+        raise WorkerCrashError(
+            f"injected sick backend {backend!r} (task {index}, "
+            f"attempt {attempt})",
+            backend=backend,
+            index=index,
+            attempt=attempt,
+        )
+
+
+def corrupt_store_row(
+    store_path: "os.PathLike",
+    *,
+    seed: int = 0,
+    index: int = 0,
+) -> Optional[str]:
+    """Flip one result-store row's payload under its stale checksum.
+
+    Opens the SQLite store file directly (no :class:`ResultStore`
+    mediation -- real bit rot does not use the API either), picks one
+    row deterministically from ``(seed, index)`` and overwrites its
+    payload with garbage while leaving the recorded checksum alone.
+    Returns the damaged row's key, or ``None`` when the store is
+    empty.  A correct store must *evict and re-solve* this row, never
+    serve it.
+    """
+    import sqlite3
+
+    config = FaultConfig(seed=seed)
+    with sqlite3.connect(store_path) as connection:
+        keys = [
+            row[0]
+            for row in connection.execute(
+                "SELECT key FROM results ORDER BY key"
+            ).fetchall()
+        ]
+        if not keys:
+            return None
+        victim = keys[int(config.chance("store-corrupt", index) * len(keys)) % len(keys)]
+        connection.execute(
+            "UPDATE results SET payload=? WHERE key=?",
+            ('{"bitrot": ' + str(seed) + "}", victim),
+        )
+    return victim
+
+
+def torn_write(path: "os.PathLike", *, seed: int = 0, n_bytes: int = 64) -> int:
+    """Append deterministic garbage to *path*, simulating a torn write.
+
+    The shape of a crash mid-append: the file ends in bytes that are
+    not a complete record.  Applied to a checkpoint journal this is
+    the torn tail the loader must discard; applied to a result store's
+    WAL sidecar it is an unfinished frame SQLite's recovery must roll
+    back.  Returns the number of bytes appended.
+    """
+    config = FaultConfig(seed=seed)
+    garbage = bytes(
+        int(config.chance("torn-byte", position) * 256) % 256
+        for position in range(n_bytes)
+    )
+    with open(path, "ab") as handle:
+        handle.write(garbage)
+    return len(garbage)
 
 
 def _poison_cell(

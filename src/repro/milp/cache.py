@@ -24,11 +24,22 @@ re-certifies every hit on read — an uncertified or ladder-degraded
 answer can never be served under the pristine key (see
 :mod:`repro.milp.certify`).
 
+Two-tier lookup: constructed with a ``store``
+(:class:`~repro.repair.store.ResultStore`), the cache consults memory
+first and the disk store second, promoting disk hits into memory.
+Disk admission is gated by the caller: only ``put(..., certified=True)``
+-- which :func:`~repro.milp.solver.solve_with_stats` issues exclusively
+for first-rung exact-certified answers -- reaches the store, and the
+store's own per-row checksums plus the solver's re-certification on
+read guard the way back.  That is what makes duplicate documents free
+*across* runs and tenants, not just within one process.
+
 Thread-safety: a single lock guards the underlying ``OrderedDict``, so
 one cache instance may be shared by concurrent threads.  Across
 *processes* each worker holds its own instance (see
 :mod:`repro.repair.batch`); fingerprints make the per-process caches
-equivalent, they just warm up independently.
+equivalent, they just warm up independently -- and a shared ``store``
+lets them warm each other up through disk.
 """
 
 from __future__ import annotations
@@ -36,10 +47,13 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple
 
 from repro.milp.fingerprint import canonical_fingerprint
 from repro.milp.model import MILPModel, Solution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repair -> milp)
+    from repro.repair.store import ResultStore as ResultStoreLike
 
 #: Default number of solutions retained.
 DEFAULT_CACHE_SIZE = 256
@@ -76,6 +90,9 @@ class CacheInfo:
     misses: int = 0
     maxsize: int = DEFAULT_CACHE_SIZE
     currsize: int = 0
+    #: Subset of ``hits`` served from the disk store tier (and
+    #: promoted into memory on the way out).
+    store_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -86,16 +103,29 @@ class CacheInfo:
 class SolveCache:
     """LRU memo of solved models.
 
-    ``maxsize <= 0`` disables storage entirely (every lookup misses),
-    which lets callers thread one object through unconditionally.
+    ``maxsize <= 0`` disables in-memory storage (every memory lookup
+    misses), which lets callers thread one object through
+    unconditionally; a disk ``store`` still works at ``maxsize=0``.
+
+    ``store`` is an optional second tier
+    (:class:`~repro.repair.store.ResultStore` or anything with its
+    ``get``/``put``/``evict`` shape): memory misses fall through to
+    it, and disk hits are promoted into memory.  Only *certified*
+    results (``put(..., certified=True)``) are admitted to disk.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_CACHE_SIZE,
+        store: Optional["ResultStoreLike"] = None,
+    ) -> None:
         self.maxsize = int(maxsize)
+        self.store = store
         self._store: "OrderedDict[CacheKey, Solution]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._store_hits = 0
 
     @staticmethod
     def key_for(
@@ -130,14 +160,38 @@ class SolveCache:
     def get(self, key: CacheKey) -> Optional[Solution]:
         with self._lock:
             solution = self._store.get(key)
-            if solution is None:
-                self._misses += 1
-                return None
-            self._store.move_to_end(key)
-            self._hits += 1
-            return solution
+            if solution is not None:
+                self._store.move_to_end(key)
+                self._hits += 1
+                return solution
+        # Second tier, outside the memory lock: the store has its own
+        # locking, and a disk read must not block memory hits.
+        if self.store is not None:
+            solution = self.store.get(key)
+            if solution is not None:
+                with self._lock:
+                    self._store_hits += 1
+                    self._hits += 1
+                    if self.maxsize > 0:
+                        self._store[key] = solution
+                        self._store.move_to_end(key)
+                        while len(self._store) > self.maxsize:
+                            self._store.popitem(last=False)
+                return solution
+        with self._lock:
+            self._misses += 1
+        return None
 
-    def put(self, key: CacheKey, solution: Solution) -> None:
+    def put(self, key: CacheKey, solution: Solution, certified: bool = False) -> None:
+        """Memoise *solution*; ``certified=True`` also persists it.
+
+        The disk tier only admits results the caller vouches for with
+        ``certified=True`` -- in practice, first-rung answers that
+        passed exact-arithmetic certification.  Everything else stays
+        in the volatile memory tier and dies with the process.
+        """
+        if certified and self.store is not None:
+            self.store.put(key, solution)
         if self.maxsize <= 0:
             return
         with self._lock:
@@ -146,11 +200,19 @@ class SolveCache:
             while len(self._store) > self.maxsize:
                 self._store.popitem(last=False)
 
+    def evict(self, key: CacheKey) -> None:
+        """Drop *key* from both tiers (a hit failed re-certification)."""
+        with self._lock:
+            self._store.pop(key, None)
+        if self.store is not None:
+            self.store.evict(key)
+
     def clear(self) -> None:
         with self._lock:
             self._store.clear()
             self._hits = 0
             self._misses = 0
+            self._store_hits = 0
 
     def info(self) -> CacheInfo:
         with self._lock:
@@ -159,6 +221,7 @@ class SolveCache:
                 misses=self._misses,
                 maxsize=self.maxsize,
                 currsize=len(self._store),
+                store_hits=self._store_hits,
             )
 
     def __len__(self) -> int:

@@ -413,6 +413,10 @@ def _solve_certified(
                     model, backend, hit, time.perf_counter() - started,
                     True, certificate, ["as-requested"], 0,
                 )
+            # A poisoned hit must not linger in either cache tier: the
+            # disk row in particular would keep serving (and failing)
+            # across runs.  Evict, then fall through to a fresh solve.
+            cache.evict(key)
 
     governor = NumericsGovernor(backend, options)
     steps: List[str] = []
@@ -427,7 +431,10 @@ def _solve_certified(
                 and step == "as-requested"
                 and solution.status in _CACHEABLE_STATUSES
             ):
-                cache.put(key, solution)
+                # ``certified=True`` is the disk-tier admission ticket:
+                # only first-rung, exact-certified answers ever reach
+                # the durable store (see repro.repair.store).
+                cache.put(key, solution, certified=True)
             return solution, _certified_stats(
                 model, step_backend, solution,
                 time.perf_counter() - started, False, certificate, steps,

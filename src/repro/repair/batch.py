@@ -61,6 +61,8 @@ the benches print.
 
 from __future__ import annotations
 
+import os
+import random
 import shutil
 import tempfile
 import time
@@ -96,6 +98,37 @@ MAX_BACKOFF = 5.0
 
 #: How often the orchestrator wakes to poll futures / run the watchdog.
 POLL_INTERVAL = 0.05
+
+#: Module-level RNG for backoff jitter.  Deliberately *not* seeded from
+#: anything deterministic: jitter exists to decorrelate independent
+#: processes that crashed at the same instant, and sharing a seed would
+#: re-synchronise exactly the retry stampede it is meant to break up.
+#: Tests pass their own seeded ``random.Random`` to
+#: :func:`respawn_delay` instead.
+_BACKOFF_RNG = random.Random()
+
+
+def respawn_delay(
+    base: float,
+    previous: float,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Decorrelated-jitter backoff delay (AWS style), seconds.
+
+    Draws uniformly from ``[base, min(MAX_BACKOFF, 3 * previous)]``, so
+    the *expected* delay still grows geometrically while two
+    orchestrators that broke their pools in the same instant (shared
+    machine, shared sick dependency) almost surely pick different
+    delays and stop respawning in lockstep -- plain ``base * 2**n``
+    synchronises retries into exactly the thundering herd that keeps
+    the shared resource sick.  ``base <= 0`` disables backoff entirely
+    (the chaos tests run with ``retry_backoff=0.0``); *previous* is the
+    last delay returned, or ``base`` on the first crash.
+    """
+    if base <= 0:
+        return 0.0
+    upper = min(MAX_BACKOFF, max(base, 3.0 * previous))
+    return (rng or _BACKOFF_RNG).uniform(base, upper)
 
 
 @dataclass
@@ -173,6 +206,8 @@ class BatchReport:
     pool_respawns: int = 0
     #: Checkpoint file in use, if any.
     checkpoint: Optional[str] = None
+    #: Durable result store in use, if any.
+    store: Optional[str] = None
 
     @property
     def n_tasks(self) -> int:
@@ -604,9 +639,23 @@ _WORKER_FAULTS: Optional[FaultConfig] = None
 _Entry = Tuple[int, int, RepairTask]
 
 
-def _init_worker(cache_size: int, fault_config: Optional[FaultConfig] = None) -> None:
+def _init_worker(
+    cache_size: int,
+    fault_config: Optional[FaultConfig] = None,
+    store_path: Optional[str] = None,
+) -> None:
     global _WORKER_CACHE, _WORKER_FAULTS
-    _WORKER_CACHE = SolveCache(cache_size) if cache_size > 0 else None
+    store = None
+    if store_path is not None:
+        # Imported here, not at module top: worker processes that run
+        # store-less batches never pay for sqlite.
+        from repro.repair.store import ResultStore
+
+        store = ResultStore(store_path)
+    if cache_size > 0 or store is not None:
+        _WORKER_CACHE = SolveCache(cache_size, store=store)
+    else:
+        _WORKER_CACHE = None
     _WORKER_FAULTS = fault_config
 
 
@@ -619,6 +668,80 @@ def _sentinel(sentinel_dir: Optional[str], index: int, attempt: int, stage: str)
 
 def _sentinel_exists(sentinel_dir: str, index: int, attempt: int, stage: str) -> bool:
     return Path(sentinel_dir, f"{index}.{attempt}.{stage}").exists()
+
+
+def _clear_sentinels(sentinel_dir: str, index: int, attempt: int) -> None:
+    """Remove one dispatch's sentinel files once their autopsy is done.
+
+    A crashed attempt's ``start`` marker must not outlive the blame
+    decision it informed: were it left behind, any later scan of the
+    directory (the hung-task watchdog, a diagnostic sweep) would see a
+    started-but-never-finished dispatch and re-convict a task that
+    already paid for that crash.
+    """
+    for stage in ("start", "done"):
+        try:
+            Path(sentinel_dir, f"{index}.{attempt}.{stage}").unlink()
+        except OSError:
+            pass
+
+
+#: Name of the pid file each orchestrator writes into its sentinel
+#: directory, so a later run can tell a live run's directory from a
+#: leaked one.
+_OWNER_PID_FILE = "owner.pid"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is *pid* a live process we could signal?"""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by other uid
+        return True
+    except OSError:  # pragma: no cover - platform oddities
+        return False
+    return True
+
+
+def reap_stale_sentinel_dirs(root: Optional[str] = None) -> List[str]:
+    """Delete sentinel directories whose owning orchestrator is gone.
+
+    ``_run_pool``'s ``finally`` removes its sentinel directory -- but
+    ``kill -9`` (or the fault injector's SIGKILL landing on the parent)
+    skips ``finally``, leaking a directory full of
+    ``{index}.{attempt}.start`` files in the temp root.  Each directory
+    carries its creator's pid (:data:`_OWNER_PID_FILE`); on startup we
+    sweep ``repro-batch-*`` directories and remove those whose owner is
+    dead, so a prior run's sentinels can never survive to blame an
+    innocent task (and the temp root stops accumulating corpses).
+    Directories with a *live* owner -- a concurrent batch on the same
+    machine -- are left strictly alone.  Returns the paths reaped.
+    """
+    reaped: List[str] = []
+    temp_root = Path(root or tempfile.gettempdir())
+    try:
+        candidates = list(temp_root.glob("repro-batch-*"))
+    except OSError:  # pragma: no cover - unreadable temp root
+        return reaped
+    for candidate in candidates:
+        if not candidate.is_dir():
+            continue
+        pid_file = candidate / _OWNER_PID_FILE
+        try:
+            owner = int(pid_file.read_text().strip())
+        except (OSError, ValueError):
+            # No/garbled pid file: a pre-upgrade leak or a directory
+            # torn mid-creation.  Either way nobody owns it.
+            owner = -1
+        if _pid_alive(owner):
+            continue
+        shutil.rmtree(candidate, ignore_errors=True)
+        reaped.append(str(candidate))
+    return reaped
 
 
 def _run_chunk(payload: Tuple) -> List[BatchItemResult]:
@@ -696,6 +819,7 @@ def _run_generation(
     timeout: Optional[float],
     retry_fallback: bool,
     cache_size: int,
+    store_path: Optional[str],
     sentinel_dir: str,
     fault_config: Optional[FaultConfig],
     hard_timeout: Optional[float],
@@ -717,7 +841,7 @@ def _run_generation(
     pool = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(cache_size, fault_config),
+        initargs=(cache_size, fault_config, store_path),
     )
     futures: Dict[Future, List[_Entry]] = {}
     broke = False
@@ -791,6 +915,7 @@ def _run_pool(
     timeout: Optional[float],
     retry_fallback: bool,
     cache_size: int,
+    store_path: Optional[str],
     chunksize: int,
     max_task_retries: int,
     retry_backoff: float,
@@ -806,8 +931,13 @@ def _run_pool(
     crashes: Dict[int, int] = {index: 0 for index, _ in indexed}
     entries: List[_Entry] = [(index, 0, task) for index, task in indexed]
     task_of: Dict[int, RepairTask] = dict(indexed)
+    # First, bury the dead: sentinel directories leaked by orchestrators
+    # that were SIGKILLed (finally never ran) must not linger.
+    reap_stale_sentinel_dirs()
     sentinel_dir = tempfile.mkdtemp(prefix="repro-batch-")
+    Path(sentinel_dir, _OWNER_PID_FILE).write_text(str(os.getpid()))
     respawns = 0
+    delay = retry_backoff
     try:
         generation = 0
         while entries:
@@ -836,6 +966,7 @@ def _run_pool(
                 timeout=timeout,
                 retry_fallback=retry_fallback,
                 cache_size=cache_size,
+                store_path=store_path,
                 sentinel_dir=sentinel_dir,
                 fault_config=fault_config,
                 hard_timeout=hard_timeout,
@@ -859,6 +990,10 @@ def _run_pool(
             for index, attempt, task in remaining:
                 started = _sentinel_exists(sentinel_dir, index, attempt, "start")
                 finished = _sentinel_exists(sentinel_dir, index, attempt, "done")
+                # The autopsy is over for this dispatch: retire its
+                # sentinel files so they can never inform (or misinform)
+                # a later scan of the directory.
+                _clear_sentinels(sentinel_dir, index, attempt)
                 if started and not finished:
                     # This task was mid-flight when its worker died:
                     # the prime suspect.  Count the crash against it.
@@ -878,7 +1013,7 @@ def _run_pool(
                 next_entries.append((index, attempt + 1, task))
             entries = next_entries + deferred
             if entries:
-                delay = min(retry_backoff * (2 ** (respawns - 1)), MAX_BACKOFF)
+                delay = respawn_delay(retry_backoff, delay)
                 if delay > 0:
                     time.sleep(delay)
     finally:
@@ -897,6 +1032,7 @@ def repair_batch(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    store: Optional[str] = None,
     retry_fallback: bool = True,
     chunksize: Optional[int] = None,
     backend: str = DEFAULT_BACKEND,
@@ -921,6 +1057,13 @@ def repair_batch(
     (cooperative, monotonic-clock), applied independently to the
     primary attempt and to the fallback retry; a budget expiring with
     an incumbent yields an approximate repair with a certified gap.
+
+    ``store`` names a durable content-addressed result store
+    (:class:`~repro.repair.store.ResultStore`, SQLite): every worker's
+    cache gains a shared disk tier, so byte-identical models are solved
+    at most once *across* runs and processes, not just within one
+    worker's LRU.  Only first-rung exact-certified answers are admitted
+    to the store, and hits are re-certified on read.
 
     ``checkpoint`` names a journal file: completed tasks are appended
     (fsync'd) as they finish, and when ``resume`` is true an existing
@@ -985,6 +1128,7 @@ def repair_batch(
             "certify": certify,
         }
         if journal.exists() and resume:
+            journal.truncate_torn_tail()
             replayed, _ = journal.load_completed(
                 task_list, fingerprints, expected_meta=header_meta
             )
@@ -1021,35 +1165,51 @@ def repair_batch(
     ]
 
     if not workers or workers < 1:
-        cache = SolveCache(cache_size) if cache_size > 0 else None
-        for index, task in todo:
-            crashes = 0
-            while True:
-                try:
-                    chaos_before_task(fault_config, index, crashes, in_pool=False)
-                    result = execute_task(
-                        task,
-                        index,
-                        default_backend=backend,
-                        timeout=timeout,
-                        retry_fallback=retry_fallback,
-                        cache=cache,
-                        on_infeasible=on_infeasible,
-                        strategy=strategy,
-                        misrepair_budget=misrepair_budget,
-                        certify=certify,
-                    )
-                    result.attempts = crashes + 1
-                    break
-                except WorkerCrashError as crash:
-                    crashes += 1
-                    if crashes > max_task_retries:
-                        result = _quarantined_result(index, task, crashes, str(crash))
+        store_obj = None
+        if store is not None:
+            from repro.repair.store import ResultStore
+
+            store_obj = ResultStore(store)
+        cache = (
+            SolveCache(cache_size, store=store_obj)
+            if cache_size > 0 or store_obj is not None
+            else None
+        )
+        try:
+            for index, task in todo:
+                crashes = 0
+                delay = retry_backoff
+                while True:
+                    try:
+                        chaos_before_task(fault_config, index, crashes, in_pool=False)
+                        result = execute_task(
+                            task,
+                            index,
+                            default_backend=backend,
+                            timeout=timeout,
+                            retry_fallback=retry_fallback,
+                            cache=cache,
+                            on_infeasible=on_infeasible,
+                            strategy=strategy,
+                            misrepair_budget=misrepair_budget,
+                            certify=certify,
+                        )
+                        result.attempts = crashes + 1
                         break
-                    delay = min(retry_backoff * (2 ** (crashes - 1)), MAX_BACKOFF)
-                    if delay > 0:
-                        time.sleep(delay)
-            deliver(result)
+                    except WorkerCrashError as crash:
+                        crashes += 1
+                        if crashes > max_task_retries:
+                            result = _quarantined_result(
+                                index, task, crashes, str(crash)
+                            )
+                            break
+                        delay = respawn_delay(retry_backoff, delay)
+                        if delay > 0:
+                            time.sleep(delay)
+                deliver(result)
+        finally:
+            if store_obj is not None:
+                store_obj.close()
         assert all(result is not None for result in results)
         return BatchReport(
             results=results,  # type: ignore[arg-type]
@@ -1058,6 +1218,7 @@ def repair_batch(
             cache_size=cache_size,
             timeout=timeout,
             checkpoint=None if checkpoint is None else str(checkpoint),
+            store=None if store is None else str(store),
         )
 
     if chunksize is None:
@@ -1069,6 +1230,7 @@ def repair_batch(
         timeout=timeout,
         retry_fallback=retry_fallback,
         cache_size=cache_size,
+        store_path=None if store is None else str(store),
         chunksize=chunksize,
         max_task_retries=max_task_retries,
         retry_backoff=retry_backoff,
@@ -1089,6 +1251,7 @@ def repair_batch(
         timeout=timeout,
         pool_respawns=respawns,
         checkpoint=None if checkpoint is None else str(checkpoint),
+        store=None if store is None else str(store),
     )
 
 

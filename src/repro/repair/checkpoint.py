@@ -193,6 +193,15 @@ class LoadedJournal:
     truncated_bytes: int = 0
 
 
+def _parses_as_record(line: bytes) -> bool:
+    if not line.strip():
+        return False
+    try:
+        return isinstance(json.loads(line.decode("utf-8")), dict)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return False
+
+
 class CheckpointJournal:
     """Append-only, fsync-per-record journal of batch task results."""
 
@@ -221,25 +230,37 @@ class CheckpointJournal:
         return self.path.exists() and self.path.stat().st_size > 0
 
     def load(self) -> LoadedJournal:
-        """Parse the journal, tolerating a torn final line only."""
+        """Parse the journal, tolerating a torn tail only.
+
+        A *torn tail* is an unparseable suffix with no valid record
+        after it -- the shape a crash mid-append leaves behind (the
+        garbage may span several newlines; torn bytes are arbitrary).
+        Unparseable bytes *followed by* valid records are mid-file
+        corruption and stay a hard error: silently skipping them would
+        mean replaying a journal somebody (or some disk) edited.
+        """
         raw = self.path.read_bytes()
         lines = raw.split(b"\n")
         parsed: List[Dict[str, Any]] = []
         truncated = 0
+        offset = 0
         for position, line in enumerate(lines):
             if not line.strip():
+                offset += len(line) + 1
                 continue
             try:
                 parsed.append(json.loads(line.decode("utf-8")))
             except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                is_last_content = all(not rest.strip() for rest in lines[position + 1:])
-                if is_last_content:
-                    truncated = len(line)
+                if not any(
+                    _parses_as_record(rest) for rest in lines[position + 1:]
+                ):
+                    truncated = len(raw) - offset
                     break
                 raise CheckpointError(
                     f"{self.path}: corrupt journal line {position + 1} "
                     f"(not at end of file): {exc}"
                 ) from exc
+            offset += len(line) + 1
         if not parsed:
             raise CheckpointError(f"{self.path}: journal is empty")
         header = parsed[0]
@@ -262,12 +283,33 @@ class CheckpointJournal:
             loaded.records[int(record["index"])] = record
         return loaded
 
+    def truncate_torn_tail(self) -> int:
+        """Cut any torn tail off the file; returns bytes discarded.
+
+        ``load`` tolerates a torn tail, but only at end-of-file --
+        appending new records *past* one would strand the garbage
+        mid-file and make the journal unloadable after a second crash.
+        Every resume path must therefore call this before its first
+        append.
+        """
+        if not self.exists():
+            return 0
+        loaded = self.load()
+        if loaded.truncated_bytes:
+            keep = self.path.stat().st_size - loaded.truncated_bytes
+            with open(self.path, "rb+") as handle:
+                handle.truncate(keep)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return loaded.truncated_bytes
+
     def load_completed(
         self,
         tasks: "List[RepairTask]",  # noqa: F821
         fingerprints: List[str],
         *,
         expected_meta: Optional[Dict[str, Any]] = None,
+        require_certified: bool = False,
     ) -> Tuple[Dict[int, "BatchItemResult"], LoadedJournal]:  # noqa: F821
         """Results reusable for *tasks*, keyed by task index.
 
@@ -277,9 +319,21 @@ class CheckpointJournal:
         ``backend``) are cross-checked against the header; a mismatch
         raises :class:`CheckpointError` because it means the journal
         belongs to a different batch configuration.
+
+        ``require_certified=True`` additionally drops journaled
+        *repaired* results whose ``certified`` flag is not ``True`` --
+        the crash-recovery replay of the repair service, which promises
+        to re-solve any uncertified tail rather than inherit it.
+        (Results that carry no repair to certify -- consistent or
+        failed tasks -- pass through on their status alone.)
         """
         loaded = self.load()
         for key, expected in (expected_meta or {}).items():
+            if key not in loaded.header:
+                # A streaming-intake header (repair service submit())
+                # cannot know e.g. n_tasks up front; absence is "not
+                # recorded", not a mismatch.
+                continue
             recorded = loaded.header.get(key)
             if recorded != expected:
                 raise CheckpointError(
@@ -292,5 +346,11 @@ class CheckpointJournal:
                 continue
             if record.get("fingerprint") != fingerprints[index]:
                 continue  # the input changed since the journal was written
+            if (
+                require_certified
+                and record.get("status") in ("repaired", "relaxed")
+                and record.get("certified") is not True
+            ):
+                continue  # uncertified tail: re-solve, never replay
             completed[index] = record_to_result(record)
         return completed, loaded

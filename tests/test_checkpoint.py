@@ -195,3 +195,73 @@ def test_no_resume_starts_over(tmp_path, workload):
     lines = (checkpoint).read_text(encoding="utf-8").strip().splitlines()
     kinds = [json.loads(line)["kind"] for line in lines]
     assert kinds == ["header", "result", "result"]
+
+
+def test_multiline_garbage_tail_is_forgiven(tmp_path):
+    # A torn write is arbitrary bytes -- including newlines.  The whole
+    # unparseable suffix is one torn tail, not mid-file corruption.
+    journal = CheckpointJournal(tmp_path / "j.jsonl")
+    journal.write_header(n_tasks=2)
+    journal.append_result(sample_result(), "fp")
+    with open(journal.path, "ab") as handle:
+        handle.write(b'{"kind": "res\n\x00\x07garbage\nmore garbage')
+    loaded = journal.load()
+    assert set(loaded.records) == {3}
+    assert loaded.truncated_bytes > 0
+
+
+def test_truncate_torn_tail_survives_double_crash(tmp_path):
+    # Crash #1 leaves a torn tail; the resumed run appends past it;
+    # crash #2 then hands the journal to a third incarnation.  Without
+    # truncate-before-append the garbage would sit mid-file and load()
+    # would (rightly) refuse the whole journal.
+    journal = CheckpointJournal(tmp_path / "j.jsonl")
+    journal.write_header(n_tasks=9)
+    journal.append_result(sample_result(), "fp")
+    with open(journal.path, "ab") as handle:
+        handle.write(b'{"kind": "result", "ind\x00\ntorn')
+    discarded = journal.truncate_torn_tail()
+    assert discarded > 0
+    second = sample_result()
+    second.index = 7
+    journal.append_result(second, "fp7")
+    loaded = journal.load()
+    assert loaded.truncated_bytes == 0
+    assert set(loaded.records) == {3, 7}
+    assert journal.truncate_torn_tail() == 0  # idempotent on clean files
+
+
+def test_garbage_before_valid_records_stays_loud(tmp_path):
+    # The generalized tail tolerance must not excuse true mid-file
+    # corruption: bytes that fail to parse *followed by* a valid record
+    # mean somebody edited the journal, and replaying it would lie.
+    journal = CheckpointJournal(tmp_path / "j.jsonl")
+    journal.write_header(n_tasks=2)
+    with open(journal.path, "ab") as handle:
+        handle.write(b"\x00garbage\n")
+    journal.append_result(sample_result(), "fp")
+    with pytest.raises(CheckpointError, match="corrupt journal line"):
+        journal.load()
+
+
+def test_streaming_header_skips_unrecorded_meta(tmp_path, workload):
+    # A streaming-intake header records config meta but cannot know
+    # n_tasks; load_completed treats the absent key as unverifiable,
+    # while still rejecting a recorded key that conflicts.
+    seeds = derived_seeds(1)
+    task = make_task(workload, seeds[0], name="t0")
+    fingerprint = task_fingerprint(task)
+    journal = CheckpointJournal(tmp_path / "j.jsonl")
+    journal.write_header(backend="scipy")
+    result = sample_result()
+    result.index = 0
+    journal.append_result(result, fingerprint)
+    completed, _ = journal.load_completed(
+        [task], [fingerprint], expected_meta={"n_tasks": 1, "backend": "scipy"}
+    )
+    assert set(completed) == {0}
+    with pytest.raises(CheckpointError, match="does not match"):
+        journal.load_completed(
+            [task], [fingerprint],
+            expected_meta={"n_tasks": 1, "backend": "bnb"},
+        )

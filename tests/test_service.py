@@ -1,0 +1,426 @@
+"""The repair service: admission, breakers, drain, crash recovery.
+
+Everything a long-running daemon must get right that a one-shot batch
+never faces: refusing work honestly when full, shifting traffic off a
+sick backend and probing it back to health, finishing the task in
+flight on SIGTERM, and restarting after ``kill -9`` to complete the
+corpus *identically* -- re-solving only the uncertified tail, with the
+durable store turning the re-solves into disk hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import cash_budget_constraints, paper_acquired_instance
+from repro.diagnostics import OverloadedError
+from repro.faultinject import FaultConfig
+from repro.repair.batch import RepairTask
+from repro.repair.checkpoint import CheckpointJournal, task_fingerprint
+from repro.repair.service import (
+    BACKEND_FAULT_STATUSES,
+    CircuitBreaker,
+    RepairService,
+    ServiceConfig,
+)
+
+
+def _tasks(n: int = 3, prefix: str = "doc"):
+    return [
+        RepairTask(
+            database=paper_acquired_instance(),
+            constraints=cash_budget_constraints(),
+            name=f"{prefix}{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def _signature(report):
+    return [
+        (r.status, None if r.repair is None else str(r.repair), r.objective)
+        for r in report.results
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker state machine (driven clock, no sleeping)
+# ---------------------------------------------------------------------------
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_opens_after_threshold():
+    clock = _Clock()
+    breaker = CircuitBreaker(failure_threshold=3, cooldown=10.0, clock=clock)
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    assert breaker.retry_after() == pytest.approx(10.0)
+
+
+def test_breaker_success_resets_consecutive_count():
+    breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0, clock=_Clock())
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # failures were not consecutive
+
+
+def test_breaker_half_open_single_probe():
+    clock = _Clock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.now = 10.0
+    assert breaker.state == "half-open"
+    assert breaker.allow()  # the one probe
+    assert not breaker.allow()  # no stampede on a recovering backend
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_breaker_failed_probe_reopens_for_full_cooldown():
+    clock = _Clock()
+    breaker = CircuitBreaker(failure_threshold=3, cooldown=10.0, clock=clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.now = 10.0
+    assert breaker.allow()
+    breaker.record_failure()  # one failed probe re-opens immediately
+    assert breaker.state == "open"
+    assert breaker.retry_after() == pytest.approx(10.0)
+    clock.now = 19.0
+    assert not breaker.allow()
+
+
+# ---------------------------------------------------------------------------
+# Admission control: bounded backpressure
+# ---------------------------------------------------------------------------
+
+
+def test_submit_refuses_above_watermark(tmp_path):
+    config = ServiceConfig(max_pending=2, retry_after=2.5)
+    with RepairService(config) as service:
+        service.submit(_tasks(1)[0])
+        service.submit(_tasks(1)[0])
+        with pytest.raises(OverloadedError) as caught:
+            service.submit(_tasks(1)[0])
+        assert caught.value.retry_after == pytest.approx(2.5)
+        assert caught.value.code == "overloaded"
+        # Backpressure, not lockout: draining the queue re-admits.
+        assert service.process_pending() == 2
+        ticket = service.submit(_tasks(1)[0])
+        service.process_pending()
+        assert service.result(ticket).ok
+
+
+def test_submitted_work_completes_with_results(tmp_path):
+    config = ServiceConfig(store=str(tmp_path / "s.db"))
+    with RepairService(config) as service:
+        tickets = [service.submit(task) for task in _tasks(3)]
+        assert service.result(tickets[0]) is None  # queued, not run
+        assert service.process_pending() == 3
+        for ticket in tickets:
+            result = service.result(ticket)
+            assert result is not None and result.status == "repaired"
+        assert service.intake_latency(0.5) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Sick backend: breakers shift traffic, probes restore it
+# ---------------------------------------------------------------------------
+
+
+def test_sick_backend_opens_breaker_and_traffic_shifts(tmp_path):
+    config = ServiceConfig(
+        store=str(tmp_path / "s.db"),
+        fault_config=FaultConfig(seed=1, sick_backend="scipy", sick_rate=1.0),
+        breaker_threshold=1,
+        breaker_cooldown=300.0,
+        max_task_retries=1,
+    )
+    with RepairService(config) as service:
+        report = service.run(_tasks(3))
+        assert all(result.ok for result in report.results), [
+            (r.status, r.error) for r in report.results
+        ]
+        # Task 0 paid the discovery cost; everyone after it was routed
+        # straight to the healthy alternate.
+        assert report.results[0].fallback_taken
+        assert all(r.backend_used == "bnb" for r in report.results)
+        assert service.breakers["scipy"].state == "open"
+        assert service.breakers["bnb"].state == "closed"
+        health = service.health()
+        assert health["breakers"]["scipy"] == "open"
+
+
+def test_recovered_backend_is_probed_back_into_service(tmp_path):
+    # Sick only for task 0: by task 1 the backend has "recovered", and
+    # a zero cooldown means the very next dispatch is the probe.
+    config = ServiceConfig(
+        fault_config=FaultConfig(
+            seed=1, sick_backend="scipy", sick_rate=1.0,
+            sick_tasks=frozenset({0}),
+        ),
+        breaker_threshold=1,
+        breaker_cooldown=0.0,
+        max_task_retries=1,
+    )
+    with RepairService(config) as service:
+        report = service.run(_tasks(2))
+        assert all(result.ok for result in report.results)
+        assert report.results[0].backend_used == "bnb"  # rerouted
+        assert report.results[1].backend_used == "scipy"  # the probe won
+        assert service.breakers["scipy"].state == "closed"
+
+
+def test_all_breakers_open_is_an_honest_refusal():
+    config = ServiceConfig(
+        fault_config=FaultConfig(seed=1, sick_backend="scipy", sick_rate=1.0),
+        breaker_threshold=1,
+        breaker_cooldown=300.0,
+        max_task_retries=1,
+        backend="scipy",
+    )
+    with RepairService(config) as service:
+        # Wedge both backends open by hand.
+        for backend in ("scipy", "bnb"):
+            service._breaker(backend).record_failure()
+        ticket = service.submit(_tasks(1)[0])
+        service.process_pending()
+        result = service.result(ticket)
+        assert result.status == "breaker_open"
+        assert "retry" in result.error
+        assert service.ready()["ready"] is False
+        assert service.ready()["breakers_all_open"] is True
+
+
+def test_backend_fault_statuses_cover_the_taxonomy():
+    assert BACKEND_FAULT_STATUSES == {"crashed", "timeout", "error", "uncertified"}
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+# ---------------------------------------------------------------------------
+
+
+def test_drain_finishes_in_flight_task_and_persists_queue(tmp_path):
+    journal_path = tmp_path / "svc.journal"
+    config = ServiceConfig(checkpoint=str(journal_path))
+    with RepairService(config) as service:
+        tickets = [service.submit(task) for task in _tasks(3)]
+        service.request_drain()
+        # The task in flight finishes (and is journalled); the rest wait.
+        assert service.process_pending() == 1
+        assert service.result(tickets[0]).ok
+        pending = service.drain()
+        assert pending == tickets[1:]
+        manifest = json.loads((tmp_path / "svc.journal.pending").read_text())
+        assert manifest["pending"] == tickets[1:]
+        with pytest.raises(OverloadedError):
+            service.submit(_tasks(1)[0])  # draining instances refuse work
+        assert service.health()["status"] == "draining"
+        assert service.ready()["ready"] is False
+
+
+def test_sigterm_requests_drain(tmp_path):
+    config = ServiceConfig()
+    previous_term = signal.getsignal(signal.SIGTERM)
+    previous_int = signal.getsignal(signal.SIGINT)
+    try:
+        with RepairService(config) as service:
+            service.install_signal_handlers()
+            assert not service.draining
+            os.kill(os.getpid(), signal.SIGTERM)
+            # Delivery is synchronous for a self-signal on the main thread.
+            assert service.draining
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+
+
+def test_run_stops_between_tasks_when_draining(tmp_path):
+    config = ServiceConfig(checkpoint=str(tmp_path / "svc.journal"))
+    with RepairService(config) as service:
+        service.request_drain()
+        report = service.run(_tasks(3))
+        assert report.n_tasks == 0
+        manifest = json.loads((tmp_path / "svc.journal.pending").read_text())
+        assert manifest["pending"] == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery: kill -9 the service, restart, complete identically
+# ---------------------------------------------------------------------------
+
+
+_SERVICE_SCRIPT = """
+import sys
+sys.path.insert(0, "src")
+from repro.datasets import cash_budget_constraints, paper_acquired_instance
+from repro.repair.batch import RepairTask
+from repro.repair.service import RepairService, ServiceConfig
+
+mode, store, journal = sys.argv[1], sys.argv[2], sys.argv[3]
+tasks = [
+    RepairTask(database=paper_acquired_instance(),
+               constraints=cash_budget_constraints(),
+               name=f"doc{i}")
+    for i in range(4)
+]
+config = ServiceConfig(store=store, checkpoint=journal)
+with RepairService(config) as service:
+    if mode == "crashy":
+        # Journal task 0, then die without any cleanup at all.
+        import os
+        original = service._deliver
+        def _deliver_then_die(result, task):
+            original(result, task)
+            if result.index == 0:
+                os.kill(os.getpid(), 9)
+        service._deliver = _deliver_then_die
+    import json
+    report = service.run(tasks, resume=True)
+    print(json.dumps({
+        "statuses": [r.status for r in report.results],
+        "repairs": [str(r.repair) for r in report.results],
+        "resumed": report.n_resumed,
+        "misses": report.cache_misses,
+    }))
+"""
+
+
+def _run_service_subprocess(mode, store, journal, check=True):
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.run(
+        [sys.executable, "-c", _SERVICE_SCRIPT, mode, str(store), str(journal)],
+        capture_output=True, text=True, check=check,
+        cwd=str(Path(__file__).resolve().parent.parent), env=env,
+    )
+
+
+def test_killed_service_restarts_and_completes_identically(tmp_path):
+    store = tmp_path / "svc.db"
+    journal = tmp_path / "svc.journal"
+    reference = json.loads(
+        _run_service_subprocess(
+            "clean", tmp_path / "ref.db", tmp_path / "ref.journal"
+        ).stdout
+    )
+    # Incarnation 1 journals one task then takes a SIGKILL to the face.
+    crashed = _run_service_subprocess("crashy", store, journal, check=False)
+    assert crashed.returncode != 0
+    assert journal.exists()
+    # Incarnation 2 replays the journal and finishes the rest.
+    recovered = json.loads(_run_service_subprocess("clean", store, journal).stdout)
+    assert recovered["statuses"] == reference["statuses"]
+    assert recovered["repairs"] == reference["repairs"]
+    assert recovered["resumed"] >= 1  # task 0 replayed, not re-solved
+
+
+def test_warm_service_restart_does_zero_milp_solves(tmp_path):
+    store = tmp_path / "svc.db"
+    first = json.loads(
+        _run_service_subprocess("clean", store, tmp_path / "j1.journal").stdout
+    )
+    # Fresh journal: nothing to replay, so reuse must come from the
+    # store alone -- and it covers the whole corpus.
+    second = json.loads(
+        _run_service_subprocess("clean", store, tmp_path / "j2.journal").stdout
+    )
+    assert first["misses"] >= 1
+    assert second["misses"] == 0
+    assert second["resumed"] == 0
+    assert second["repairs"] == first["repairs"]
+
+
+def test_uncertified_journal_tail_is_resolved_not_replayed(tmp_path):
+    """require_certified: a journaled-but-uncertified repair is re-done."""
+    journal_path = tmp_path / "svc.journal"
+    tasks = _tasks(2)
+    config = ServiceConfig(checkpoint=str(journal_path))
+    with RepairService(config) as service:
+        clean = service.run(tasks)
+    assert all(r.certified for r in clean.results)
+    # Doctor the journal: mark task 1's record uncertified, as if the
+    # previous incarnation died before certification hygiene could
+    # keep it out.
+    lines = journal_path.read_text().splitlines()
+    doctored = []
+    for line in lines:
+        record = json.loads(line)
+        if record.get("kind") == "result" and record["index"] == 1:
+            record["certified"] = None
+        doctored.append(json.dumps(record, separators=(",", ":")))
+    journal_path.write_text("\n".join(doctored) + "\n")
+
+    journal = CheckpointJournal(journal_path)
+    fingerprints = [task_fingerprint(task) for task in tasks]
+    replayed, _ = journal.load_completed(
+        tasks, fingerprints, require_certified=True
+    )
+    assert 0 in replayed and 1 not in replayed  # the tail is re-solved
+
+    with RepairService(ServiceConfig(checkpoint=str(journal_path))) as service:
+        recovered = service.run(tasks, resume=True)
+    assert _signature(recovered) == _signature(clean)
+    assert recovered.results[0].resumed and not recovered.results[1].resumed
+
+
+# ---------------------------------------------------------------------------
+# Probes
+# ---------------------------------------------------------------------------
+
+
+def test_health_shape(tmp_path):
+    config = ServiceConfig(store=str(tmp_path / "s.db"), max_pending=7)
+    with RepairService(config) as service:
+        service.run(_tasks(2))
+        health = service.health()
+    assert health["status"] == "ok"
+    assert health["completed"] == 2
+    assert health["max_pending"] == 7
+    assert health["store"]["puts"] >= 1
+    assert health["uptime"] > 0
+    assert 0.0 <= health["intake_p50"] <= health["intake_p99"]
+
+
+def test_ready_reflects_queue_pressure():
+    config = ServiceConfig(max_pending=1)
+    with RepairService(config) as service:
+        assert service.ready()["ready"] is True
+        service.submit(_tasks(1)[0])
+        ready = service.ready()
+        assert ready["ready"] is False and ready["queue_full"] is True
+        service.process_pending()
+        assert service.ready()["ready"] is True
+
+
+def test_integrity_report_through_service(tmp_path):
+    config = ServiceConfig(store=str(tmp_path / "s.db"))
+    with RepairService(config) as service:
+        service.run(_tasks(2))
+        report = service.integrity_report()
+        assert report is not None and report.ok
+    with RepairService(ServiceConfig()) as service:
+        assert service.integrity_report() is None

@@ -1,0 +1,445 @@
+"""The durable result store: integrity, self-healing, cross-run reuse.
+
+The contract under test is the robustness spine of the repair service:
+a committed row survives anything short of disk loss, a damaged row is
+evicted and re-solved **never served**, and a second run over an
+unchanged corpus does zero MILP solves while producing bitwise
+identical repairs.  The chaos tests use real ``SIGKILL`` on a real
+subprocess -- no mocks -- and the fault injector's store-corruption
+helpers write garbage straight into the SQLite file, the way actual
+bit rot would.
+
+Also here: the decorrelated-jitter backoff bounds and the stale
+sentinel-directory reaping, both satellites of the same robustness PR.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import cash_budget_constraints, paper_acquired_instance
+from repro.faultinject import corrupt_store_row, torn_write
+from repro.milp.cache import SolveCache
+from repro.milp.model import Solution, SolveStatus
+from repro.repair.batch import (
+    MAX_BACKOFF,
+    RepairTask,
+    _OWNER_PID_FILE,
+    reap_stale_sentinel_dirs,
+    repair_batch,
+    respawn_delay,
+)
+from repro.repair.checkpoint import CheckpointJournal
+from repro.repair.store import (
+    ResultStore,
+    payload_to_solution,
+    solution_to_payload,
+)
+
+
+def _key(n: int = 0):
+    return ("scipy", "[]", f"fingerprint-{n:04d}")
+
+
+def _solution(n: int = 0) -> Solution:
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=float(n) + 0.125,  # exact in binary: roundtrip-critical
+        values={f"x{i}": float(i) / 8.0 for i in range(4)},
+        stats={"nodes": n},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Round trips and row-level integrity
+# ---------------------------------------------------------------------------
+
+
+def test_put_get_roundtrip_is_bitwise(tmp_path):
+    with ResultStore(tmp_path / "s.db") as store:
+        original = _solution(3)
+        store.put(_key(3), original)
+        loaded = store.get(_key(3))
+    assert loaded is not None
+    assert loaded.status is original.status
+    assert loaded.objective == original.objective  # exact, not approx
+    assert loaded.values == original.values
+    assert solution_to_payload(loaded) == solution_to_payload(original)
+
+
+def test_payload_encoding_is_deterministic():
+    a = solution_to_payload(_solution(1))
+    b = solution_to_payload(payload_to_solution(a))
+    assert a == b
+
+
+def test_miss_and_counters(tmp_path):
+    with ResultStore(tmp_path / "s.db") as store:
+        assert store.get(_key(9)) is None
+        store.put(_key(9), _solution(9))
+        assert store.get(_key(9)) is not None
+        info = store.info()
+    assert info.misses == 1 and info.hits == 1 and info.puts == 1
+    assert info.rows == 1
+
+
+def test_corrupt_row_is_evicted_never_served(tmp_path):
+    path = tmp_path / "s.db"
+    with ResultStore(path) as store:
+        for n in range(5):
+            store.put(_key(n), _solution(n))
+    victim = corrupt_store_row(path, seed=11)
+    assert victim is not None
+    with ResultStore(path) as store:
+        victim_key = tuple(json.loads(victim))
+        # The damaged row reads as a miss and is healed in place...
+        assert store.get(victim_key) is None
+        assert store.info().corrupt_evictions == 1
+        # ...every other row still serves, and the store stays usable.
+        served = sum(1 for n in range(5) if store.get(_key(n)) is not None)
+        assert served == 4
+        assert store.integrity_scan().ok
+
+
+def test_integrity_scan_reports_and_repairs(tmp_path):
+    path = tmp_path / "s.db"
+    with ResultStore(path) as store:
+        for n in range(6):
+            store.put(_key(n), _solution(n))
+    corrupt_store_row(path, seed=3)
+    with ResultStore(path) as store:
+        report = store.integrity_scan()
+        assert report.rows_checked == 6
+        assert report.rows_evicted == 1
+        assert not report.ok
+        # Scan both reports and repairs: a second scan is clean.
+        assert store.integrity_scan().ok
+        assert len(store) == 5
+
+
+def test_transplanted_row_fails_checksum(tmp_path):
+    """A valid payload under the wrong key must not be served."""
+    import sqlite3
+
+    path = tmp_path / "s.db"
+    with ResultStore(path) as store:
+        store.put(_key(0), _solution(0))
+        store.put(_key(1), _solution(1))
+    with sqlite3.connect(path) as connection:
+        rows = connection.execute(
+            "SELECT key, payload, checksum FROM results ORDER BY key"
+        ).fetchall()
+        # Graft row 0's payload+checksum under row 1's key.
+        connection.execute(
+            "UPDATE results SET payload=?, checksum=? WHERE key=?",
+            (rows[0][1], rows[0][2], rows[1][0]),
+        )
+    with ResultStore(path) as store:
+        assert store.get(_key(1)) is None  # checksum covers the key
+
+
+def test_unusable_file_quarantined_and_rebuilt(tmp_path):
+    path = tmp_path / "s.db"
+    path.write_bytes(b"this is not a sqlite database, not even close\n" * 64)
+    with ResultStore(path) as store:
+        assert store.info().corrupt_recoveries == 1
+        store.put(_key(0), _solution(0))
+        assert store.get(_key(0)) is not None
+    assert path.with_suffix(path.suffix + ".corrupt").exists()
+
+
+# ---------------------------------------------------------------------------
+# Two-tier cache semantics
+# ---------------------------------------------------------------------------
+
+
+def test_cache_promotes_store_hits(tmp_path):
+    store = ResultStore(tmp_path / "s.db")
+    warm = SolveCache(8, store=store)
+    warm.put(_key(0), _solution(0), certified=True)
+    # A fresh memory tier over the same store: first get is a disk hit...
+    cold = SolveCache(8, store=store)
+    assert cold.get(_key(0)) is not None
+    info = cold.info()
+    assert info.store_hits == 1 and info.hits == 1
+    # ...and the second comes from the promoted memory copy.
+    assert cold.get(_key(0)) is not None
+    assert cold.info().store_hits == 1
+    store.close()
+
+
+def test_uncertified_results_stay_in_memory_only(tmp_path):
+    store = ResultStore(tmp_path / "s.db")
+    cache = SolveCache(8, store=store)
+    cache.put(_key(0), _solution(0))  # no certified=True: volatile
+    assert len(store) == 0
+    cache.put(_key(1), _solution(1), certified=True)
+    assert len(store) == 1
+    store.close()
+
+
+def test_evict_drops_both_tiers(tmp_path):
+    store = ResultStore(tmp_path / "s.db")
+    cache = SolveCache(8, store=store)
+    cache.put(_key(0), _solution(0), certified=True)
+    cache.evict(_key(0))
+    assert cache.get(_key(0)) is None
+    assert len(store) == 0
+    store.close()
+
+
+# ---------------------------------------------------------------------------
+# Cross-run reuse: the tentpole's acceptance criterion
+# ---------------------------------------------------------------------------
+
+
+def _corpus_tasks(n: int = 3):
+    return [
+        RepairTask(
+            database=paper_acquired_instance(),
+            constraints=cash_budget_constraints(),
+            name=f"doc{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def _repair_signature(report):
+    return [
+        (r.status, None if r.repair is None else str(r.repair), r.objective)
+        for r in report.results
+    ]
+
+
+def test_second_run_does_zero_milp_solves(tmp_path):
+    store_path = str(tmp_path / "results.db")
+    cold = repair_batch(_corpus_tasks(), store=store_path)
+    assert cold.cache_misses >= 1  # the cold run actually solved
+    # A new repair_batch call builds a fresh cache -- process restart in
+    # miniature; only the disk store carries over.
+    warm = repair_batch(_corpus_tasks(), store=store_path)
+    assert warm.cache_misses == 0  # zero MILP solves
+    assert warm.cache_hits == warm.total_solves
+    assert _repair_signature(warm) == _repair_signature(cold)
+
+
+def test_second_run_across_real_processes(tmp_path):
+    """Same assertion, with a genuine os-level process boundary."""
+    store_path = str(tmp_path / "results.db")
+    script = (
+        "import sys, json\n"
+        "from repro.datasets import cash_budget_constraints, paper_acquired_instance\n"
+        "from repro.repair.batch import RepairTask, repair_batch\n"
+        "tasks = [RepairTask(database=paper_acquired_instance(),\n"
+        "                    constraints=cash_budget_constraints(),\n"
+        "                    name=f'doc{i}') for i in range(3)]\n"
+        "report = repair_batch(tasks, store=sys.argv[1])\n"
+        "print(json.dumps({'misses': report.cache_misses,\n"
+        "                  'repairs': [str(r.repair) for r in report.results]}))\n"
+    )
+    env = dict(os.environ, PYTHONPATH="src")
+    runs = [
+        json.loads(
+            subprocess.run(
+                [sys.executable, "-c", script, store_path],
+                capture_output=True, text=True, check=True,
+                cwd=str(Path(__file__).resolve().parent.parent), env=env,
+            ).stdout
+        )
+        for _ in range(2)
+    ]
+    assert runs[0]["misses"] >= 1
+    assert runs[1]["misses"] == 0
+    assert runs[0]["repairs"] == runs[1]["repairs"]
+
+
+def test_corrupted_row_is_resolved_transparently(tmp_path):
+    store_path = str(tmp_path / "results.db")
+    cold = repair_batch(_corpus_tasks(), store=store_path)
+    assert corrupt_store_row(store_path, seed=5) is not None
+    again = repair_batch(_corpus_tasks(), store=store_path)
+    # The damaged row cost exactly one re-solve; the answer is unchanged.
+    assert _repair_signature(again) == _repair_signature(cold)
+    with ResultStore(store_path) as store:
+        assert store.integrity_scan().ok
+
+
+# ---------------------------------------------------------------------------
+# kill -9 chaos: atomic commit under process death
+# ---------------------------------------------------------------------------
+
+
+_WRITER_SCRIPT = """
+import sys
+sys.path.insert(0, "src")
+from repro.milp.model import Solution, SolveStatus
+from repro.repair.store import ResultStore
+
+store = ResultStore(sys.argv[1])
+n = 0
+while True:
+    store.put(
+        ("scipy", "[]", f"fp-{n:06d}"),
+        Solution(SolveStatus.OPTIMAL, float(n), {"x": float(n)}, {}),
+    )
+    print(n, flush=True)
+    n += 1
+"""
+
+
+def test_sigkill_mid_write_never_corrupts_committed_rows(tmp_path):
+    store_path = str(tmp_path / "victim.db")
+    env = dict(os.environ, PYTHONPATH="src")
+    process = subprocess.Popen(
+        [sys.executable, "-c", _WRITER_SCRIPT, store_path],
+        stdout=subprocess.PIPE, text=True,
+        cwd=str(Path(__file__).resolve().parent.parent), env=env,
+    )
+    # Let it commit a few rows, then kill it mid-flight -- no warning,
+    # no cleanup, exactly like the OOM killer.
+    acked = []
+    deadline = time.monotonic() + 30.0
+    while len(acked) < 5 and time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.strip():
+            acked.append(int(line))
+    assert len(acked) >= 5, "writer never got going"
+    os.kill(process.pid, signal.SIGKILL)
+    process.wait()
+    process.stdout.close()
+
+    with ResultStore(store_path) as store:
+        # WAL recovery may lose the very last commits, never damage
+        # committed ones: the file verifies clean end to end...
+        report = store.integrity_scan()
+        assert report.ok, report.as_dict()
+        # ...and every surviving row round-trips with a valid checksum.
+        rows = len(store)
+        assert rows >= 1
+        served = sum(
+            1
+            for n in range(rows)
+            if store.get(("scipy", "[]", f"fp-{n:06d}")) is not None
+        )
+        assert served == rows
+        assert store.info().corrupt_evictions == 0
+
+
+def test_torn_journal_tail_is_discarded(tmp_path):
+    """The fault injector's torn write hits the checkpoint journal."""
+    journal = CheckpointJournal(tmp_path / "batch.journal")
+    journal.write_header(n_tasks=1)
+    torn_write(journal.path, seed=2)
+    loaded = journal.load()
+    assert loaded.truncated_bytes > 0
+    assert loaded.header["n_tasks"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Satellite: decorrelated-jitter backoff
+# ---------------------------------------------------------------------------
+
+
+def test_jitter_delay_bounds():
+    rng = random.Random(42)
+    base, previous = 0.1, 0.1
+    for _ in range(200):
+        delay = respawn_delay(base, previous, rng)
+        assert base <= delay <= min(MAX_BACKOFF, 3.0 * previous)
+        previous = delay
+
+
+def test_jitter_is_capped():
+    rng = random.Random(7)
+    for _ in range(100):
+        assert respawn_delay(0.5, 1e9, rng) <= MAX_BACKOFF
+
+
+def test_jitter_disabled_when_base_nonpositive():
+    assert respawn_delay(0.0, 0.0) == 0.0
+    assert respawn_delay(-1.0, 5.0) == 0.0
+
+
+def test_jitter_decorrelates_identical_histories():
+    """Two orchestrators with the same crash history pick different delays."""
+    a = [respawn_delay(0.1, 0.1, random.Random(1)) for _ in range(8)]
+    b = [respawn_delay(0.1, 0.1, random.Random(2)) for _ in range(8)]
+    assert a != b
+
+
+def test_jitter_expected_growth():
+    """The expectation still climbs toward the cap (it is a *backoff*)."""
+    rng = random.Random(3)
+    trajectories = []
+    for _ in range(50):
+        previous, path = 0.1, []
+        for _ in range(6):
+            previous = respawn_delay(0.1, previous, rng)
+            path.append(previous)
+        trajectories.append(path)
+    mean_first = sum(t[0] for t in trajectories) / len(trajectories)
+    mean_last = sum(t[-1] for t in trajectories) / len(trajectories)
+    assert mean_last > mean_first
+
+
+# ---------------------------------------------------------------------------
+# Satellite: stale sentinel-directory reaping
+# ---------------------------------------------------------------------------
+
+
+def _fake_sentinel_dir(root: Path, name: str, pid) -> Path:
+    directory = root / name
+    directory.mkdir()
+    (directory / "3.0.start").touch()  # the stale blame a reap must bury
+    if pid is not None:
+        (directory / _OWNER_PID_FILE).write_text(str(pid))
+    return directory
+
+
+def test_reap_removes_dead_owners_dirs(tmp_path):
+    # A pid that is certainly dead: spawn-and-wait a child.
+    child = subprocess.Popen([sys.executable, "-c", "pass"])
+    child.wait()
+    dead = _fake_sentinel_dir(tmp_path, "repro-batch-dead", child.pid)
+    reaped = reap_stale_sentinel_dirs(str(tmp_path))
+    assert str(dead) in reaped
+    assert not dead.exists()
+
+
+def test_reap_keeps_live_owners_dirs(tmp_path):
+    live = _fake_sentinel_dir(tmp_path, "repro-batch-live", os.getpid())
+    reaped = reap_stale_sentinel_dirs(str(tmp_path))
+    assert reaped == []
+    assert live.exists()
+
+
+def test_reap_removes_ownerless_dirs(tmp_path):
+    orphan = _fake_sentinel_dir(tmp_path, "repro-batch-orphan", None)
+    ignored = tmp_path / "unrelated-dir"
+    ignored.mkdir()
+    reaped = reap_stale_sentinel_dirs(str(tmp_path))
+    assert str(orphan) in reaped
+    assert ignored.exists()  # only repro-batch-* is ever touched
+
+
+def test_pool_run_writes_owner_pid_and_reaps(tmp_path, monkeypatch):
+    """A pooled batch sweeps leaks on startup and tags its own dir."""
+    monkeypatch.setenv("TMPDIR", str(tmp_path))
+    import tempfile as _tempfile
+
+    monkeypatch.setattr(_tempfile, "tempdir", None)  # re-read TMPDIR
+    leak = _fake_sentinel_dir(tmp_path, "repro-batch-leak", None)
+    report = repair_batch(_corpus_tasks(2), workers=1)
+    assert report.n_failed == 0
+    assert not leak.exists()  # startup sweep buried the leak
+    # And the run's own directory was cleaned up on the way out.
+    assert list(tmp_path.glob("repro-batch-*")) == []
